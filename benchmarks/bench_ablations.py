@@ -1,0 +1,21 @@
+"""Ablations of the cost model's design choices (DESIGN.md §3)."""
+
+from repro.perf import run_all_ablations
+
+
+def test_ablations(benchmark, report):
+    results = benchmark(run_all_ablations)
+    lines = ["Cost-model ablations:"]
+    for r in results:
+        lines.append(
+            f"  {r.name}: baseline {r.baseline:.4g} -> ablated {r.ablated:.4g} "
+            f"{r.unit} ({r.change:+.1%})"
+        )
+        lines.append(f"    -> {r.conclusion}")
+    report("\n".join(lines))
+    benchmark.extra_info["ablations"] = {
+        r.name: round(r.change, 4) for r in results
+    }
+    by_name = {r.name: r for r in results}
+    assert by_name["sqrt-depth wait consolidation"].ablated == 1.0
+    assert by_name["SIMD lanes (double hummer)"].change < -0.05

@@ -1,0 +1,21 @@
+"""Fig. 10 — runtime vs deep-halo ghost depth across fluid sizes."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.parametrize("which", ["fig10a", "fig10b"])
+def test_fig10_reproduction(benchmark, report, which):
+    result = benchmark(run_experiment, which)
+    report(result.to_text())
+    sizes = list(result.series)
+    benchmark.extra_info["optimal_depths"] = {
+        s: result.checks[f"{s}/optimal"] for s in sizes
+    }
+    # crossover shape: smallest size prefers GC=1, largest prefers deeper
+    assert result.checks[f"{sizes[0]}/optimal"] == 1
+    assert result.checks[f"{sizes[-1]}/optimal"] >= 2
+    if which == "fig10a":
+        # the paper's OOM event at (133k, GC=4)
+        assert result.checks["133k/oom"] == (4,)

@@ -1,0 +1,37 @@
+"""Fig. 11 — hybrid MPI/OpenMP placements on both machines."""
+
+import pytest
+
+from repro.analysis import bar_chart
+from repro.experiments import run_experiment
+from repro.experiments.fig11 import FIG11A_LABELS, FIG11B_COMBOS
+
+
+@pytest.mark.parametrize("which", ["fig11a", "fig11b"])
+def test_fig11_reproduction(benchmark, report, which):
+    result = benchmark(run_experiment, which)
+    report(result.to_text())
+    labels = (
+        list(FIG11A_LABELS)
+        if which == "fig11a"
+        else [f"{t}-{h}" for t, h in FIG11B_COMBOS]
+    )
+    for lname in ("D3Q19", "D3Q39"):
+        report(
+            bar_chart(
+                labels,
+                result.series[lname],
+                title=f"{which} {lname} runtime (s, lower is better)",
+                unit="s",
+            )
+        )
+    c = result.checks
+    if which == "fig11a":
+        # threading wins; D3Q39 hybrid beats VN, D3Q19 ties
+        assert c["D3Q39/t4_runtime"] < c["D3Q39/vn_runtime"]
+        assert abs(c["D3Q19/t4_runtime"] / c["D3Q19/vn_runtime"] - 1) < 0.08
+        benchmark.extra_info["d3q39_4t_depth"] = c["D3Q39/t4_depth"]
+    else:
+        assert c["D3Q19/best"] == (4, 16)
+        assert c["D3Q39/best"] == (4, 16)
+        benchmark.extra_info["best"] = "4-16"

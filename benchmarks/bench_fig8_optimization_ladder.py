@@ -1,0 +1,31 @@
+"""Fig. 8 — MFlup/s across the optimization ladder on both machines."""
+
+import pytest
+
+from repro.analysis import bar_chart
+from repro.experiments import run_experiment
+
+
+@pytest.mark.parametrize("which,machine", [("fig8a", "BG/P"), ("fig8b", "BG/Q")])
+def test_fig8_reproduction(benchmark, report, which, machine):
+    result = benchmark(run_experiment, which)
+    report(result.to_text())
+    levels = ["Orig", "GC", "DH", "CF", "LoBr", "NB-C", "GC_C", "SIMD"]
+    for lname in ("D3Q19", "D3Q39"):
+        report(
+            bar_chart(
+                levels,
+                result.series[lname],
+                title=f"Fig. 8 {machine} {lname} (MFlup/s, 128 nodes)",
+            )
+        )
+        benchmark.extra_info[f"{lname}_final_over_peak"] = round(
+            result.checks[f"{lname}/final_over_peak"], 3
+        )
+        benchmark.extra_info[f"{lname}_improvement"] = round(
+            result.checks[f"{lname}/improvement"], 2
+        )
+        # shape: monotone ladder, near the paper's endpoint bands
+        assert result.checks[f"{lname}/monotone"]
+        paper = result.checks[f"{lname}/paper_final_over_peak"]
+        assert abs(result.checks[f"{lname}/final_over_peak"] - paper) < 0.06

@@ -1,0 +1,14 @@
+"""Fig. 9 — communication-time balance across schedules."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig9_reproduction(benchmark, report):
+    result = benchmark(run_experiment, "fig9")
+    report(result.to_text())
+    c = result.checks
+    benchmark.extra_info["d3q19_nbc_max"] = round(c["D3Q19/NB-C/max"], 1)
+    benchmark.extra_info["d3q19_gcc_max"] = round(c["D3Q19/GC-C/max"], 1)
+    # who wins: GC-C compresses the spread by >= 4x (paper: 40 s -> 3-5 s)
+    assert c["D3Q19/GC-C/max"] < 0.25 * c["D3Q19/NB-C/max"]
+    assert c["D3Q39/GC-C/max"] < 0.25 * c["D3Q39/NB-C/max"]

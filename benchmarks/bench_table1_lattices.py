@@ -1,0 +1,20 @@
+"""Table I — lattice parameters (and the cost of verifying them)."""
+
+from repro.experiments import run_experiment
+from repro.lattice.d3q39 import make_d3q39
+
+
+def test_table1_reproduction(benchmark, report):
+    """Regenerate Table I; the benchmark times the full verification
+    (shell expansion + exact rational isotropy checks)."""
+    result = benchmark(run_experiment, "table1")
+    report(result.to_text())
+    benchmark.extra_info["q19_isotropy"] = result.checks["q19_isotropy"]
+    benchmark.extra_info["q39_isotropy"] = result.checks["q39_isotropy"]
+    assert result.checks["q39_isotropy"] >= 6
+
+
+def test_d3q39_construction(benchmark):
+    """Cost of building + validating the 39-velocity lattice."""
+    lattice = benchmark(make_d3q39)
+    assert lattice.q == 39

@@ -1,0 +1,14 @@
+"""Table II + §III-C — the roofline model rows."""
+
+from repro.experiments import run_experiment
+
+
+def test_table2_reproduction(benchmark, report):
+    result = benchmark(run_experiment, "table2")
+    report(result.to_text())
+    for key, value in result.checks.items():
+        if isinstance(value, float):
+            benchmark.extra_info[key] = round(value, 2)
+    # who wins and by what factor: D3Q39 halves the bandwidth roofline
+    ratio_p = result.checks["BG/P/D3Q19/p_bm"] / result.checks["BG/P/D3Q39/p_bm"]
+    assert 1.9 < ratio_p < 2.2  # 456 vs 936 bytes/cell

@@ -1,0 +1,14 @@
+"""Tables III & IV — optimal ghost depth vs points-per-processor ratio."""
+
+from repro.experiments import run_experiment
+
+
+def test_tables34_reproduction(benchmark, report):
+    result = benchmark(run_experiment, "tables34")
+    report(result.to_text())
+    c = result.checks
+    benchmark.extra_info["table3"] = {k: v for k, v in c.items() if k.startswith("t3")}
+    benchmark.extra_info["table4"] = {k: v for k, v in c.items() if k.startswith("t4")}
+    # shape: monotone in ratio, depth 1 at small R, >= 2 past the band
+    assert c["t3/4"] == 1 and c["t3/64"] >= 2
+    assert c["t4/128"] == 1 and c["t4/800"] >= 2

@@ -1,0 +1,18 @@
+"""Benchmark harness configuration.
+
+Every file regenerates one of the paper's tables/figures and prints the
+reproduced rows (run ``pytest benchmarks/ --benchmark-only -s`` to see
+them inline); the numbers also land in each benchmark's ``extra_info``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def report():
+    """Print a reproduced artifact without pytest capturing noise."""
+
+    def _report(text: str) -> None:
+        print("\n" + text)
+
+    return _report

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP-517 editable installs (``pip install -e .``) cannot build a wheel.
+``python setup.py develop`` installs an egg-link against ``src/`` instead;
+all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

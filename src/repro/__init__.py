@@ -1,0 +1,45 @@
+"""repro — reproduction of Randles et al., IPDPS 2013.
+
+*"Performance Analysis of the Lattice Boltzmann Model Beyond
+Navier-Stokes"*
+
+Subpackages
+-----------
+``repro.lattice``
+    Discrete velocity models (D3Q15/19/27/39), Gauss-Hermite machinery.
+``repro.core``
+    The LBM solver: equilibria, BGK/regularized collision, streaming,
+    boundary conditions, forcing, units, single-domain driver.
+``repro.parallel``
+    Simulated-MPI distributed solver with deep-halo ghost cells.
+``repro.machine``
+    Blue Gene/P & /Q machine models: roofline, torus, memory, caches.
+``repro.perf``
+    Performance engine: cost model, optimization ladder, event
+    simulator, ghost-depth tuner, hybrid-threading model.
+``repro.experiments``
+    One ``run()`` per paper table/figure + registry.
+"""
+
+from . import analysis, core, errors, experiments, lattice, machine, parallel, perf
+from ._version import __version__
+from .core import Simulation
+from .experiments import run_experiment
+from .lattice import get_lattice
+from .parallel import DistributedSimulation
+
+__all__ = [
+    "analysis",
+    "core",
+    "DistributedSimulation",
+    "errors",
+    "experiments",
+    "get_lattice",
+    "lattice",
+    "machine",
+    "parallel",
+    "perf",
+    "run_experiment",
+    "Simulation",
+    "__version__",
+]

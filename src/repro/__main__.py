@@ -1,0 +1,37 @@
+"""Command-line entry: regenerate paper artifacts.
+
+Usage::
+
+    python -m repro              # run every experiment
+    python -m repro fig8a fig9   # run selected experiments
+    python -m repro --list       # list experiment ids
+    python -m repro --report     # emit the EXPERIMENTS.md record
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .experiments import available_experiments, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if "--list" in args:
+        print("\n".join(available_experiments()))
+        return 0
+    if "--report" in args:
+        from .analysis.report import generate_report
+
+        print(generate_report())
+        return 0
+    ids = args or list(available_experiments())
+    for eid in ids:
+        result = run_experiment(eid)
+        print(result.to_text())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,7 @@
+"""Reporting: paper reference values, table rendering, ASCII plots."""
+
+from . import paper_reference
+from .ascii_plot import bar_chart
+from .tables import render_table
+
+__all__ = ["bar_chart", "paper_reference", "render_table"]

@@ -1,0 +1,35 @@
+"""Minimal terminal bar charts for benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["bar_chart"]
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bar chart (used by the figure benches).
+
+    ``None``-valued entries render as ``(infeasible)``.
+    """
+    finite = [v for v in values if v is not None]
+    if not finite:
+        return (title or "") + "\n(no feasible data)"
+    peak = max(finite)
+    lines = [title] if title else []
+    label_w = max(len(str(l)) for l in labels)
+    for label, value in zip(labels, values):
+        if value is None:
+            lines.append(f"{str(label).rjust(label_w)} | (infeasible)")
+        else:
+            n = int(round(width * value / peak)) if peak > 0 else 0
+            lines.append(
+                f"{str(label).rjust(label_w)} | {'#' * n} {value:.4g}{unit}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Reference values reported by the paper, for shape comparison.
+
+Every number here is quoted from the paper text (section given in the
+comment).  The benchmarks print these next to the model's output and
+the shape tests assert agreement within stated tolerances.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE2",
+    "TORUS_LOWER_BOUNDS",
+    "EFFICIENCY_BOUNDS",
+    "FIG8_ENDPOINTS",
+    "FIG9_D3Q19",
+    "TABLE3",
+    "TABLE4",
+    "FIG10A_SIZES",
+    "FIG10B_SIZES",
+    "FIG11B_OPTIMUM",
+]
+
+#: Table II: (machine, lattice) -> (Bm GB/s, P(Bm) MFlup/s, Ppeak GFlop/s,
+#: P(Ppeak) MFlup/s).  All rows are bandwidth-limited.
+TABLE2 = {
+    ("BG/P", "D3Q19"): (13.6, 29.0, 13.6, 76.4),
+    ("BG/Q", "D3Q19"): (43.0, 94.0, 204.8, 1150.0),
+    ("BG/P", "D3Q39"): (13.6, 14.5, 13.6, 71.5),
+    ("BG/Q", "D3Q39"): (43.0, 45.0, 204.8, 1077.0),
+}
+
+#: §III-C: MFlup/s if all loads/stores ran at torus bandwidth.
+TORUS_LOWER_BOUNDS = {
+    ("BG/P", "D3Q19"): 11.1,
+    ("BG/Q", "D3Q19"): 70.0,
+    ("BG/P", "D3Q39"): 5.4,
+    ("BG/Q", "D3Q39"): 34.0,
+}
+
+#: §III-C: hardware-efficiency ceilings P(Bm)/P(Ppeak) on BG/P.
+EFFICIENCY_BOUNDS = {
+    ("BG/P", "D3Q19"): 0.38,
+    ("BG/P", "D3Q39"): 0.20,
+}
+
+#: §VI / Conclusion: (fraction of model peak at full tuning,
+#: cumulative improvement Orig -> SIMD).
+FIG8_ENDPOINTS = {
+    ("BG/P", "D3Q19"): (0.92, 3.0),
+    ("BG/P", "D3Q39"): (0.83, 3.0),
+    ("BG/Q", "D3Q19"): (0.85, 7.75),
+    ("BG/Q", "D3Q39"): (0.79, 7.75),
+}
+
+#: Fig. 9, D3Q19 (seconds over 300 steps): schedule -> (min, max) extremes
+#: quoted in the text: "one node spends as little as 4.8 seconds in
+#: communication while another spends 40"; GC-C "minimized to ranging
+#: from 3-5 seconds".
+FIG9_D3Q19 = {
+    "NB-C": (4.8, 40.0),
+    "GC-C": (3.0, 5.0),
+}
+
+#: Table III: (R_low, R_high] -> optimal ghost depth, D3Q19.
+TABLE3 = [((0, 16), 1), ((16, 32), 3), ((32, 66), 2)]
+
+#: Table IV: D3Q39 (as printed; the brackets in the paper's Table IV are
+#: garbled by OCR — we read them as (256,532]->3, (532,680]->2,
+#: (680,800]->2 or 3, R<256 -> 1).
+TABLE4 = [((0, 256), 1), ((256, 532), 3), ((532, 680), 2), ((680, 800), (2, 3))]
+
+#: Fig. 10a fluid sizes (x-extent over 2048 BG/P processors).
+FIG10A_SIZES = (8000, 16000, 32000, 64000, 133000)
+
+#: Fig. 10b fluid sizes (16 BG/Q nodes x 16 tasks).
+FIG10B_SIZES = (16000, 32000, 64000, 133000, 170000, 200000)
+
+#: §VI-B: "the optimal pairing of tasks and threads ... is actually four
+#: tasks per node with 16 threads assigned ... true for both models".
+FIG11B_OPTIMUM = (4, 16)

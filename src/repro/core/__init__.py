@@ -1,0 +1,121 @@
+"""LBM core: fields, equilibria, collision, streaming, boundaries, driver."""
+
+from .boundary import BounceBackWalls, BoundaryCondition, DiffuseWallPair
+from .collision import (
+    BGKCollision,
+    RegularizedBGKCollision,
+    tau_from_viscosity,
+    viscosity_from_tau,
+)
+from .equilibrium import equilibrium, equilibrium_order_for
+from .fields import DistributionField
+from .forcing import GuoForcing
+from .io import TimeSeriesLogger, load_checkpoint, save_checkpoint, write_vtk
+from .initial_conditions import (
+    density_pulse,
+    random_perturbation,
+    shear_wave,
+    taylor_green,
+    uniform_flow,
+)
+from .kernels import FusedGatherKernel, LBMKernel, NaiveKernel, RollKernel
+from .layout import SpaceMajorKernel
+from .mrt import HermiteMRTCollision
+from .obstacles import (
+    channel_walls_mask,
+    cylinder_mask,
+    momentum_exchange_force,
+    sphere_mask,
+)
+from .moments import (
+    density,
+    deviatoric_stress,
+    heat_flux,
+    macroscopic,
+    momentum,
+    momentum_flux,
+    velocity,
+)
+from .observables import (
+    enstrophy,
+    kinetic_energy,
+    mach_number_field,
+    max_speed,
+    total_mass,
+    total_momentum,
+    velocity_profile,
+)
+from .simulation import Simulation, StepTimings
+from .sparse import SparseDomain, SparseSimulation
+from .streaming import stream_padded, stream_periodic
+from .units import (
+    FlowRegime,
+    LatticeUnits,
+    classify_regime,
+    knudsen_number,
+    mach_number,
+    mean_free_path,
+    reynolds_number,
+    tau_for_knudsen,
+)
+
+__all__ = [
+    "BGKCollision",
+    "channel_walls_mask",
+    "cylinder_mask",
+    "HermiteMRTCollision",
+    "load_checkpoint",
+    "momentum_exchange_force",
+    "save_checkpoint",
+    "sphere_mask",
+    "SpaceMajorKernel",
+    "SparseDomain",
+    "SparseSimulation",
+    "TimeSeriesLogger",
+    "write_vtk",
+    "BounceBackWalls",
+    "BoundaryCondition",
+    "classify_regime",
+    "density",
+    "density_pulse",
+    "deviatoric_stress",
+    "DiffuseWallPair",
+    "DistributionField",
+    "enstrophy",
+    "equilibrium",
+    "equilibrium_order_for",
+    "FlowRegime",
+    "FusedGatherKernel",
+    "GuoForcing",
+    "heat_flux",
+    "kinetic_energy",
+    "knudsen_number",
+    "LatticeUnits",
+    "LBMKernel",
+    "mach_number",
+    "mach_number_field",
+    "macroscopic",
+    "max_speed",
+    "mean_free_path",
+    "momentum",
+    "momentum_flux",
+    "NaiveKernel",
+    "random_perturbation",
+    "RegularizedBGKCollision",
+    "reynolds_number",
+    "RollKernel",
+    "shear_wave",
+    "Simulation",
+    "StepTimings",
+    "stream_padded",
+    "stream_periodic",
+    "tau_for_knudsen",
+    "tau_from_viscosity",
+    "taylor_green",
+    "total_mass",
+    "total_momentum",
+    "uniform_flow",
+    "velocity",
+    "velocity_profile",
+    "viscosity_from_tau",
+]

@@ -1,0 +1,111 @@
+"""Distribution-field container.
+
+The paper (§IV) stores the particle distribution functions in a
+two-dimensional array of shape ``(NumVelocities, z*y*x)`` "allocated in
+contiguous memory" — a *collision-optimized*, velocity-major layout
+(Wellein et al. 2006).  :class:`DistributionField` mirrors that layout as
+a C-contiguous numpy array of shape ``(Q, nx, ny, nz)``: the velocity
+index is the slowest-varying (outermost) dimension, so each velocity's
+spatial block is contiguous, exactly as in the C code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import LatticeError
+from ..lattice import VelocitySet
+
+__all__ = ["DistributionField"]
+
+
+@dataclasses.dataclass
+class DistributionField:
+    """Populations ``f_i(x)`` on a regular grid for one velocity set.
+
+    Attributes
+    ----------
+    lattice:
+        The discrete velocity model.
+    data:
+        C-contiguous float64 array of shape ``(Q, nx, ny, nz)``.
+    """
+
+    lattice: VelocitySet
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.data = np.ascontiguousarray(self.data, dtype=np.float64)
+        if self.data.ndim != 1 + self.lattice.dim:
+            raise LatticeError(
+                f"field must have {1 + self.lattice.dim} dims, got {self.data.ndim}"
+            )
+        if self.data.shape[0] != self.lattice.q:
+            raise LatticeError(
+                f"leading dim {self.data.shape[0]} != Q={self.lattice.q}"
+            )
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def zeros(cls, lattice: VelocitySet, shape: Iterable[int]) -> "DistributionField":
+        """All-zero field on a grid of the given spatial ``shape``."""
+        shape = tuple(int(s) for s in shape)
+        if len(shape) != lattice.dim or any(s <= 0 for s in shape):
+            raise LatticeError(f"bad spatial shape {shape} for {lattice.name}")
+        return cls(lattice, np.zeros((lattice.q, *shape)))
+
+    @classmethod
+    def from_equilibrium(
+        cls,
+        lattice: VelocitySet,
+        rho: np.ndarray,
+        u: np.ndarray,
+        order: int | None = None,
+    ) -> "DistributionField":
+        """Field initialised to the Hermite equilibrium of ``(rho, u)``."""
+        from .equilibrium import equilibrium  # local import avoids a cycle
+
+        return cls(lattice, equilibrium(lattice, rho, u, order=order))
+
+    # -- properties -------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Spatial grid shape (without the velocity axis)."""
+        return self.data.shape[1:]
+
+    @property
+    def num_cells(self) -> int:
+        """Number of lattice points (fluid cells) in the grid."""
+        return int(np.prod(self.shape))
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of population storage (one copy; the solver keeps two)."""
+        return self.data.nbytes
+
+    # -- operations --------------------------------------------------------
+
+    def copy(self) -> "DistributionField":
+        """Deep copy."""
+        return DistributionField(self.lattice, self.data.copy())
+
+    def allclose(self, other: "DistributionField", **kwargs) -> bool:
+        """Elementwise comparison of two fields on the same lattice."""
+        if other.lattice.name != self.lattice.name:
+            raise LatticeError("cannot compare fields on different lattices")
+        return bool(np.allclose(self.data, other.data, **kwargs))
+
+    def is_finite(self) -> bool:
+        """True when every population is finite (stability check)."""
+        return bool(np.isfinite(self.data).all())
+
+    def __getitem__(self, idx):
+        return self.data[idx]
+
+    def __setitem__(self, idx, value) -> None:
+        self.data[idx] = value

@@ -1,0 +1,174 @@
+"""Interchangeable stream+collide kernel implementations.
+
+The paper's §V is a ladder of single-node code transformations (data
+handling, loop restructuring, branch removal, SIMD).  The analogous
+transformations available to *Python* code are implemented here as three
+kernels with identical semantics and very different machine behaviour:
+
+* :class:`NaiveKernel` — the paper's Fig. 3/4 pseudocode transcribed
+  literally: per-cell, per-velocity Python loops.  Only usable on tiny
+  grids; serves as the executable specification the fast kernels are
+  validated against.
+* :class:`RollKernel` — velocity-major vectorization: one
+  ``numpy.roll`` per velocity, then a fused vectorized collide.  This is
+  the production kernel (used by :class:`~repro.core.simulation.Simulation`).
+* :class:`FusedGatherKernel` — stream and collide in one pass over a
+  precomputed flat gather-index table (the Python analogue of the
+  paper's loop-fusion/index-precomputation optimizations: indices
+  computed once, no per-step index arithmetic).
+
+``benchmarks/bench_kernels_real.py`` measures the real MFlup/s of each,
+giving a measured (not simulated) optimization-ladder analogue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lattice import VelocitySet
+from .collision import BGKCollision
+from .equilibrium import equilibrium
+from .streaming import stream_periodic
+
+__all__ = ["LBMKernel", "NaiveKernel", "RollKernel", "FusedGatherKernel"]
+
+
+class LBMKernel:
+    """One time step of periodic stream+BGK-collide.
+
+    Subclasses implement :meth:`step`, which consumes the populations
+    ``f`` of shape ``(Q, *spatial)`` and returns the post-collision
+    populations (a new array or a reused internal buffer — callers must
+    treat the input as consumed).
+    """
+
+    name = "abstract"
+
+    def __init__(self, lattice: VelocitySet, tau: float, order: int | None = None):
+        self.lattice = lattice
+        self.collision = BGKCollision(lattice, tau, order=order)
+
+    def step(self, f: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class RollKernel(LBMKernel):
+    """Vectorized reference kernel: roll-stream then fused collide."""
+
+    name = "roll"
+
+    def __init__(self, lattice: VelocitySet, tau: float, order: int | None = None):
+        super().__init__(lattice, tau, order)
+        self._buffer: np.ndarray | None = None
+
+    def step(self, f: np.ndarray) -> np.ndarray:
+        if self._buffer is None or self._buffer.shape != f.shape:
+            self._buffer = np.empty_like(f)
+        adv = stream_periodic(self.lattice, f, out=self._buffer)
+        self.collision.apply(adv, out=f)
+        self._buffer = adv if adv is not self._buffer else self._buffer
+        return f
+
+
+class FusedGatherKernel(LBMKernel):
+    """Stream+collide in one pass via a precomputed gather table.
+
+    For each velocity ``i`` the pull-gather ``f_i(x - c_i)`` is a single
+    fancy-index ``take`` with indices computed once at construction —
+    the Python analogue of the paper's "minimize index calculation"
+    (LoBr) optimization.
+    """
+
+    name = "fused-gather"
+
+    def __init__(self, lattice: VelocitySet, tau: float, order: int | None = None):
+        super().__init__(lattice, tau, order)
+        self._shape: tuple[int, ...] | None = None
+        self._gather: np.ndarray | None = None
+
+    def _build_gather(self, shape: tuple[int, ...]) -> None:
+        """Flat pull indices: gather[i, x_flat] = flat(x - c_i) (periodic)."""
+        coords = np.indices(shape)  # (D, *shape)
+        flat = np.arange(int(np.prod(shape))).reshape(shape)
+        rows = []
+        for c in self.lattice.velocities:
+            src = [
+                (coords[a] - int(c[a])) % shape[a] for a in range(len(shape))
+            ]
+            rows.append(flat[tuple(src)].ravel())
+        self._gather = np.stack(rows)  # (Q, N)
+        self._shape = shape
+
+    def step(self, f: np.ndarray) -> np.ndarray:
+        shape = f.shape[1:]
+        if self._shape != shape:
+            self._build_gather(shape)
+        flat = f.reshape(self.lattice.q, -1)
+        adv = np.take_along_axis(flat, self._gather, axis=1)
+        out = adv.reshape(f.shape)
+        self.collision.apply(out, out=out)
+        return out
+
+
+class NaiveKernel(LBMKernel):
+    """Literal transcription of the paper's Fig. 3/4 pseudocode.
+
+    Triple spatial loop, inner velocity loop, scalar arithmetic.  Runs in
+    O(minutes) beyond ~12^3 grids; exists as the executable specification
+    (tests assert the fast kernels reproduce it exactly) and as the
+    baseline of the measured kernel ladder.
+    """
+
+    name = "naive"
+
+    def step(self, f: np.ndarray) -> np.ndarray:
+        lat = self.lattice
+        q = lat.q
+        shape = f.shape[1:]
+        nx, ny, nz = shape
+        c = lat.velocities
+        w = lat.weights
+        cs2 = lat.cs2_float
+        omega = self.collision.omega
+        order = self.collision.order
+
+        # stream (push): distr_adv[is][x + c] = distr[is][x]
+        adv = np.empty_like(f)
+        for i in range(q):
+            cx, cy, cz = (int(v) for v in c[i])
+            for ix in range(nx):
+                for iy in range(ny):
+                    for iz in range(nz):
+                        adv[i, (ix + cx) % nx, (iy + cy) % ny, (iz + cz) % nz] = f[
+                            i, ix, iy, iz
+                        ]
+
+        # collide
+        out = np.empty_like(f)
+        for ix in range(nx):
+            for iy in range(ny):
+                for iz in range(nz):
+                    rho = 0.0
+                    ux = uy = uz = 0.0
+                    for i in range(q):
+                        fi = adv[i, ix, iy, iz]
+                        rho += fi
+                        ux += c[i, 0] * fi
+                        uy += c[i, 1] * fi
+                        uz += c[i, 2] * fi
+                    ux /= rho
+                    uy /= rho
+                    uz /= rho
+                    u2 = ux * ux + uy * uy + uz * uz
+                    for i in range(q):
+                        cu = c[i, 0] * ux + c[i, 1] * uy + c[i, 2] * uz
+                        term = 1.0 + cu / cs2
+                        if order >= 2:
+                            term += 0.5 * (cu / cs2) ** 2 - 0.5 * u2 / cs2
+                        if order >= 3:
+                            term += cu / (6.0 * cs2 * cs2) * (cu * cu / cs2 - 3.0 * u2)
+                        feq = w[i] * rho * term
+                        out[i, ix, iy, iz] = (
+                            adv[i, ix, iy, iz] - omega * (adv[i, ix, iy, iz] - feq)
+                        )
+        return out

@@ -1,0 +1,81 @@
+"""Data-layout comparison: the paper's DH optimization, measurable.
+
+The paper's §V-B attributes large gains to the *collision-optimized*
+velocity-major layout ("the discrete velocities of the distribution
+function ... are located contiguously in memory. To maximize cache
+reuse, we reorganized the loops such that all velocities are iterated
+over followed by the z-, y- and x-coordinates in memory order").
+
+:class:`SpaceMajorKernel` implements the same stream+collide update on
+the *opposite* layout — populations stored ``(nx, ny, nz, Q)`` with the
+velocity index fastest (the propagation-optimized/AoS layout) — so the
+layout effect can be measured on the host rather than taken on faith;
+``benchmarks/bench_layout.py`` compares it against the velocity-major
+:class:`~repro.core.kernels.RollKernel`.  Results are validated to be
+identical to machine precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lattice import VelocitySet
+from .kernels import LBMKernel
+
+__all__ = ["SpaceMajorKernel"]
+
+
+class SpaceMajorKernel(LBMKernel):
+    """Stream+BGK-collide on the space-major (velocity-fastest) layout.
+
+    The public interface still exchanges velocity-major arrays
+    ``(Q, nx, ny, nz)``; internally the state is transposed once on
+    entry and back on exit per call, and the hot loops run on the
+    ``(..., Q)`` layout.  For benchmarking the steady-state cost, use
+    :meth:`step_native` with a pre-transposed array to exclude the
+    conversion.
+    """
+
+    name = "space-major"
+
+    def step_native(self, f_sm: np.ndarray) -> np.ndarray:
+        """One update on a space-major array ``(nx, ny, nz, Q)``."""
+        lat = self.lattice
+        cs2 = lat.cs2_float
+        w = lat.weights
+        c = lat.velocities.astype(np.float64)
+        omega = self.collision.omega
+        order = self.collision.order
+
+        # stream: per velocity, roll the spatial block
+        adv = np.empty_like(f_sm)
+        for i, ci in enumerate(lat.velocities):
+            nz_axes = [a for a, comp in enumerate(ci) if comp]
+            if not nz_axes:
+                adv[..., i] = f_sm[..., i]
+            else:
+                adv[..., i] = np.roll(
+                    f_sm[..., i],
+                    shift=[int(ci[a]) for a in nz_axes],
+                    axis=nz_axes,
+                )
+
+        # collide on the trailing velocity axis
+        rho = adv.sum(axis=-1)
+        mom = adv @ c  # (..., D)
+        u = mom / rho[..., None]
+        cu = u @ c.T  # (..., Q)
+        u2 = np.einsum("...a,...a->...", u, u)
+        term = 1.0 + cu / cs2
+        if order >= 2:
+            term += 0.5 * (cu / cs2) ** 2 - 0.5 * (u2 / cs2)[..., None]
+        if order >= 3:
+            term += cu / (6.0 * cs2 * cs2) * (cu * cu / cs2 - 3.0 * u2[..., None])
+        feq = w[None, None, None, :] * rho[..., None] * term
+        return adv - omega * (adv - feq)
+
+    def step(self, f: np.ndarray) -> np.ndarray:
+        """Velocity-major in, velocity-major out (for cross-validation)."""
+        f_sm = np.ascontiguousarray(np.moveaxis(f, 0, -1))
+        out = self.step_native(f_sm)
+        return np.ascontiguousarray(np.moveaxis(out, -1, 0))

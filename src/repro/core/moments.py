@@ -1,0 +1,99 @@
+"""Macroscopic moments of the distribution function.
+
+The hydrodynamic fields are velocity moments of ``f``:
+
+* density ``rho = sum_i f_i``
+* momentum ``rho u = sum_i c_i f_i``
+* momentum flux ``Pi_ab = sum_i c_ia c_ib f_i``
+* deviatoric (non-equilibrium) stress and heat flux, the *higher kinetic
+  moments* whose contribution "is no longer negligible" beyond the
+  continuum regime (paper §I) — these are what the third-order D3Q39
+  expansion transports correctly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lattice import VelocitySet
+
+__all__ = [
+    "density",
+    "momentum",
+    "velocity",
+    "macroscopic",
+    "momentum_flux",
+    "deviatoric_stress",
+    "heat_flux",
+]
+
+
+def density(f: np.ndarray) -> np.ndarray:
+    """Zeroth moment ``rho = sum_i f_i``; shape = spatial shape."""
+    return f.sum(axis=0)
+
+
+def momentum(lattice: VelocitySet, f: np.ndarray) -> np.ndarray:
+    """First moment ``j = sum_i c_i f_i``; shape ``(D, *S)``."""
+    c = lattice.velocities.astype(np.float64)
+    return np.tensordot(c.T, f, axes=([1], [0]))
+
+
+def velocity(
+    lattice: VelocitySet, f: np.ndarray, rho: np.ndarray | None = None
+) -> np.ndarray:
+    """Fluid velocity ``u = j / rho``; shape ``(D, *S)``.
+
+    ``rho`` may be passed to avoid recomputation.
+    """
+    if rho is None:
+        rho = density(f)
+    return momentum(lattice, f) / rho[None]
+
+
+def macroscopic(
+    lattice: VelocitySet, f: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(rho, u)`` in one pass (paper Fig. 4 ``calc_rho_and_vel``)."""
+    rho = density(f)
+    u = momentum(lattice, f) / rho[None]
+    return rho, u
+
+
+def momentum_flux(lattice: VelocitySet, f: np.ndarray) -> np.ndarray:
+    """Second moment ``Pi_ab = sum_i c_ia c_ib f_i``; shape ``(D, D, *S)``."""
+    c = lattice.velocities.astype(np.float64)
+    cc = np.einsum("qa,qb->abq", c, c)
+    return np.tensordot(cc, f, axes=([2], [0]))
+
+
+def deviatoric_stress(lattice: VelocitySet, f: np.ndarray) -> np.ndarray:
+    """Non-equilibrium stress ``sigma_ab = Pi_ab - Pi^eq_ab``.
+
+    ``Pi^eq_ab = rho cs2 delta_ab + rho u_a u_b``.  This is the moment
+    through which viscous physics (and, at finite Kn, its breakdown)
+    enters; shape ``(D, D, *S)``.
+    """
+    rho, u = macroscopic(lattice, f)
+    pi = momentum_flux(lattice, f)
+    eye = np.eye(lattice.dim)
+    spatial = (slice(None), slice(None)) + (None,) * (f.ndim - 1)
+    pi_eq = lattice.cs2_float * rho[None, None] * eye[spatial]
+    pi_eq = pi_eq + rho[None, None] * np.einsum("a...,b...->ab...", u, u)
+    return pi - pi_eq
+
+
+def heat_flux(lattice: VelocitySet, f: np.ndarray) -> np.ndarray:
+    """Third central moment ``q_a = 1/2 sum_i |c_i - u|^2 (c_ia - u_a) f_i``.
+
+    A genuinely *kinetic* moment: D3Q19's fourth-order quadrature cannot
+    evolve it consistently while D3Q39's sixth-order one can — the
+    physical motivation for the paper's extended model.  Shape ``(D, *S)``.
+    """
+    rho, u = macroscopic(lattice, f)
+    c = lattice.velocities.astype(np.float64)
+    spatial_ndim = f.ndim - 1
+    cexp = c.reshape(c.shape + (1,) * spatial_ndim)  # (Q, D, 1...)
+    rel = cexp - u[None]  # (Q, D, *S)
+    rel2 = np.einsum("qa...,qa...->q...", rel, rel)
+    return 0.5 * np.einsum("qa...,q...,q...->a...", rel, rel2, f)

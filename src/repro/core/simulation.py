@@ -1,0 +1,202 @@
+"""Single-domain simulation driver.
+
+Implements the paper's Fig. 2 loop::
+
+    read initial distr
+    for n < max_steps:
+        distr_adv = stream(distr)
+        distr     = collide(distr_adv)
+
+on one periodic domain (the distributed version lives in
+:mod:`repro.parallel.distributed`).  The driver owns the two population
+arrays (``distr`` / ``distr_adv``), applies boundary conditions between
+streaming and collision, couples an optional body force, and records
+wall-clock throughput in MFlup/s (million fluid lattice-point updates
+per second, paper Eq. 4).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import StabilityError
+from ..lattice import VelocitySet, get_lattice
+from .boundary import BoundaryCondition
+from .collision import BGKCollision
+from .fields import DistributionField
+from .forcing import GuoForcing
+from .moments import density, macroscopic, momentum
+from .streaming import stream_periodic
+
+__all__ = ["Simulation", "StepTimings"]
+
+
+class StepTimings:
+    """Cumulative wall-clock accounting for one simulation."""
+
+    def __init__(self) -> None:
+        self.stream_seconds = 0.0
+        self.collide_seconds = 0.0
+        self.boundary_seconds = 0.0
+        self.steps = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.stream_seconds + self.collide_seconds + self.boundary_seconds
+
+    def mflups(self, num_cells: int) -> float:
+        """Measured MFlup/s (paper Eq. 4): ``steps * N / (T * 1e6)``."""
+        if self.total_seconds == 0:
+            return float("nan")
+        return self.steps * num_cells / (self.total_seconds * 1e6)
+
+
+class Simulation:
+    """A single-block periodic LBM simulation.
+
+    Parameters
+    ----------
+    lattice:
+        A :class:`VelocitySet` or a lattice name (``"D3Q19"``/``"D3Q39"``).
+    shape:
+        Spatial grid shape, e.g. ``(64, 64, 64)``.
+    tau:
+        BGK relaxation time (ignored when ``collision`` is given).
+    order:
+        Hermite equilibrium order (``None`` = lattice native).
+    collision:
+        Custom collision operator exposing ``apply(f, out=None)`` and
+        ``omega``; default :class:`BGKCollision`.
+    boundaries:
+        Boundary conditions applied after streaming, in order.
+    forcing:
+        Optional :class:`GuoForcing` body force (BGK collisions only).
+    """
+
+    def __init__(
+        self,
+        lattice: VelocitySet | str,
+        shape: Sequence[int],
+        tau: float = 1.0,
+        order: int | None = None,
+        collision=None,
+        boundaries: Sequence[BoundaryCondition] = (),
+        forcing: GuoForcing | None = None,
+    ) -> None:
+        self.lattice = get_lattice(lattice) if isinstance(lattice, str) else lattice
+        self.shape = tuple(int(s) for s in shape)
+        self.collision = collision or BGKCollision(self.lattice, tau, order=order)
+        self.boundaries = list(boundaries)
+        self.forcing = forcing
+        if forcing is not None and not isinstance(self.collision, BGKCollision):
+            raise NotImplementedError("forcing is only coupled to BGK collisions")
+        self.field = DistributionField.zeros(self.lattice, self.shape)
+        self._adv = DistributionField.zeros(self.lattice, self.shape)
+        self.time_step = 0
+        self.timings = StepTimings()
+
+    # -- setup ------------------------------------------------------------
+
+    def initialize(self, rho: np.ndarray | float, u: np.ndarray) -> None:
+        """Set populations to the equilibrium of ``(rho, u)``; reset clock."""
+        rho_arr = np.broadcast_to(np.asarray(rho, dtype=np.float64), self.shape)
+        self.field = DistributionField.from_equilibrium(
+            self.lattice, np.array(rho_arr), u, order=self.collision.order
+        )
+        self._adv = DistributionField.zeros(self.lattice, self.shape)
+        self.time_step = 0
+        self.timings = StepTimings()
+
+    # -- observables --------------------------------------------------------
+
+    @property
+    def f(self) -> np.ndarray:
+        """Current populations, shape ``(Q, *shape)``."""
+        return self.field.data
+
+    def macroscopic(self) -> tuple[np.ndarray, np.ndarray]:
+        """Density and (force-corrected) velocity fields."""
+        rho, u = macroscopic(self.lattice, self.f)
+        if self.forcing is not None:
+            u = u + self.forcing.velocity_shift(rho)
+        return rho, u
+
+    @property
+    def num_cells(self) -> int:
+        return self.field.num_cells
+
+    def mflups(self) -> float:
+        """Measured throughput so far (paper Eq. 4)."""
+        return self.timings.mflups(self.num_cells)
+
+    # -- stepping -------------------------------------------------------------
+
+    def _collide(self, f: np.ndarray, out: np.ndarray) -> None:
+        if self.forcing is None:
+            self.collision.apply(f, out=out)
+            return
+        # Guo-forced BGK: correct the velocity by F/2 before building feq,
+        # then add the source term.
+        rho = density(f)
+        u = momentum(self.lattice, f) / rho[None]
+        u += self.forcing.velocity_shift(rho)
+        feq = self.collision.equilibrium(rho, u)
+        omega = self.collision.omega
+        np.multiply(f, 1.0 - omega, out=out)
+        out += omega * feq
+        out += self.forcing.source_term(u, omega)
+
+    def step(self) -> None:
+        """Advance one time step: stream, boundaries, collide."""
+        f_old = self.field.data
+        f_new = self._adv.data
+
+        t0 = time.perf_counter()
+        stream_periodic(self.lattice, f_old, out=f_new)
+        t1 = time.perf_counter()
+        for bc in self.boundaries:
+            bc.apply(f_new, f_old)
+        t2 = time.perf_counter()
+        self._collide(f_new, out=f_old)
+        t3 = time.perf_counter()
+
+        # distr (f_old) now holds the post-collision state; buffers swap
+        # implicitly because we collided back into the original array.
+        self.time_step += 1
+        self.timings.steps += 1
+        self.timings.stream_seconds += t1 - t0
+        self.timings.boundary_seconds += t2 - t1
+        self.timings.collide_seconds += t3 - t2
+
+    def run(
+        self,
+        steps: int,
+        monitor: Callable[["Simulation"], None] | None = None,
+        monitor_every: int = 1,
+        check_stability_every: int = 0,
+    ) -> None:
+        """Run ``steps`` time steps.
+
+        Parameters
+        ----------
+        monitor:
+            Callback invoked every ``monitor_every`` steps with the
+            simulation (after the step).
+        check_stability_every:
+            If positive, verify all populations are finite at that period
+            and raise :class:`StabilityError` otherwise.
+        """
+        for n in range(steps):
+            self.step()
+            if monitor is not None and (n + 1) % monitor_every == 0:
+                monitor(self)
+            if check_stability_every and (n + 1) % check_stability_every == 0:
+                if not self.field.is_finite():
+                    raise StabilityError(
+                        f"non-finite populations at step {self.time_step} "
+                        f"(tau={getattr(self.collision, 'tau', '?')}, "
+                        f"lattice={self.lattice.name})"
+                    )

@@ -1,0 +1,203 @@
+"""Indirect-addressing (sparse) fluid domains.
+
+The paper stores its distributions so as to "set the code up for an
+easy transition to the use of indirect addressing necessary for
+irregular domains" (§IV) — production artery geometries keep only the
+fluid nodes and walk neighbor lists instead of dense array offsets.
+This module implements that representation:
+
+* only fluid nodes are stored (populations shape ``(Q, N_fluid)``);
+* streaming is one gather through a precomputed neighbor-index table;
+* links that would enter a solid node are replaced by *half-way
+  bounce-back* links (the index points back to the source node with the
+  opposite velocity), giving no-slip walls located half a cell outside
+  the last fluid node — the standard irregular-domain LBM formulation.
+
+For a fully fluid periodic box the sparse solver reproduces the dense
+:class:`~repro.core.simulation.Simulation` exactly (unit-tested); with
+walls it conserves mass exactly and produces the expected channel
+profiles.  Memory drops from ``Q * nx * ny * nz`` to ``Q * N_fluid`` —
+the win that matters when an artery occupies a few percent of its
+bounding box.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import LatticeError
+from ..lattice import VelocitySet, get_lattice
+from .collision import BGKCollision
+from .equilibrium import equilibrium
+from .moments import density, momentum
+
+__all__ = ["SparseDomain", "SparseSimulation"]
+
+
+class SparseDomain:
+    """Fluid-node list + per-velocity pull-neighbor table.
+
+    Parameters
+    ----------
+    lattice:
+        Velocity set.
+    solid_mask:
+        Boolean array over the bounding box; ``True`` = solid.  The
+        complement is the fluid set.  The box is periodic; solid nodes
+        block links with half-way bounce-back.
+    """
+
+    def __init__(self, lattice: VelocitySet, solid_mask: np.ndarray) -> None:
+        solid_mask = np.asarray(solid_mask, dtype=bool)
+        if solid_mask.ndim != lattice.dim:
+            raise LatticeError(f"mask must be {lattice.dim}-D")
+        if solid_mask.all():
+            raise LatticeError("domain has no fluid nodes")
+        self.lattice = lattice
+        self.shape = solid_mask.shape
+        self.solid_mask = solid_mask
+        self.fluid_index = np.flatnonzero(~solid_mask.ravel())
+        self.num_fluid = len(self.fluid_index)
+        # dense -> sparse id (or -1 for solid)
+        dense_to_sparse = np.full(solid_mask.size, -1, dtype=np.int64)
+        dense_to_sparse[self.fluid_index] = np.arange(self.num_fluid)
+
+        coords = np.array(
+            np.unravel_index(self.fluid_index, self.shape)
+        ).T  # (N, D)
+        q = lattice.q
+        self.pull_from = np.empty((q, self.num_fluid), dtype=np.int64)
+        self.pull_velocity = np.empty((q, self.num_fluid), dtype=np.int64)
+        opposite = lattice.opposite
+        for i, c in enumerate(lattice.velocities):
+            src = (coords - c[None, :]) % np.array(self.shape)[None, :]
+            src_flat = np.ravel_multi_index(src.T, self.shape)
+            src_sparse = dense_to_sparse[src_flat]
+            blocked = src_sparse < 0
+            # open links pull population i from the upstream fluid node;
+            # blocked links bounce back: pull the *opposite* population
+            # from this very node (half-way bounce-back).
+            self.pull_from[i] = np.where(
+                blocked, np.arange(self.num_fluid), src_sparse
+            )
+            self.pull_velocity[i] = np.where(blocked, opposite[i], i)
+        #: Number of wall links (diagnostics / surface area estimate).
+        self.num_wall_links = int(
+            sum((self.pull_velocity[i] != i).sum() for i in range(q))
+        )
+
+    # -- dense <-> sparse -------------------------------------------------
+
+    def scatter(self, sparse_values: np.ndarray, fill: float = np.nan) -> np.ndarray:
+        """Sparse per-node values -> dense array over the bounding box."""
+        dense = np.full(self.solid_mask.size, fill)
+        dense[self.fluid_index] = sparse_values
+        return dense.reshape(self.shape)
+
+    def gather_from_dense(self, dense: np.ndarray) -> np.ndarray:
+        """Dense spatial array -> per-fluid-node values."""
+        return dense.reshape(-1)[self.fluid_index]
+
+
+class SparseSimulation:
+    """BGK LBM on a :class:`SparseDomain` (indirect addressing).
+
+    The update is *pull*-form: for every fluid node and velocity, the
+    post-streaming population is gathered through the neighbor table
+    (one fancy-index per step), then collided in place.
+    """
+
+    def __init__(
+        self,
+        lattice: VelocitySet | str,
+        solid_mask: np.ndarray,
+        tau: float = 1.0,
+        order: int | None = None,
+        force: Sequence[float] | None = None,
+    ) -> None:
+        self.lattice = get_lattice(lattice) if isinstance(lattice, str) else lattice
+        if self.lattice.max_displacement != 1:
+            raise LatticeError(
+                "sparse half-way bounce-back supports k=1 lattices "
+                f"(got {self.lattice.name} with k={self.lattice.max_displacement}); "
+                "multi-speed lattices need multi-layer wall handling"
+            )
+        self.domain = SparseDomain(self.lattice, solid_mask)
+        self.collision = BGKCollision(self.lattice, tau, order=order)
+        self.f = np.zeros((self.lattice.q, self.domain.num_fluid))
+        self._force = None if force is None else np.asarray(force, dtype=np.float64)
+        if self._force is not None and len(self._force) != self.lattice.dim:
+            raise LatticeError("force must have one component per dimension")
+        self.time_step = 0
+
+    # -- setup ------------------------------------------------------------
+
+    def initialize(self, rho: float | np.ndarray, u: np.ndarray | None = None) -> None:
+        """Equilibrium initialisation on the fluid nodes.
+
+        ``rho``/``u`` may be dense arrays over the bounding box or
+        constants (``u=None`` = fluid at rest).
+        """
+        n = self.domain.num_fluid
+        if np.isscalar(rho):
+            rho_s = np.full(n, float(rho))
+        else:
+            rho_s = self.domain.gather_from_dense(np.asarray(rho, dtype=np.float64))
+        if u is None:
+            u_s = np.zeros((self.lattice.dim, n))
+        else:
+            u = np.asarray(u, dtype=np.float64)
+            u_s = np.stack([self.domain.gather_from_dense(u[a]) for a in range(3)])
+        self.f = equilibrium(self.lattice, rho_s, u_s, order=self.collision.order)
+        self.time_step = 0
+
+    # -- stepping ------------------------------------------------------------
+
+    def step(self) -> None:
+        """One pull-stream + collide (+ simple forcing) update."""
+        dom = self.domain
+        streamed = self.f[dom.pull_velocity, dom.pull_from]
+        self.collision.apply(streamed, out=streamed)
+        if self._force is not None:
+            # first-order (Shan-Chen style) force: shift populations'
+            # momentum by F per node per step
+            cs2 = self.lattice.cs2_float
+            c = self.lattice.velocities.astype(np.float64)
+            w = self.lattice.weights
+            cf = c @ self._force  # (Q,)
+            streamed += (w * cf / cs2)[:, None]
+        self.f = streamed
+        self.time_step += 1
+
+    def run(self, steps: int) -> None:
+        for _ in range(steps):
+            self.step()
+
+    # -- observables --------------------------------------------------------------
+
+    def macroscopic(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-fluid-node density and velocity."""
+        rho = density(self.f)
+        u = momentum(self.lattice, self.f) / rho[None]
+        return rho, u
+
+    def density_dense(self) -> np.ndarray:
+        """Density scattered back onto the bounding box (NaN on solid)."""
+        rho, _ = self.macroscopic()
+        return self.domain.scatter(rho)
+
+    def velocity_dense(self) -> np.ndarray:
+        """Velocity scattered back onto the box, shape ``(D, *shape)``."""
+        _, u = self.macroscopic()
+        return np.stack([self.domain.scatter(u[a], fill=0.0) for a in range(3)])
+
+    @property
+    def total_mass(self) -> float:
+        return float(self.f.sum())
+
+    @property
+    def memory_bytes(self) -> int:
+        """Population storage: Q x fluid nodes x 8 (the sparse win)."""
+        return self.f.nbytes

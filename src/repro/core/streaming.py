@@ -1,0 +1,119 @@
+"""Streaming (advection) step.
+
+Propagates each population along its discrete velocity: the *push*
+scheme of the paper's Fig. 3, ``distr_adv[x + c_i] = distr[x]``.  Two
+implementations:
+
+* :func:`stream_periodic` — fully periodic domain via ``numpy.roll``
+  (the production path for single-domain simulations; matches the
+  paper's cubic periodic test systems).
+* :func:`stream_padded` — non-wrapping slice shifts for halo-padded slab
+  subdomains.  Values that would enter from outside the pad are filled
+  with ``fill_value``; they only ever land in the outermost ``k`` planes,
+  which the deep-halo validity window has already expired (enforced by
+  :mod:`repro.parallel.halo`).
+
+Both advance populations by exactly one time step; for D3Q39 a
+population may hop up to ``k = 3`` planes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lattice import VelocitySet
+
+__all__ = ["stream_periodic", "stream_padded"]
+
+
+def stream_periodic(
+    lattice: VelocitySet, f: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Periodic push-streaming: ``out[i, x + c_i] = f[i, x]`` (wrapping).
+
+    Parameters
+    ----------
+    lattice:
+        Velocity set supplying the ``(Q, D)`` displacement table.
+    f:
+        Populations, shape ``(Q, *spatial)``.
+    out:
+        Optional destination (must not alias ``f``).
+    """
+    if out is None:
+        out = np.empty_like(f)
+    if out is f:
+        raise ValueError("stream_periodic cannot operate in place")
+    axes = tuple(range(f.ndim - 1))
+    for i, c in enumerate(lattice.velocities):
+        nz = [a for a, comp in enumerate(c) if comp]
+        if not nz:
+            out[i] = f[i]
+        else:
+            out[i] = np.roll(
+                f[i], shift=tuple(int(c[a]) for a in nz), axis=tuple(nz)
+            )
+    return out
+
+
+def _shift_mixed(
+    src: np.ndarray,
+    shift: tuple[int, ...],
+    nowrap_axes: tuple[int, ...],
+    fill_value: float,
+) -> np.ndarray:
+    """Shift ``src``: periodic on most axes, non-wrapping on ``nowrap_axes``.
+
+    Vacated cells along the non-wrapping axes receive ``fill_value``.
+    """
+    wrap_axes = [a for a in range(src.ndim) if a not in nowrap_axes and shift[a]]
+    if wrap_axes:
+        src = np.roll(src, shift=[shift[a] for a in wrap_axes], axis=wrap_axes)
+    active = [a for a in nowrap_axes if shift[a]]
+    if not active:
+        return src if wrap_axes else src.copy()
+    out = np.full_like(src, fill_value)
+    src_slices: list[slice] = [slice(None)] * src.ndim
+    dst_slices: list[slice] = [slice(None)] * src.ndim
+    for axis in active:
+        s = shift[axis]
+        n = src.shape[axis]
+        if abs(s) >= n:
+            return out
+        if s >= 0:
+            src_slices[axis] = slice(0, n - s)
+            dst_slices[axis] = slice(s, n)
+        else:
+            src_slices[axis] = slice(-s, n)
+            dst_slices[axis] = slice(0, n + s)
+    out[tuple(dst_slices)] = src[tuple(src_slices)]
+    return out
+
+
+def stream_padded(
+    lattice: VelocitySet,
+    f: np.ndarray,
+    out: np.ndarray | None = None,
+    fill_value: float = np.nan,
+    nowrap_axes: tuple[int, ...] = (0,),
+) -> np.ndarray:
+    """Push-streaming for halo-padded slab subdomains.
+
+    Periodic along the non-decomposed axes; *non-wrapping* along
+    ``nowrap_axes`` (default: x, the paper's 1-D decomposition axis).
+    Cells within ``k`` planes of a non-wrapping edge receive
+    ``fill_value`` where the source would lie outside the array.  Using
+    NaN as the default fill makes any read of expired halo data
+    immediately visible in tests.
+    """
+    if out is None:
+        out = np.empty_like(f)
+    if out is f:
+        raise ValueError("stream_padded cannot operate in place")
+    for i, c in enumerate(lattice.velocities):
+        shift = tuple(int(x) for x in c)
+        if not any(shift):
+            out[i] = f[i]
+        else:
+            out[i] = _shift_mixed(f[i], shift, nowrap_axes, fill_value)
+    return out

@@ -1,0 +1,40 @@
+"""Exception types shared across the library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "LatticeError",
+    "DecompositionError",
+    "HaloValidityError",
+    "OutOfMemoryModelError",
+    "StabilityError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class LatticeError(ReproError):
+    """A velocity set is malformed or used beyond its supported order."""
+
+
+class DecompositionError(ReproError):
+    """A domain cannot be decomposed as requested (too small, bad counts)."""
+
+
+class HaloValidityError(ReproError):
+    """A distributed step would read ghost cells whose data has expired."""
+
+
+class OutOfMemoryModelError(ReproError):
+    """The machine-model memory capacity would be exceeded.
+
+    Mirrors the paper's Fig. 10 observation that the 133k D3Q19 case with
+    ghost depth 4 'ran out of memory ... and could not complete'.
+    """
+
+
+class StabilityError(ReproError):
+    """The solver produced non-finite populations (unstable parameters)."""

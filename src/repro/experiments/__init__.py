@@ -1,0 +1,12 @@
+"""One module per reproduced paper artifact + registry."""
+
+from .base import ExperimentResult
+from .registry import EXPERIMENTS, available_experiments, run_all, run_experiment
+
+__all__ = [
+    "available_experiments",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "run_all",
+    "run_experiment",
+]

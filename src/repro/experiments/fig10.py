@@ -1,0 +1,79 @@
+"""Fig. 10 — runtime vs deep-halo depth across fluid sizes.
+
+* Fig. 10a: D3Q19 on 2048 BG/P processors (512 nodes in virtual-node
+  mode), x-extents 8k..133k, cross-section 140x140 — chosen so the node
+  memory budget reproduces the paper's out-of-memory failure at
+  (133k, GC=4).
+* Fig. 10b: D3Q39 on 16 BG/Q nodes x 16 tasks x 1 thread (the paper's
+  stated configuration), x-extents 16k..200k, cross-section 40x40
+  (bounded by the 16 GB/node footprint at R=800 per rank).
+"""
+
+from __future__ import annotations
+
+from ..analysis.paper_reference import FIG10A_SIZES, FIG10B_SIZES
+from ..lattice import get_lattice
+from ..machine import BLUE_GENE_P, BLUE_GENE_Q
+from ..perf import Placement, Workload, ladder_states, sweep_ghost_depth
+from ..perf.optimization import OptimizationLevel
+from ..perf.tuner import tuned_params_for_depth_study
+from .base import ExperimentResult
+
+__all__ = ["run", "FIG10_CONFIGS"]
+
+#: (machine, placement, sizes, cross-section edge)
+FIG10_CONFIGS = {
+    "fig10a": ("D3Q19", BLUE_GENE_P, Placement(512, 4), FIG10A_SIZES, 140),
+    "fig10b": ("D3Q39", BLUE_GENE_Q, Placement(16, 16), FIG10B_SIZES, 40),
+}
+
+DEPTHS = (1, 2, 3, 4)
+
+
+def run(which: str = "fig10a") -> ExperimentResult:
+    """Regenerate Fig. 10a or Fig. 10b."""
+    if which not in FIG10_CONFIGS:
+        raise ValueError(f"which must be 'fig10a' or 'fig10b', got {which!r}")
+    lname, machine, placement, sizes, edge = FIG10_CONFIGS[which]
+    lat = get_lattice(lname)
+    params = tuned_params_for_depth_study(
+        dict(ladder_states(machine, lat))[OptimizationLevel.SIMD]
+    )
+    rows = []
+    series: dict[str, list] = {}
+    checks: dict[str, object] = {}
+    for size in sizes:
+        workload = Workload(lat, (size, edge, edge), steps=300)
+        sweep = sweep_ghost_depth(
+            machine,
+            lat,
+            params,
+            workload,
+            placement,
+            depths=DEPTHS,
+            size_label=f"{size // 1000}k",
+        )
+        norm = sweep.normalized
+        rows.append(
+            [sweep.size_label]
+            + ["OOM" if n is None else f"{n:.3f}" for n in norm]
+            + [sweep.optimal_depth]
+        )
+        series[sweep.size_label] = list(norm)
+        checks[f"{sweep.size_label}/optimal"] = sweep.optimal_depth
+        checks[f"{sweep.size_label}/oom"] = sweep.oom_depths
+    return ExperimentResult(
+        experiment_id=which,
+        title=(
+            f"Fig. 10 ({lname} on {machine.name}): runtime vs ghost depth, "
+            "normalized to GC=1"
+        ),
+        headers=["size"] + [f"GC={d}" for d in DEPTHS] + ["optimal"],
+        rows=rows,
+        series=series,
+        checks=checks,
+        notes=(
+            "Paper shape: GC=1 optimal at small sizes; GC=2-3 win at the "
+            "largest sizes; the 133k D3Q19 case runs out of memory at GC=4."
+        ),
+    )

@@ -1,0 +1,101 @@
+"""Fig. 11 — hybrid MPI/OpenMP threading study.
+
+* Fig. 11a: 32 BG/P nodes; 1-4 threads on one task vs virtual-node mode
+  (4 tasks x 1 thread).  Global size fixed at the paper's maximum
+  ratios: 66 planes/processor (D3Q19), 800 planes/processor (D3Q39),
+  relative to the 128-processor VN reference.
+* Fig. 11b: 16 BG/Q nodes; the paper's tasks-threads combinations.
+
+Each runtime is the best over ghost depths 1-4 ("the time of the
+minimal ghost cell implementation is shown").
+"""
+
+from __future__ import annotations
+
+from ..analysis.paper_reference import FIG11B_OPTIMUM
+from ..lattice import get_lattice
+from ..machine import BLUE_GENE_P, BLUE_GENE_Q
+from ..perf import Workload, best_point, ladder_states, sweep_hybrid
+from ..perf.optimization import OptimizationLevel
+from .base import ExperimentResult
+
+__all__ = ["run", "FIG11A_COMBOS", "FIG11B_COMBOS"]
+
+FIG11A_COMBOS = ((1, 1), (1, 2), (1, 3), (1, 4), (4, 1))
+FIG11A_LABELS = ("1T", "2T", "3T", "4T", "VN")
+
+FIG11B_COMBOS = (
+    (1, 64),
+    (2, 32),
+    (4, 1),
+    (4, 4),
+    (4, 8),
+    (4, 16),
+    (8, 8),
+    (16, 1),
+    (16, 2),
+    (16, 3),
+    (16, 4),
+    (32, 1),
+    (32, 2),
+    (64, 1),
+)
+
+#: (lattice, machine, nodes, planes per reference processor, area edge,
+#: reference processor count for the global size)
+_CONFIGS = {
+    "fig11a": (BLUE_GENE_P, 32, {"D3Q19": (66, 64, 128), "D3Q39": (800, 28, 128)}),
+    "fig11b": (BLUE_GENE_Q, 16, {"D3Q19": (66, 128, 256), "D3Q39": (800, 40, 256)}),
+}
+
+
+def run(which: str = "fig11a") -> ExperimentResult:
+    """Regenerate Fig. 11a or Fig. 11b."""
+    if which not in _CONFIGS:
+        raise ValueError(f"which must be 'fig11a' or 'fig11b', got {which!r}")
+    machine, nodes, lat_cfg = _CONFIGS[which]
+    combos = FIG11A_COMBOS if which == "fig11a" else FIG11B_COMBOS
+    rows = []
+    series: dict[str, list] = {}
+    checks: dict[str, object] = {}
+    for lname, (r_per_proc, edge, ref_procs) in lat_cfg.items():
+        lat = get_lattice(lname)
+        params = dict(ladder_states(machine, lat))[OptimizationLevel.SIMD]
+        workload = Workload(lat, (r_per_proc * ref_procs, edge, edge), steps=300)
+        points = sweep_hybrid(machine, lat, params, workload, nodes, combos)
+        labels = (
+            FIG11A_LABELS if which == "fig11a" else [p.label for p in points]
+        )
+        for label, p in zip(labels, points):
+            rows.append(
+                [
+                    lname,
+                    label,
+                    "infeasible" if p.runtime_s is None else f"{p.runtime_s:.1f}",
+                    p.best_depth if p.best_depth is not None else "-",
+                ]
+            )
+        series[lname] = [p.runtime_s for p in points]
+        best = best_point(points)
+        if which == "fig11a":
+            by_label = dict(zip(labels, points))
+            checks[f"{lname}/t4_runtime"] = by_label["4T"].runtime_s
+            checks[f"{lname}/vn_runtime"] = by_label["VN"].runtime_s
+            checks[f"{lname}/t1_runtime"] = by_label["1T"].runtime_s
+            checks[f"{lname}/t4_depth"] = by_label["4T"].best_depth
+        else:
+            checks[f"{lname}/best"] = (best.tasks_per_node, best.threads_per_task)
+            checks[f"{lname}/paper_best"] = FIG11B_OPTIMUM
+    return ExperimentResult(
+        experiment_id=which,
+        title=f"Fig. 11 ({machine.name}): hybrid tasks x threads study",
+        headers=["lattice", "placement", "runtime (s)", "best depth"],
+        rows=rows,
+        series=series,
+        checks=checks,
+        notes=(
+            "Paper anchors: threading helps both models; on BG/P the D3Q39 "
+            "4-thread hybrid with ghost depth 2 beats virtual-node mode; on "
+            "BG/Q the optimum is 4 tasks x 16 threads for both models."
+        ),
+    )

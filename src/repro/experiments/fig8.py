@@ -1,0 +1,66 @@
+"""Fig. 8 — MFlup/s across the optimization ladder, 128 nodes.
+
+Canonical workloads (cross-section and planes-per-rank chosen to match
+the paper's machine memory budgets; see DESIGN.md):
+
+* BG/P runs in virtual-node mode (4 tasks/node), as the paper's 2048-
+  processor studies do; BG/Q runs 32 tasks/node unthreaded ("128 nodes
+  using 32 tasks per node with an unthreaded implementation", §VI).
+"""
+
+from __future__ import annotations
+
+from ..analysis.paper_reference import FIG8_ENDPOINTS
+from ..lattice import get_lattice
+from ..machine import BLUE_GENE_P, BLUE_GENE_Q, roofline
+from ..perf import CostModel, Placement, Workload, ladder_states
+from .base import ExperimentResult
+
+__all__ = ["run", "FIG8_CONFIGS"]
+
+#: (machine, placement, planes per rank, cross-section edge)
+FIG8_CONFIGS = {
+    ("BG/P", "D3Q19"): (BLUE_GENE_P, Placement(128, 4), 64, 128),
+    ("BG/P", "D3Q39"): (BLUE_GENE_P, Placement(128, 4), 96, 48),
+    ("BG/Q", "D3Q19"): (BLUE_GENE_Q, Placement(128, 32), 64, 128),
+    ("BG/Q", "D3Q39"): (BLUE_GENE_Q, Placement(128, 32), 128, 64),
+}
+
+
+def run(machine_key: str = "BG/P") -> ExperimentResult:
+    """Regenerate Fig. 8a (``"BG/P"``) or Fig. 8b (``"BG/Q"``)."""
+    if machine_key not in ("BG/P", "BG/Q"):
+        raise ValueError(f"machine_key must be 'BG/P' or 'BG/Q', got {machine_key!r}")
+    rows = []
+    series: dict[str, list[float]] = {}
+    checks: dict[str, float] = {}
+    for lname in ("D3Q19", "D3Q39"):
+        machine, placement, r_per_rank, area = FIG8_CONFIGS[(machine_key, lname)]
+        lat = get_lattice(lname)
+        model = CostModel(machine, lat)
+        workload = Workload(lat, (placement.total_ranks * r_per_rank, area, area))
+        peak = roofline(machine, lat).attainable_mflups * placement.nodes
+        values = []
+        for level, params in ladder_states(machine, lat):
+            agg = model.mflups_aggregate(params, workload, placement)
+            values.append(agg)
+            rows.append([lname, level.value, f"{agg:.0f}", f"{agg / peak:.1%}"])
+        series[lname] = values
+        series[f"{lname}/peak"] = [peak]
+        paper_frac, paper_imp = FIG8_ENDPOINTS[(machine_key, lname)]
+        checks[f"{lname}/final_over_peak"] = values[-1] / peak
+        checks[f"{lname}/improvement"] = values[-1] / values[0]
+        checks[f"{lname}/paper_final_over_peak"] = paper_frac
+        checks[f"{lname}/paper_improvement"] = paper_imp
+        checks[f"{lname}/monotone"] = all(
+            b > a for a, b in zip(values, values[1:])
+        )
+    fig_id = "fig8a" if machine_key == "BG/P" else "fig8b"
+    return ExperimentResult(
+        experiment_id=fig_id,
+        title=f"Fig. 8 ({machine_key}): optimization ladder, aggregate MFlup/s on 128 nodes",
+        headers=["lattice", "level", "MFlup/s", "of model peak"],
+        rows=rows,
+        series=series,
+        checks=checks,
+    )

@@ -1,0 +1,49 @@
+"""Registry of all reproduced paper artifacts.
+
+Maps the experiment ids of DESIGN.md's per-experiment index to the
+callables that regenerate them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from . import fig8, fig9, fig10, fig11, table1, table2, tables34
+from .base import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment", "available_experiments", "run_all"]
+
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "fig8a": lambda: fig8.run("BG/P"),
+    "fig8b": lambda: fig8.run("BG/Q"),
+    "fig9": fig9.run,
+    "fig10a": lambda: fig10.run("fig10a"),
+    "fig10b": lambda: fig10.run("fig10b"),
+    "tables34": tables34.run,
+    "fig11a": lambda: fig11.run("fig11a"),
+    "fig11b": lambda: fig11.run("fig11b"),
+}
+
+
+def available_experiments() -> tuple[str, ...]:
+    """Sorted ids of every reproduced table/figure."""
+    return tuple(sorted(EXPERIMENTS))
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by id; raises ``KeyError`` with hints on a miss."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {', '.join(available_experiments())}"
+        ) from None
+    return runner()
+
+
+def run_all() -> dict[str, ExperimentResult]:
+    """Run every registered experiment (used by ``python -m repro``)."""
+    return {eid: run_experiment(eid) for eid in available_experiments()}

@@ -1,0 +1,63 @@
+"""Table II + §III-C — roofline bounds for both machines and lattices."""
+
+from __future__ import annotations
+
+from ..analysis.paper_reference import TABLE2, TORUS_LOWER_BOUNDS
+from ..lattice import get_lattice
+from ..machine import BLUE_GENE_P, BLUE_GENE_Q, roofline, torus_lower_bound
+from .base import ExperimentResult
+
+__all__ = ["run"]
+
+_MACHINES = {"BG/P": BLUE_GENE_P, "BG/Q": BLUE_GENE_Q}
+
+
+def run() -> ExperimentResult:
+    """Regenerate Table II and the §III-C torus lower bounds."""
+    rows = []
+    checks: dict[str, float] = {}
+    for lname in ("D3Q19", "D3Q39"):
+        lat = get_lattice(lname)
+        for mkey, machine in _MACHINES.items():
+            r = roofline(machine, lat)
+            torus = torus_lower_bound(machine, lat)
+            paper = TABLE2[(mkey, lname)]
+            rows.append(
+                [
+                    lname,
+                    mkey,
+                    f"{machine.memory_bandwidth_gbs:g} GB/s",
+                    f"{r.p_bandwidth_mflups:.1f}",
+                    f"{paper[1]:.1f}",
+                    f"{machine.peak_gflops:g} GF/s",
+                    f"{r.p_peak_mflups:.1f}",
+                    f"{paper[3]:.1f}",
+                    r.limiter.value,
+                    f"{torus:.1f}",
+                    f"{TORUS_LOWER_BOUNDS[(mkey, lname)]:.1f}",
+                ]
+            )
+            checks[f"{mkey}/{lname}/p_bm"] = r.p_bandwidth_mflups
+            checks[f"{mkey}/{lname}/p_peak"] = r.p_peak_mflups
+            checks[f"{mkey}/{lname}/torus"] = torus
+            checks[f"{mkey}/{lname}/limiter"] = r.limiter.value
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Table II: attainable MFlup/s (model vs paper)",
+        headers=[
+            "lattice",
+            "system",
+            "Bm",
+            "P(Bm)",
+            "paper",
+            "Ppeak",
+            "P(Ppeak)",
+            "paper",
+            "limiter",
+            "torus LB",
+            "paper",
+        ],
+        rows=rows,
+        checks=checks,
+        notes="In all cases the code is bandwidth limited (paper Table II).",
+    )

@@ -1,0 +1,67 @@
+"""Tables III & IV — optimal ghost depth vs lattice points per processor."""
+
+from __future__ import annotations
+
+from ..analysis.paper_reference import TABLE3, TABLE4
+from ..lattice import get_lattice
+from ..machine import BLUE_GENE_P, BLUE_GENE_Q
+from ..perf import Placement, depth_table, ladder_states
+from ..perf.optimization import OptimizationLevel
+from ..perf.tuner import tuned_params_for_depth_study
+from .base import ExperimentResult
+
+__all__ = ["run"]
+
+#: Ratios probed (per-processor plane counts within the paper's ranges).
+TABLE3_RATIOS = (4, 8, 16, 24, 32, 48, 64)
+TABLE4_RATIOS = (128, 256, 400, 532, 680, 800)
+
+
+def _paper_depth(table, ratio):
+    for (lo, hi), depth in table:
+        if lo < ratio <= hi:
+            return depth
+    return None
+
+
+def run() -> ExperimentResult:
+    """Regenerate the optimal-depth tables for both lattices."""
+    rows = []
+    checks: dict[str, object] = {}
+
+    lat19 = get_lattice("D3Q19")
+    params19 = tuned_params_for_depth_study(
+        dict(ladder_states(BLUE_GENE_P, lat19))[OptimizationLevel.SIMD]
+    )
+    for ratio, depth in depth_table(
+        BLUE_GENE_P, lat19, params19, TABLE3_RATIOS, (140, 140), Placement(512, 4)
+    ):
+        paper = _paper_depth(TABLE3, ratio)
+        rows.append(["III (D3Q19)", ratio, depth, paper])
+        checks[f"t3/{ratio}"] = depth
+
+    lat39 = get_lattice("D3Q39")
+    params39 = tuned_params_for_depth_study(
+        dict(ladder_states(BLUE_GENE_Q, lat39))[OptimizationLevel.SIMD]
+    )
+    for ratio, depth in depth_table(
+        BLUE_GENE_Q, lat39, params39, TABLE4_RATIOS, (40, 40), Placement(16, 16)
+    ):
+        paper = _paper_depth(TABLE4, ratio)
+        rows.append(["IV (D3Q39)", ratio, depth, paper])
+        checks[f"t4/{ratio}"] = depth
+
+    return ExperimentResult(
+        experiment_id="tables34",
+        title="Tables III & IV: optimal ghost depth vs lattice points/processor",
+        headers=["table", "points/proc", "model optimal", "paper"],
+        rows=rows,
+        checks=checks,
+        notes=(
+            "The mechanistic model reproduces the monotone structure "
+            "(shallow at small ratios, depth>=2 beyond the paper's "
+            "crossover band).  The paper's mid-band non-monotonicity "
+            "(depth 3 before depth 2) does not emerge from a clean cost "
+            "model; see EXPERIMENTS.md."
+        ),
+    )

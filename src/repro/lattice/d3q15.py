@@ -1,0 +1,30 @@
+"""The D3Q15 lattice (extra model, not in the paper's study).
+
+Included for completeness of the lattice substrate: rest, six first
+neighbors and eight body-diagonal neighbors.  Fourth-order isotropic like
+D3Q19 but with poorer rotational quality; useful as a cheap baseline in
+the example applications and for exercising the generic machinery on a
+third lattice.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .stencil import VelocitySet, build_velocity_set
+
+__all__ = ["make_d3q15"]
+
+
+def make_d3q15() -> VelocitySet:
+    """Build the standard D3Q15 velocity set (``c_s^2 = 1/3``)."""
+    return build_velocity_set(
+        name="D3Q15",
+        cs2=Fraction(1, 3),
+        shell_weights=[
+            ((0, 0, 0), Fraction(2, 9)),
+            ((1, 0, 0), Fraction(1, 9)),
+            ((1, 1, 1), Fraction(1, 72)),
+        ],
+        equilibrium_order=2,
+    )

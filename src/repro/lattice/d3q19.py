@@ -1,0 +1,34 @@
+"""The D3Q19 lattice (paper Table I, left).
+
+Nineteen velocities: the rest particle, the six first neighbors
+``(±1,0,0)`` and the twelve second neighbors ``(±1,±1,0)``.  Sound speed
+``c_s^2 = 1/3``.  Fourth-order isotropic — sufficient for the
+second-order Hermite equilibrium (Eq. 2) that recovers Navier–Stokes,
+insufficient for the third-order expansion (Eq. 3).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .stencil import VelocitySet, build_velocity_set
+
+__all__ = ["make_d3q19"]
+
+
+def make_d3q19() -> VelocitySet:
+    """Build the standard D3Q19 velocity set.
+
+    Weights (Table I): rest 1/3, first neighbors 1/18, second neighbors
+    1/36; ``c_s^2 = 1/3``.
+    """
+    return build_velocity_set(
+        name="D3Q19",
+        cs2=Fraction(1, 3),
+        shell_weights=[
+            ((0, 0, 0), Fraction(1, 3)),
+            ((1, 0, 0), Fraction(1, 18)),
+            ((1, 1, 0), Fraction(1, 36)),
+        ],
+        equilibrium_order=2,
+    )

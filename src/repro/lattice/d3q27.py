@@ -1,0 +1,31 @@
+"""The D3Q27 lattice (the "up to 27 neighbors" model of the paper's intro).
+
+Full first-neighborhood cube: rest, face, edge and corner neighbors.
+Fourth-order isotropic with ``c_s^2 = 1/3``.  The paper's introduction
+cites 27-speed models as the prior state of the art that D3Q39 goes
+beyond; we include it so benchmarks can show the cost progression
+Q15 → Q19 → Q27 → Q39.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .stencil import VelocitySet, build_velocity_set
+
+__all__ = ["make_d3q27"]
+
+
+def make_d3q27() -> VelocitySet:
+    """Build the standard D3Q27 velocity set (``c_s^2 = 1/3``)."""
+    return build_velocity_set(
+        name="D3Q27",
+        cs2=Fraction(1, 3),
+        shell_weights=[
+            ((0, 0, 0), Fraction(8, 27)),
+            ((1, 0, 0), Fraction(2, 27)),
+            ((1, 1, 0), Fraction(1, 54)),
+            ((1, 1, 1), Fraction(1, 216)),
+        ],
+        equilibrium_order=2,
+    )

@@ -1,0 +1,234 @@
+"""Hermite polynomial and Gauss–Hermite quadrature machinery.
+
+The lattice Boltzmann equilibria used in the paper are truncated Hermite
+expansions of a local Maxwellian (Shan, Yuan & Chen, J. Fluid Mech. 550,
+2006).  A discrete velocity set :math:`\\{\\xi_i, w_i\\}` is a *degree-n
+Gauss–Hermite quadrature* if it integrates all polynomials of total degree
+up to *n* exactly against the Gaussian weight
+
+.. math::  \\omega(\\xi) = (2\\pi c_s^2)^{-D/2} \\exp(-\\xi^2 / 2 c_s^2).
+
+This module provides
+
+* exact Gaussian moments :math:`\\langle \\xi^\\alpha \\rangle` for arbitrary
+  multi-indices ``alpha`` (used to verify quadrature/isotropy order),
+* tensor Hermite polynomials :math:`\\mathcal{H}^{(n)}(\\xi)` up to fourth
+  order, evaluated on arrays of velocities (used by the equilibrium
+  construction and by regularized collision),
+* multi-index enumeration helpers.
+
+Everything works for general dimension ``D`` although the paper only uses
+``D = 3``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "double_factorial",
+    "gaussian_moment_1d",
+    "gaussian_moment",
+    "multi_indices",
+    "hermite_tensor",
+    "hermite_value",
+]
+
+
+def double_factorial(n: int) -> int:
+    """Return ``n!! = n (n-2) (n-4) ...`` with ``(-1)!! = 0!! = 1``.
+
+    Only defined for ``n >= -1``.
+    """
+    if n < -1:
+        raise ValueError(f"double factorial undefined for n={n}")
+    result = 1
+    while n > 1:
+        result *= n
+        n -= 2
+    return result
+
+
+def gaussian_moment_1d(order: int, cs2: Fraction | float) -> Fraction | float:
+    """Exact 1-D moment ``E[xi^order]`` of ``N(0, cs2)``.
+
+    Odd moments vanish; even moments are ``(order-1)!! * cs2**(order/2)``.
+    Passing a :class:`~fractions.Fraction` for ``cs2`` keeps the result
+    exact, which the isotropy-order tests rely on.
+    """
+    if order < 0:
+        raise ValueError("moment order must be non-negative")
+    if order % 2 == 1:
+        return cs2 * 0  # preserves Fraction/float type
+    return double_factorial(order - 1) * cs2 ** (order // 2)
+
+
+def gaussian_moment(alpha: Sequence[int], cs2: Fraction | float) -> Fraction | float:
+    """Exact moment ``E[prod_a xi_a^alpha_a]`` of an isotropic Gaussian.
+
+    Components of a zero-mean isotropic Gaussian are independent, so the
+    moment factorises over dimensions.
+
+    Parameters
+    ----------
+    alpha:
+        Multi-index, one entry per spatial dimension.
+    cs2:
+        Variance of each component (the squared lattice sound speed).
+    """
+    result = cs2 ** 0  # 1 with the same numeric type as cs2
+    for a in alpha:
+        m = gaussian_moment_1d(a, cs2)
+        if m == 0:
+            return cs2 * 0
+        result = result * m
+    return result
+
+
+def multi_indices(dim: int, total_degree: int) -> Iterator[tuple[int, ...]]:
+    """Yield all multi-indices of exactly ``total_degree`` in ``dim`` vars.
+
+    E.g. ``multi_indices(2, 2)`` yields ``(2, 0), (1, 1), (0, 2)``.
+    """
+    if dim == 1:
+        yield (total_degree,)
+        return
+    for first in range(total_degree, -1, -1):
+        for rest in multi_indices(dim - 1, total_degree - first):
+            yield (first,) + rest
+
+
+def _as_array(xi: np.ndarray) -> np.ndarray:
+    xi = np.asarray(xi, dtype=np.float64)
+    if xi.ndim == 1:
+        xi = xi[None, :]
+    return xi
+
+
+def hermite_tensor(order: int, xi: np.ndarray, cs2: float) -> np.ndarray:
+    """Tensor Hermite polynomial ``H^(order)`` evaluated at velocities ``xi``.
+
+    Uses the convention of Shan–Yuan–Chen (dimensional Hermite polynomials
+    with respect to the weight ``omega(xi)`` above):
+
+    * ``H0 = 1``
+    * ``H1_a = xi_a``
+    * ``H2_ab = xi_a xi_b - cs2 * delta_ab``
+    * ``H3_abc = xi_a xi_b xi_c - cs2 (xi_a d_bc + xi_b d_ac + xi_c d_ab)``
+    * ``H4_abcd = xi_a xi_b xi_c xi_d - cs2 (xi xi delta, 6 terms)
+      + cs2^2 (delta delta, 3 terms)``
+
+    Parameters
+    ----------
+    order:
+        Tensor order, 0 through 4.
+    xi:
+        Array of shape ``(Q, D)`` (or ``(D,)`` for a single velocity).
+    cs2:
+        Squared sound speed of the reference Gaussian.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(Q,)`` for order 0, ``(Q, D)`` for 1, ``(Q, D, D)`` for 2,
+        etc.
+    """
+    xi = _as_array(xi)
+    q, d = xi.shape
+    eye = np.eye(d)
+    if order == 0:
+        return np.ones(q)
+    if order == 1:
+        return xi.copy()
+    if order == 2:
+        return np.einsum("qa,qb->qab", xi, xi) - cs2 * eye[None, :, :]
+    if order == 3:
+        xxx = np.einsum("qa,qb,qc->qabc", xi, xi, xi)
+        sym = (
+            np.einsum("qa,bc->qabc", xi, eye)
+            + np.einsum("qb,ac->qabc", xi, eye)
+            + np.einsum("qc,ab->qabc", xi, eye)
+        )
+        return xxx - cs2 * sym
+    if order == 4:
+        xxxx = np.einsum("qa,qb,qc,qd->qabcd", xi, xi, xi, xi)
+        xx = np.einsum("qa,qb->qab", xi, xi)
+        sym2 = (
+            np.einsum("qab,cd->qabcd", xx, eye)
+            + np.einsum("qac,bd->qabcd", xx, eye)
+            + np.einsum("qad,bc->qabcd", xx, eye)
+            + np.einsum("qbc,ad->qabcd", xx, eye)
+            + np.einsum("qbd,ac->qabcd", xx, eye)
+            + np.einsum("qcd,ab->qabcd", xx, eye)
+        )
+        dd = (
+            np.einsum("ab,cd->abcd", eye, eye)
+            + np.einsum("ac,bd->abcd", eye, eye)
+            + np.einsum("ad,bc->abcd", eye, eye)
+        )
+        return xxxx - cs2 * sym2 + cs2**2 * dd[None]
+    raise NotImplementedError(f"Hermite tensors implemented up to order 4, got {order}")
+
+
+def hermite_value(alpha: Iterable[int], xi: np.ndarray, cs2: float) -> np.ndarray:
+    """Scalar component ``H^(n)_alpha`` of the tensor Hermite polynomial.
+
+    ``alpha`` is a sequence of axis labels, e.g. ``(0, 0, 1)`` selects
+    ``H3_xxy``.  Convenience wrapper over :func:`hermite_tensor` used in
+    tests to verify orthogonality relations component by component.
+    """
+    alpha = tuple(alpha)
+    tensor = hermite_tensor(len(alpha), xi, cs2)
+    index = (slice(None),) + alpha
+    return tensor[index]
+
+
+def hermite_orthogonality_defect(
+    weights: np.ndarray,
+    velocities: np.ndarray,
+    cs2: float,
+    order_a: int,
+    order_b: int,
+) -> float:
+    """Max deviation of the discrete Hermite orthogonality relation.
+
+    For an exact quadrature of sufficient degree,
+
+    .. math:: \\sum_i w_i H^{(m)}_\\alpha(\\xi_i) H^{(n)}_\\beta(\\xi_i)
+              = \\delta_{mn} c_s^{2n} \\, \\delta^{(n)}_{\\alpha\\beta}
+
+    where :math:`\\delta^{(n)}_{\\alpha\\beta}` is the sum of products of
+    Kronecker deltas over permutations.  This returns the max absolute
+    error over all components; a sanity diagnostic for the lattices.
+    """
+    d = velocities.shape[1]
+    ha = hermite_tensor(order_a, velocities, cs2)
+    hb = hermite_tensor(order_b, velocities, cs2)
+    # lhs[alpha, beta] = sum_i w_i ha[i, alpha] hb[i, beta], with the
+    # tensor components flattened to single indices.
+    ha_flat = ha.reshape(len(weights), -1)
+    hb_flat = hb.reshape(len(weights), -1)
+    lhs = np.einsum("q,qa,qb->ab", weights, ha_flat, hb_flat)
+    if order_a != order_b:
+        return float(np.abs(lhs).max())
+    # expected: cs2^n * sum over permutations of delta products
+    eye = np.eye(d)
+    n = order_a
+    if n == 0:
+        expected = np.ones((1, 1))
+    else:
+        shape = (d,) * n
+        expected_full = np.zeros(shape + shape)
+        grid = np.indices(shape + shape)
+        for perm in itertools.permutations(range(n)):
+            # delta_{alpha_k, beta_perm(k)} product
+            prod = np.ones(shape + shape)
+            for k in range(n):
+                prod = prod * eye[grid[k], grid[n + perm[k]]]
+            expected_full += prod
+        expected = (cs2**n) * expected_full.reshape(d**n, d**n)
+    return float(np.abs(lhs - expected).max())

@@ -1,0 +1,62 @@
+"""Lattice registry: name → cached :class:`VelocitySet`.
+
+All consumers obtain lattices through :func:`get_lattice` so that the
+(immutable) velocity sets are built once per process.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable
+
+from .d3q15 import make_d3q15
+from .d3q19 import make_d3q19
+from .d3q27 import make_d3q27
+from .d3q39 import make_d3q39
+from .stencil import VelocitySet
+
+__all__ = ["get_lattice", "available_lattices", "register_lattice"]
+
+_FACTORIES: dict[str, Callable[[], VelocitySet]] = {
+    "D3Q15": make_d3q15,
+    "D3Q19": make_d3q19,
+    "D3Q27": make_d3q27,
+    "D3Q39": make_d3q39,
+}
+
+
+def register_lattice(name: str, factory: Callable[[], VelocitySet]) -> None:
+    """Register a custom lattice factory under ``name`` (case-insensitive).
+
+    Raises :class:`ValueError` if the name is already taken.
+    """
+    key = name.upper()
+    if key in _FACTORIES:
+        raise ValueError(f"lattice {name!r} already registered")
+    _FACTORIES[key] = factory
+    _build.cache_clear()
+
+
+def available_lattices() -> tuple[str, ...]:
+    """Names of all registered lattices, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+@lru_cache(maxsize=None)
+def _build(key: str) -> VelocitySet:
+    return _FACTORIES[key]()
+
+
+def get_lattice(name: str) -> VelocitySet:
+    """Return the (cached, validated) velocity set called ``name``.
+
+    Lookup is case-insensitive; all spellings share one cached
+    instance.  Raises :class:`KeyError` with the list of known lattices
+    on a miss.
+    """
+    key = name.upper()
+    if key not in _FACTORIES:
+        raise KeyError(
+            f"unknown lattice {name!r}; available: {', '.join(available_lattices())}"
+        )
+    return _build(key)

@@ -1,0 +1,280 @@
+"""Velocity-set abstraction used by every other subsystem.
+
+A :class:`VelocitySet` bundles the discrete velocities, quadrature weights
+and sound speed of a lattice (D3Q19, D3Q39, ...) together with derived
+quantities the solver and the performance model need:
+
+* the *opposite* index map (for bounce-back boundaries),
+* per-shell metadata reproducing Table I of the paper,
+* the maximum per-axis displacement ``k = max |c_x|`` which fixes the
+  fundamental halo thickness for distributed streaming,
+* exact isotropy-order verification against Gaussian moments,
+* the bytes-per-cell figure (three sweeps of Q doubles) used by the
+  roofline model (Table II).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from fractions import Fraction
+from typing import Sequence
+
+import numpy as np
+
+from .hermite import gaussian_moment, multi_indices
+from .shells import expand_shells, signed_permutations
+
+__all__ = ["ShellInfo", "VelocitySet", "build_velocity_set"]
+
+#: Bytes per double-precision value; all distributions are float64.
+BYTES_PER_VALUE = 8
+
+#: Loads/stores per velocity per lattice update in the paper's kernel:
+#: "two load operations and one store operation for every velocity mode".
+SWEEPS_PER_UPDATE = 3
+
+
+@dataclasses.dataclass(frozen=True)
+class ShellInfo:
+    """One row of the paper's Table I for a single shell."""
+
+    base: tuple[int, ...]
+    weight: Fraction
+    neighbor_order: int
+    distance: float
+    size: int
+
+    def as_row(self) -> tuple[str, str, int, str]:
+        """Render as (velocity, weight, order, distance) strings."""
+        dist2 = sum(c * c for c in self.base)
+        root = int(round(dist2**0.5))
+        dist_str = str(root) if root * root == dist2 else f"sqrt({dist2})"
+        return (str(self.base), str(self.weight), self.neighbor_order, dist_str)
+
+
+@dataclasses.dataclass(frozen=True)
+class VelocitySet:
+    """An immutable discrete velocity model.
+
+    Attributes
+    ----------
+    name:
+        Conventional name, e.g. ``"D3Q19"``.
+    dim:
+        Spatial dimension ``D``.
+    cs2:
+        Exact squared lattice sound speed (a :class:`fractions.Fraction`).
+    velocities:
+        Integer array of shape ``(Q, D)``.
+    weights:
+        Float array of shape ``(Q,)``; exact values kept in ``shells``.
+    shells:
+        Per-shell metadata in Table I order.
+    shell_index:
+        For each velocity, the index of its shell.
+    equilibrium_order:
+        Hermite truncation order this lattice supports (2 for D3Q19,
+        3 for D3Q39) — i.e. half the guaranteed isotropy order.
+    """
+
+    name: str
+    dim: int
+    cs2: Fraction
+    velocities: np.ndarray
+    weights: np.ndarray
+    shells: tuple[ShellInfo, ...]
+    shell_index: np.ndarray
+    equilibrium_order: int
+
+    # -- basic derived quantities -------------------------------------
+
+    @property
+    def q(self) -> int:
+        """Number of discrete velocities."""
+        return len(self.weights)
+
+    @property
+    def cs2_float(self) -> float:
+        return float(self.cs2)
+
+    @property
+    def rest_index(self) -> int:
+        """Index of the zero velocity."""
+        idx = np.flatnonzero((self.velocities == 0).all(axis=1))
+        if len(idx) != 1:
+            raise ValueError(f"{self.name} has {len(idx)} rest velocities")
+        return int(idx[0])
+
+    @property
+    def max_displacement(self) -> int:
+        """Maximum per-axis displacement ``k = max_i,a |c_ia|``.
+
+        This is the number of lattice planes a population can cross in one
+        time step and therefore the fundamental ghost-cell thickness for
+        slab-decomposed streaming (k = 1 for D3Q19, k = 3 for D3Q39; the
+        paper's prose says 2 for D3Q39 but its own Table I includes
+        (3,0,0) — see DESIGN.md).
+        """
+        return int(np.abs(self.velocities).max())
+
+    @property
+    def opposite(self) -> np.ndarray:
+        """Index map ``o`` with ``velocities[o[i]] == -velocities[i]``."""
+        lookup = {tuple(v): i for i, v in enumerate(self.velocities.tolist())}
+        return np.array(
+            [lookup[tuple(-v for v in vel)] for vel in self.velocities.tolist()],
+            dtype=np.int64,
+        )
+
+    # -- performance-model quantities (paper §III-B) -------------------
+
+    @property
+    def bytes_per_cell(self) -> int:
+        """Main-memory traffic per lattice update (Table II input).
+
+        Two loads plus one store of all Q double-precision populations:
+        ``3 * Q * 8`` bytes — 456 for D3Q19, 936 for D3Q39.
+        """
+        return SWEEPS_PER_UPDATE * self.q * BYTES_PER_VALUE
+
+    # -- exactness checks ----------------------------------------------
+
+    def moment(self, alpha: Sequence[int]) -> float:
+        """Discrete moment ``sum_i w_i prod_a c_ia^alpha_a``."""
+        value = self.weights.copy()
+        for axis, power in enumerate(alpha):
+            if power:
+                value = value * self.velocities[:, axis].astype(np.float64) ** power
+        return float(value.sum())
+
+    def moment_exact(self, alpha: Sequence[int]) -> Fraction:
+        """Discrete moment computed in exact rational arithmetic."""
+        total = Fraction(0)
+        for shell, base in zip(self.shells, [s.base for s in self.shells]):
+            for vec in signed_permutations(base):
+                term = shell.weight
+                for axis, power in enumerate(alpha):
+                    term *= Fraction(vec[axis]) ** power
+                total += term
+        return total
+
+    def moment_defect(self, order: int, exact: bool = False) -> float:
+        """Max deviation of all degree-``order`` moments from Gaussian.
+
+        Returns ``max_alpha |sum_i w_i c_i^alpha - <xi^alpha>_Gauss|`` over
+        all multi-indices of total degree exactly ``order``.
+        """
+        worst = 0.0
+        for alpha in multi_indices(self.dim, order):
+            if exact:
+                got = self.moment_exact(alpha)
+                want = gaussian_moment(alpha, self.cs2)
+                worst = max(worst, abs(float(got - want)))
+            else:
+                got = self.moment(alpha)
+                want = float(gaussian_moment(alpha, Fraction(self.cs2)))
+                worst = max(worst, abs(got - want))
+        return worst
+
+    def isotropy_order(self, max_check: int = 10, tol: float = 1e-12) -> int:
+        """Largest n with all moments of degree <= n matching the Gaussian.
+
+        The paper's premise: D3Q19 is 4th-order isotropic (enough for the
+        second-order Navier-Stokes equilibrium) while D3Q39 is 6th-order
+        isotropic (required by the third-order expansion, Eq. 3).
+        """
+        order = 0
+        for n in range(1, max_check + 1):
+            if self.moment_defect(n) > tol:
+                break
+            order = n
+        return order
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` if the lattice is malformed.
+
+        Checks weight normalisation, weight positivity, presence of the
+        rest velocity, parity (closed under negation), and that the second
+        moment equals ``cs2`` (the defining property of the sound speed).
+        """
+        if abs(self.weights.sum() - 1.0) > 1e-12:
+            raise ValueError(f"{self.name}: weights sum to {self.weights.sum()!r}")
+        if (self.weights <= 0).any():
+            raise ValueError(f"{self.name}: non-positive weight")
+        _ = self.rest_index
+        _ = self.opposite  # raises KeyError -> wrapped below if not closed
+        second = self.moment((2,) + (0,) * (self.dim - 1))
+        if abs(second - self.cs2_float) > 1e-12:
+            raise ValueError(
+                f"{self.name}: second moment {second} != cs2 {self.cs2_float}"
+            )
+
+    # -- presentation ---------------------------------------------------
+
+    def table_rows(self) -> list[tuple[str, str, int, str]]:
+        """Rows reproducing this lattice's half of the paper's Table I."""
+        return [s.as_row() for s in self.shells]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"VelocitySet({self.name}, Q={self.q}, cs2={self.cs2}, "
+            f"k={self.max_displacement})"
+        )
+
+
+def build_velocity_set(
+    name: str,
+    cs2: Fraction,
+    shell_weights: Sequence[tuple[Sequence[int], Fraction]],
+    equilibrium_order: int,
+) -> VelocitySet:
+    """Construct and validate a :class:`VelocitySet` from shell data.
+
+    Parameters
+    ----------
+    name:
+        Lattice name.
+    cs2:
+        Exact squared sound speed.
+    shell_weights:
+        Sequence of ``(base_vector, weight)`` pairs, one per shell, in the
+        order of the paper's Table I.
+    equilibrium_order:
+        Hermite truncation order the lattice is built for.
+    """
+    bases = [tuple(b) for b, _ in shell_weights]
+    velocities, shell_index = expand_shells(bases)
+    weights = np.empty(len(velocities), dtype=np.float64)
+    shells: list[ShellInfo] = []
+    # Neighbor order: shells sorted by distance, rest = 0, then 1, 2, ...
+    distances = [sum(c * c for c in b) ** 0.5 for b in bases]
+    order_of = {
+        si: rank
+        for rank, si in enumerate(sorted(range(len(bases)), key=lambda i: distances[i]))
+    }
+    for si, ((base, weight), dist) in enumerate(zip(shell_weights, distances)):
+        size = int((shell_index == si).sum())
+        shells.append(
+            ShellInfo(
+                base=tuple(base),
+                weight=weight,
+                neighbor_order=order_of[si],
+                distance=dist,
+                size=size,
+            )
+        )
+        weights[shell_index == si] = float(weight)
+    vs = VelocitySet(
+        name=name,
+        dim=velocities.shape[1],
+        cs2=cs2,
+        velocities=velocities,
+        weights=weights,
+        shells=tuple(shells),
+        shell_index=shell_index,
+        equilibrium_order=equilibrium_order,
+    )
+    vs.velocities.setflags(write=False)
+    vs.weights.setflags(write=False)
+    vs.validate()
+    return vs

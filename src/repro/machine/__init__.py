@@ -1,0 +1,38 @@
+"""Machine models: Blue Gene specs, torus network, memory, cache, roofline."""
+
+from .bluegene import BLUE_GENE_P, BLUE_GENE_Q, available_machines, get_machine
+from .cache import BGP_CACHE, BGQ_CACHE, CacheHierarchy, CacheLevel
+from .memory import MemoryModel
+from .roofline import (
+    FLOPS_PER_CELL,
+    Limiter,
+    RooflinePoint,
+    flops_per_cell,
+    hardware_efficiency_bound,
+    roofline,
+    torus_lower_bound,
+)
+from .spec import MachineSpec
+from .torus import TorusTopology, torus_shape_for
+
+__all__ = [
+    "available_machines",
+    "BGP_CACHE",
+    "BGQ_CACHE",
+    "BLUE_GENE_P",
+    "BLUE_GENE_Q",
+    "CacheHierarchy",
+    "CacheLevel",
+    "flops_per_cell",
+    "FLOPS_PER_CELL",
+    "get_machine",
+    "hardware_efficiency_bound",
+    "Limiter",
+    "MachineSpec",
+    "MemoryModel",
+    "roofline",
+    "RooflinePoint",
+    "torus_lower_bound",
+    "TorusTopology",
+    "torus_shape_for",
+]

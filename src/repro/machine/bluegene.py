@@ -1,0 +1,78 @@
+"""IBM Blue Gene/P and Blue Gene/Q specifications (paper §III-A).
+
+Provenance of every number:
+
+Blue Gene/P [15]:
+  * 32-bit PowerPC 450 @ 850 MHz, 4 cores/node, 1 thread/core;
+  * 13.6 GFlop/s peak/node = 0.85 GHz × 4 cores × 4 flops/cycle;
+  * 13.6 GB/s main-store bandwidth (Table II);
+  * 2 GB/node;
+  * 3-D torus, 6 bidirectional links/node, 425 MB/s hardware
+    (375 MB/s software) per unidirectional link.  All 12 unidirectional
+    links: 5.1 GB/s, which reproduces the paper's §III-C torus-bound
+    lower bounds (11.1 MFlup/s D3Q19, 5.4 MFlup/s D3Q39).
+
+Blue Gene/Q [16], [17]:
+  * 64-bit PowerPC A2 @ 1.6 GHz, 16 cores/node, 4 threads/core;
+  * 204.8 GFlop/s peak/node = 1.6 GHz × 16 × 8 flops/cycle (QPX: 4-wide
+    FMA); the paper quotes the 204.8 figure directly;
+  * 43 GB/s main-store bandwidth (Table II);
+  * 16 GB/node;
+  * 5-D torus, 2 GB/s per link direction.  The paper's §III-C lower
+    bounds (70 MFlup/s D3Q19, 34 MFlup/s D3Q39) imply an effective
+    aggregate of ≈32 GB/s = 16 unidirectional links × 2 GB/s — i.e. 8 of
+    the 10 torus link pairs counted as usable for halo traffic; we adopt
+    that effective count so the analytic section reproduces exactly.
+"""
+
+from __future__ import annotations
+
+from .spec import MachineSpec
+
+__all__ = ["BLUE_GENE_P", "BLUE_GENE_Q", "get_machine", "available_machines"]
+
+BLUE_GENE_P = MachineSpec(
+    name="Blue Gene/P",
+    clock_ghz=0.85,
+    cores_per_node=4,
+    threads_per_core=1,
+    flops_per_cycle_per_core=4,
+    memory_bandwidth_gbs=13.6,
+    memory_per_node_gb=2.0,
+    torus_links=12,
+    torus_link_bandwidth_gbs=0.425,
+    torus_link_bandwidth_software_gbs=0.375,
+    torus_dims=3,
+    simd_width=2,
+)
+
+BLUE_GENE_Q = MachineSpec(
+    name="Blue Gene/Q",
+    clock_ghz=1.6,
+    cores_per_node=16,
+    threads_per_core=4,
+    flops_per_cycle_per_core=8,
+    memory_bandwidth_gbs=43.0,
+    memory_per_node_gb=16.0,
+    torus_links=16,
+    torus_link_bandwidth_gbs=2.0,
+    torus_link_bandwidth_software_gbs=1.8,
+    torus_dims=5,
+    simd_width=4,
+)
+
+_MACHINES = {"BG/P": BLUE_GENE_P, "BG/Q": BLUE_GENE_Q}
+
+
+def available_machines() -> tuple[str, ...]:
+    """Short names of the built-in machine specs."""
+    return tuple(sorted(_MACHINES))
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a machine by short name ("BG/P", "BG/Q") or full name."""
+    key = name.upper().replace("BLUE GENE", "BG").replace(" ", "")
+    for short, spec in _MACHINES.items():
+        if key == short.replace(" ", "") or name == spec.name:
+            return spec
+    raise KeyError(f"unknown machine {name!r}; available: {available_machines()}")

@@ -1,0 +1,107 @@
+"""Node-memory footprint model.
+
+Reproduces the memory constraints the paper keeps running into:
+
+* Fig. 10a: "For the 133,000 case, the individual nodes ran out of
+  memory due to the addition of the fourth ghost cell and could not
+  complete the simulation."
+* §VI-A: D3Q39 deep halos on BG/P "had no performance gain" partly
+  because system sizes fitting in 2 GB were too small; ratios beyond
+  66 (D3Q19) / 800 (D3Q39) per node were untestable on either machine.
+
+The footprint counts the two population arrays (``distr`` and
+``distr_adv``) over local + ghost planes, matching the implementation in
+:mod:`repro.parallel.distributed`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import OutOfMemoryModelError
+from ..lattice import VelocitySet
+
+__all__ = ["MemoryModel"]
+
+BYTES_PER_VALUE = 8
+
+#: Fraction of node memory available to population arrays (the rest goes
+#: to the OS image, MPI buffers, and application scaffolding).
+USABLE_FRACTION = 0.85
+
+#: Population copies held resident (distr + distr_adv).
+ARRAY_COPIES = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryModel:
+    """Memory feasibility checks for a slab-decomposed run."""
+
+    lattice: VelocitySet
+    memory_per_node_bytes: float
+
+    def slab_bytes(
+        self, local_nx: int, ny: int, nz: int, ghost_depth: int
+    ) -> int:
+        """Bytes of population storage for one rank's padded slab."""
+        width = ghost_depth * self.lattice.max_displacement
+        padded_nx = local_nx + 2 * width
+        cells = padded_nx * ny * nz
+        return ARRAY_COPIES * self.lattice.q * BYTES_PER_VALUE * cells
+
+    def node_bytes(
+        self,
+        local_nx: int,
+        ny: int,
+        nz: int,
+        ghost_depth: int,
+        tasks_per_node: int,
+    ) -> int:
+        """Bytes used on one node hosting ``tasks_per_node`` ranks."""
+        return tasks_per_node * self.slab_bytes(local_nx, ny, nz, ghost_depth)
+
+    def fits(
+        self,
+        local_nx: int,
+        ny: int,
+        nz: int,
+        ghost_depth: int,
+        tasks_per_node: int = 1,
+    ) -> bool:
+        """Whether the configuration fits in usable node memory."""
+        budget = USABLE_FRACTION * self.memory_per_node_bytes
+        return self.node_bytes(local_nx, ny, nz, ghost_depth, tasks_per_node) <= budget
+
+    def require_fits(
+        self,
+        local_nx: int,
+        ny: int,
+        nz: int,
+        ghost_depth: int,
+        tasks_per_node: int = 1,
+    ) -> None:
+        """Raise :class:`OutOfMemoryModelError` when the config cannot run."""
+        if not self.fits(local_nx, ny, nz, ghost_depth, tasks_per_node):
+            need = self.node_bytes(local_nx, ny, nz, ghost_depth, tasks_per_node)
+            raise OutOfMemoryModelError(
+                f"{self.lattice.name} slab {local_nx}x{ny}x{nz} with ghost depth "
+                f"{ghost_depth} x{tasks_per_node} tasks needs {need/1e9:.2f} GB "
+                f"of {USABLE_FRACTION * self.memory_per_node_bytes/1e9:.2f} GB usable"
+            )
+
+    def max_ghost_depth(
+        self,
+        local_nx: int,
+        ny: int,
+        nz: int,
+        tasks_per_node: int = 1,
+        ceiling: int = 16,
+    ) -> int:
+        """Deepest ghost level that still fits (0 = nothing fits)."""
+        depth = 0
+        for d in range(1, ceiling + 1):
+            if self.fits(local_nx, ny, nz, d, tasks_per_node):
+                depth = d
+            else:
+                break
+        return depth

@@ -1,0 +1,131 @@
+"""The Wellein/Randles performance model (paper §III-B, Table II).
+
+Attainable throughput in lattice updates per second is the roofline
+(Eq. 5)::
+
+    P [Flup/s] = min( Bm / B , Ppeak / F )
+
+with ``B`` bytes moved to/from main memory per cell update (two loads +
+one store of all Q populations: 456 for D3Q19, 936 for D3Q39) and ``F``
+core floating-point operations per cell (178 / 190 in the paper's
+implementation).  Whichever term is smaller is the *performance
+limiter* — on both Blue Genes and both lattices it is the bandwidth
+(the red highlights of Table II).
+
+Also implements the §III-C refinements: the torus-bandwidth lower bound
+(all loads/stores served over the network) and the hardware-efficiency
+upper bound ``P(Bm) / P(Ppeak)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from ..lattice import VelocitySet
+from .spec import MachineSpec
+
+__all__ = [
+    "Limiter",
+    "RooflinePoint",
+    "roofline",
+    "torus_lower_bound",
+    "hardware_efficiency_bound",
+    "FLOPS_PER_CELL",
+    "flops_per_cell",
+]
+
+#: Core floating-point operations per lattice update in the paper's
+#: implementation (§III-B): "our implementation has 178 core
+#: floating-point operations [D3Q19] and ... 190 [D3Q39]".  These are
+#: implementation-measured constants, independent of problem size.
+FLOPS_PER_CELL = {"D3Q19": 178, "D3Q39": 190}
+
+
+def flops_per_cell(lattice: VelocitySet) -> int:
+    """F for the roofline: the paper's constant if known, else estimated.
+
+    For lattices outside the paper's study, F is estimated from the
+    per-velocity cost of the second-order BGK collide (~9 flops/velocity
+    for moments plus ~10 for the equilibrium/relaxation) — good enough
+    to position D3Q15/D3Q27 on the same roofline plots.
+    """
+    if lattice.name in FLOPS_PER_CELL:
+        return FLOPS_PER_CELL[lattice.name]
+    # Linear in Q through the two paper anchors (19, 178) and (39, 190).
+    return round(0.6 * lattice.q + 166.6)
+
+
+class Limiter(enum.Enum):
+    """Which roofline term binds."""
+
+    BANDWIDTH = "bandwidth"
+    COMPUTE = "compute"
+
+
+@dataclasses.dataclass(frozen=True)
+class RooflinePoint:
+    """One row of Table II for a (machine, lattice) pair.
+
+    All throughputs in MFlup/s per node.
+    """
+
+    machine: str
+    lattice: str
+    bytes_per_cell: int
+    flops_per_cell: int
+    p_bandwidth_mflups: float
+    p_peak_mflups: float
+
+    @property
+    def attainable_mflups(self) -> float:
+        """The roofline minimum (Eq. 5)."""
+        return min(self.p_bandwidth_mflups, self.p_peak_mflups)
+
+    @property
+    def limiter(self) -> Limiter:
+        """The binding constraint (highlighted red in Table II)."""
+        return (
+            Limiter.BANDWIDTH
+            if self.p_bandwidth_mflups <= self.p_peak_mflups
+            else Limiter.COMPUTE
+        )
+
+    @property
+    def hardware_efficiency_bound(self) -> float:
+        """Max fraction of peak flop/s reachable: ``P(Bm) / P(Ppeak)``.
+
+        38% for D3Q19 and 20% for D3Q39 on BG/P (§III-C).
+        """
+        return self.p_bandwidth_mflups / self.p_peak_mflups
+
+
+def roofline(machine: MachineSpec, lattice: VelocitySet) -> RooflinePoint:
+    """Evaluate Eq. 5 for one machine/lattice pair (a Table II row)."""
+    b = lattice.bytes_per_cell
+    f = flops_per_cell(lattice)
+    p_bw = machine.memory_bandwidth / b / 1e6
+    p_peak = machine.peak_flops / f / 1e6
+    return RooflinePoint(
+        machine=machine.name,
+        lattice=lattice.name,
+        bytes_per_cell=b,
+        flops_per_cell=f,
+        p_bandwidth_mflups=p_bw,
+        p_peak_mflups=p_peak,
+    )
+
+
+def torus_lower_bound(machine: MachineSpec, lattice: VelocitySet) -> float:
+    """§III-C: MFlup/s if every load/store went over the torus.
+
+    "Assuming all loads and stores occur at the torus bandwidth provides
+    a lower bound for parallel performance" — 11.1 / 70 MFlup/s for
+    D3Q19 and 5.4 / 34 for D3Q39 on BG/P / BG/Q.
+    """
+    return machine.torus_aggregate_bandwidth / lattice.bytes_per_cell / 1e6
+
+
+def hardware_efficiency_bound(machine: MachineSpec, lattice: VelocitySet) -> float:
+    """Convenience wrapper for the §III-C efficiency ceiling."""
+    return roofline(machine, lattice).hardware_efficiency_bound

@@ -1,0 +1,105 @@
+"""Machine specifications (paper §III-A).
+
+A :class:`MachineSpec` carries the per-node hardware numbers the paper's
+performance model consumes: peak flop rate, main-store bandwidth, memory
+capacity, threading capability and torus-link characteristics.  All
+numbers come from the published system descriptions the paper cites
+([15] Blue Gene/P overview, [16] BG/Q compute chip, [17] BG/Q network).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["MachineSpec"]
+
+GIGA = 1.0e9
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineSpec:
+    """Per-node description of a target platform.
+
+    Attributes
+    ----------
+    name:
+        Platform name ("Blue Gene/P", "Blue Gene/Q").
+    clock_ghz:
+        Core clock in GHz.
+    cores_per_node:
+        Physical cores per node.
+    threads_per_core:
+        Hardware threads per core (1 on BG/P, 4 on BG/Q).
+    flops_per_cycle_per_core:
+        Double-precision flops per cycle per core; both systems issue
+        "a maximum of four double precision floating-point operations
+        (two multiply and two add) per cycle" (§III-B).
+    memory_bandwidth_gbs:
+        Main-store bandwidth ``Bm`` in GB/s (13.6 / 43).
+    memory_per_node_gb:
+        DRAM per node in GB (2 / 16).
+    torus_links:
+        Number of torus links per node counted as usable, *per
+        direction* pairs included (12 for BG/P's 6 bidirectional 3-D
+        torus links; 16 for BG/Q — the effective usable links backed out
+        of the paper's §III-C lower bounds, see bluegene.py).
+    torus_link_bandwidth_gbs:
+        Hardware bandwidth of one unidirectional link in GB/s.
+    torus_link_bandwidth_software_gbs:
+        Achievable (software) bandwidth of one link in GB/s.
+    torus_dims:
+        Torus dimensionality (3 for BG/P, 5 for BG/Q).
+    simd_width:
+        Double-precision SIMD lanes (2 = double hummer, 4 = QPX).
+    """
+
+    name: str
+    clock_ghz: float
+    cores_per_node: int
+    threads_per_core: int
+    flops_per_cycle_per_core: int
+    memory_bandwidth_gbs: float
+    memory_per_node_gb: float
+    torus_links: int
+    torus_link_bandwidth_gbs: float
+    torus_link_bandwidth_software_gbs: float
+    torus_dims: int
+    simd_width: int
+
+    # -- derived ---------------------------------------------------------
+
+    @property
+    def peak_gflops(self) -> float:
+        """Peak node flop rate: clock × cores × flops/cycle (GFlop/s)."""
+        return self.clock_ghz * self.cores_per_node * self.flops_per_cycle_per_core
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak node flop rate in flop/s."""
+        return self.peak_gflops * GIGA
+
+    @property
+    def memory_bandwidth(self) -> float:
+        """Main-store bandwidth in bytes/s."""
+        return self.memory_bandwidth_gbs * GIGA
+
+    @property
+    def memory_per_node(self) -> float:
+        """Node memory in bytes."""
+        return self.memory_per_node_gb * GIGA
+
+    @property
+    def max_threads_per_node(self) -> int:
+        """Hardware thread slots per node."""
+        return self.cores_per_node * self.threads_per_core
+
+    @property
+    def torus_aggregate_bandwidth(self) -> float:
+        """All usable torus links combined, bytes/s (hardware numbers)."""
+        return self.torus_links * self.torus_link_bandwidth_gbs * GIGA
+
+    @property
+    def machine_balance_bytes_per_flop(self) -> float:
+        """``Bm / Ppeak``: the bandwidth/compute balance the paper's
+        conclusion worries about (smaller = more bandwidth-starved)."""
+        return self.memory_bandwidth / self.peak_flops

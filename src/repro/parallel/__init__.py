@@ -1,0 +1,24 @@
+"""Parallel runtime: simulated MPI, decomposition, halos, distributed LBM."""
+
+from .decomposition import Slab1D
+from .distributed import DistributedSimulation
+from .halo import HaloSlab, HaloSpec
+from .hybrid import HybridConfig
+from .instrumentation import PhaseProfile, PhaseProfiler
+from .mpi_sim import MessageLedger, MessageRecord, Request, SimMPI
+from .schedules import ExchangeSchedule
+
+__all__ = [
+    "DistributedSimulation",
+    "ExchangeSchedule",
+    "HaloSlab",
+    "HaloSpec",
+    "HybridConfig",
+    "MessageLedger",
+    "PhaseProfile",
+    "PhaseProfiler",
+    "MessageRecord",
+    "Request",
+    "SimMPI",
+    "Slab1D",
+]

@@ -1,0 +1,95 @@
+"""1-D slab domain decomposition (paper §IV).
+
+The paper deliberately restricts the study to "a three-dimensional fluid
+system with one-dimensional domain decomposition" so that ghost-cell
+depth effects can be analysed directly.  :class:`Slab1D` splits the x
+axis of a global grid across ranks as evenly as possible (first
+``nx % R`` ranks get one extra plane) with periodic neighbor topology.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import DecompositionError
+
+__all__ = ["Slab1D"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Slab1D:
+    """Balanced 1-D decomposition of ``global_nx`` planes over ``num_ranks``.
+
+    Attributes
+    ----------
+    global_nx:
+        Extent of the decomposed (x) axis.
+    num_ranks:
+        Number of subdomains.
+    """
+
+    global_nx: int
+    num_ranks: int
+
+    def __post_init__(self) -> None:
+        if self.num_ranks < 1:
+            raise DecompositionError("need at least one rank")
+        if self.global_nx < self.num_ranks:
+            raise DecompositionError(
+                f"cannot split {self.global_nx} planes over {self.num_ranks} ranks"
+            )
+
+    def local_size(self, rank: int) -> int:
+        """Number of x planes owned by ``rank``."""
+        self._check(rank)
+        base, extra = divmod(self.global_nx, self.num_ranks)
+        return base + (1 if rank < extra else 0)
+
+    def start(self, rank: int) -> int:
+        """Global x index of the first plane owned by ``rank``."""
+        self._check(rank)
+        base, extra = divmod(self.global_nx, self.num_ranks)
+        return rank * base + min(rank, extra)
+
+    def stop(self, rank: int) -> int:
+        """One past the last global x index owned by ``rank``."""
+        return self.start(rank) + self.local_size(rank)
+
+    def owner(self, global_x: int) -> int:
+        """Rank owning global plane ``global_x``."""
+        if not 0 <= global_x < self.global_nx:
+            raise DecompositionError(f"global x {global_x} out of range")
+        for rank in range(self.num_ranks):
+            if self.start(rank) <= global_x < self.stop(rank):
+                return rank
+        raise AssertionError("unreachable")
+
+    def left_neighbor(self, rank: int) -> int:
+        """Periodic left (−x) neighbor."""
+        self._check(rank)
+        return (rank - 1) % self.num_ranks
+
+    def right_neighbor(self, rank: int) -> int:
+        """Periodic right (+x) neighbor."""
+        self._check(rank)
+        return (rank + 1) % self.num_ranks
+
+    def validate_halo(self, halo_width: int) -> None:
+        """Every rank must own at least ``halo_width`` planes.
+
+        Otherwise a halo of that width would span more than one neighbor,
+        which the 1-neighbor exchange pattern (and the paper's code)
+        does not support.
+        """
+        min_local = min(self.local_size(r) for r in range(self.num_ranks))
+        if min_local < halo_width:
+            raise DecompositionError(
+                f"halo width {halo_width} exceeds smallest subdomain "
+                f"({min_local} planes); use fewer ranks or shallower halos"
+            )
+
+    def _check(self, rank: int) -> None:
+        if not 0 <= rank < self.num_ranks:
+            raise DecompositionError(
+                f"rank {rank} out of range [0, {self.num_ranks})"
+            )

@@ -1,0 +1,167 @@
+"""Deep-halo ghost-cell management (paper §V-A).
+
+A slab subdomain of ``L`` planes is stored padded with ``H = depth * k``
+ghost planes on each x side, where
+
+* ``k`` is the lattice's fundamental halo thickness (max planes a
+  population crosses per step: 1 for D3Q19, 3 for D3Q39), and
+* ``depth`` is the *ghost-cell depth* of the paper's Figs. 10/Tables
+  III-IV: exchanging every ``depth`` steps instead of every step.
+
+After an exchange the ghost data is valid for ``depth`` streaming steps;
+each step consumes ``k`` planes of validity per side.  The
+:class:`HaloSlab` tracks the remaining validity and exposes the slice
+that may legally be collided each sub-step; reading expired ghost data
+is made loud by NaN-filling in :func:`~repro.core.streaming.stream_padded`
+plus an explicit :class:`~repro.errors.HaloValidityError` guard here.
+
+The exchange itself ships, per side, the outermost ``H`` *interior*
+planes to the neighbor (the same total bytes per macro-cycle as depth-1;
+``depth``-fold fewer messages — asserted against the message ledger in
+tests, matching the paper's §VI-A claim).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..errors import HaloValidityError
+from ..lattice import VelocitySet
+
+__all__ = ["HaloSpec", "HaloSlab"]
+
+#: Message tags for the two exchange directions.
+TAG_TO_RIGHT = 11
+TAG_TO_LEFT = 12
+
+
+@dataclasses.dataclass(frozen=True)
+class HaloSpec:
+    """Ghost-layer geometry for one lattice and exchange depth.
+
+    ``depth`` follows the paper's convention: "a ghost cell depth of 2
+    would include 2k additional cells at each side" (§V-A).
+    """
+
+    k: int
+    depth: int
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"fundamental halo thickness k must be >= 1, got {self.k}")
+        if self.depth < 1:
+            raise ValueError(f"ghost depth must be >= 1, got {self.depth}")
+
+    @property
+    def width(self) -> int:
+        """Ghost planes per side: ``depth * k``."""
+        return self.depth * self.k
+
+    @classmethod
+    def for_lattice(cls, lattice: VelocitySet, depth: int = 1) -> "HaloSpec":
+        """Halo spec with ``k`` taken from the lattice."""
+        return cls(k=lattice.max_displacement, depth=depth)
+
+
+class HaloSlab:
+    """A halo-padded slab of populations for one rank.
+
+    Storage shape is ``(Q, 2*width + L, ny, nz)``; the interior (owned)
+    region is ``[width, width + L)`` along x.
+    """
+
+    def __init__(
+        self,
+        lattice: VelocitySet,
+        local_nx: int,
+        ny: int,
+        nz: int,
+        spec: HaloSpec,
+    ) -> None:
+        if local_nx < spec.width:
+            raise HaloValidityError(
+                f"subdomain of {local_nx} planes cannot source a halo of "
+                f"width {spec.width}"
+            )
+        self.lattice = lattice
+        self.local_nx = local_nx
+        self.spec = spec
+        shape = (lattice.q, local_nx + 2 * spec.width, ny, nz)
+        self.data = np.full(shape, np.nan)
+        self.scratch = np.empty_like(self.data)
+        #: Remaining valid ghost planes per side (0 .. width).
+        self.validity = 0
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        return self.spec.width
+
+    @property
+    def interior(self) -> slice:
+        """x slice of owned planes within the padded array."""
+        return slice(self.width, self.width + self.local_nx)
+
+    def interior_view(self) -> np.ndarray:
+        """View of the owned populations, shape ``(Q, L, ny, nz)``."""
+        return self.data[:, self.interior]
+
+    def compute_window(self) -> slice:
+        """x slice on which post-stream data is currently exact.
+
+        Immediately after streaming with ``validity`` remaining, the
+        exact region spans ``validity`` ghost planes on each side of the
+        interior (validity already decremented by the caller).
+        """
+        return slice(self.width - self.validity, self.width + self.local_nx + self.validity)
+
+    # -- exchange payloads ------------------------------------------------------
+
+    def pack_to_right(self) -> np.ndarray:
+        """Border planes the right neighbor needs (my last ``width`` planes)."""
+        return self.data[:, self.width + self.local_nx - self.width : self.width + self.local_nx]
+
+    def pack_to_left(self) -> np.ndarray:
+        """Border planes the left neighbor needs (my first ``width`` planes)."""
+        return self.data[:, self.width : 2 * self.width]
+
+    def unpack_from_left(self, payload: np.ndarray) -> None:
+        """Fill my left ghost planes with the left neighbor's border."""
+        if payload.shape != (self.lattice.q, self.width, *self.data.shape[2:]):
+            raise HaloValidityError(
+                f"bad halo payload shape {payload.shape}"
+            )
+        self.data[:, : self.width] = payload
+
+    def unpack_from_right(self, payload: np.ndarray) -> None:
+        """Fill my right ghost planes with the right neighbor's border."""
+        if payload.shape != (self.lattice.q, self.width, *self.data.shape[2:]):
+            raise HaloValidityError(
+                f"bad halo payload shape {payload.shape}"
+            )
+        self.data[:, self.width + self.local_nx :] = payload
+
+    def mark_exchanged(self) -> None:
+        """Reset validity after a completed exchange."""
+        self.validity = self.spec.width
+
+    def consume_step(self) -> None:
+        """Account one streaming step: ``k`` ghost planes expire per side.
+
+        Raises :class:`HaloValidityError` if the ghosts are already too
+        thin to support another step — the caller must exchange first.
+        """
+        if self.validity < self.spec.k:
+            raise HaloValidityError(
+                f"halo exhausted: validity {self.validity} < k {self.spec.k}; "
+                "exchange required before stepping"
+            )
+        self.validity -= self.spec.k
+
+    @property
+    def steps_until_exchange(self) -> int:
+        """How many more steps can run before an exchange is mandatory."""
+        return self.validity // self.spec.k

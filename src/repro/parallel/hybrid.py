@@ -1,0 +1,59 @@
+"""Hybrid MPI/OpenMP programming-model descriptions (paper §VI-B).
+
+A :class:`HybridConfig` fixes how a node's cores are split between MPI
+tasks (each owning a subdomain, hence contributing ghost cells) and
+OpenMP threads (which parallelise within a subdomain without adding
+ghost cells).  The paper's key observation: threading "reduces the
+number of domains of interest that the problem is broken into, thus
+directly reducing the number of ghost cells used" — for any depth ``n``
+the total ghost-cell count is (cross-section area) × (number of domains)
+× 2n.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["HybridConfig"]
+
+
+@dataclasses.dataclass(frozen=True)
+class HybridConfig:
+    """A tasks-per-node × threads-per-task placement on ``nodes`` nodes."""
+
+    nodes: int
+    tasks_per_node: int
+    threads_per_task: int
+
+    def __post_init__(self) -> None:
+        if min(self.nodes, self.tasks_per_node, self.threads_per_task) < 1:
+            raise ValueError("nodes, tasks and threads must all be >= 1")
+
+    @property
+    def total_ranks(self) -> int:
+        """MPI ranks = subdomains = nodes × tasks."""
+        return self.nodes * self.tasks_per_node
+
+    @property
+    def hardware_threads_per_node(self) -> int:
+        """Hardware thread slots this placement occupies per node."""
+        return self.tasks_per_node * self.threads_per_task
+
+    def fits(self, cores_per_node: int, threads_per_core: int) -> bool:
+        """Whether the placement fits the node's thread capacity."""
+        return self.hardware_threads_per_node <= cores_per_node * threads_per_core
+
+    def ghost_cells_total(self, cross_section: int, depth: int, k: int) -> int:
+        """Total ghost cells in a 1-D decomposition with this placement.
+
+        ``cross_section`` is ny×nz; each of the ``total_ranks`` domains
+        carries ``2 * depth * k`` ghost planes (paper §VI-B: "the number
+        of ghost cells in a simulation is equal to the area of the cross
+        sections of the number of domains multiplied by 2n").
+        """
+        return self.total_ranks * 2 * depth * k * cross_section
+
+    @property
+    def label(self) -> str:
+        """Axis label in the style of the paper's Fig. 11b ("4-16")."""
+        return f"{self.tasks_per_node}-{self.threads_per_task}"

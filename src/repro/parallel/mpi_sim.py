@@ -1,0 +1,186 @@
+"""Simulated MPI: message-passing semantics without an MPI library.
+
+The execution environment has no ``mpi4py``/MPI, so the distributed
+solver runs all ranks inside one process (SPMD emulation: every phase is
+executed for each rank in turn).  This module provides the communication
+substrate with mpi4py-like semantics:
+
+* :class:`SimMPI` — the "fabric": per-(source, dest, tag) FIFO mailboxes.
+* :meth:`SimMPI.isend` / :meth:`SimMPI.irecv` / :class:`Request` /
+  :meth:`SimMPI.waitall` — non-blocking API shaped after
+  ``MPI_Isend``/``MPI_Irecv``/``MPI_Waitall`` used by the paper (§V-E).
+* :class:`MessageLedger` — records every message (step, src, dst, tag,
+  bytes).  The ledger is how tests and the performance model verify the
+  paper's claims about *message counts*: deep halos of depth ``n`` must
+  cut the number of exchanges by ``n`` while moving the same total bytes
+  ("The same amount of data is passed, but the reduction in number of
+  messages allows for easier masking of the messaging latency", §VI-A).
+
+Payloads are copied on send (value semantics, like a real network) so a
+rank cannot observe its neighbor's later in-place mutations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict, deque
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["MessageRecord", "MessageLedger", "Request", "SimMPI"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MessageRecord:
+    """One message as seen by the fabric."""
+
+    step: int
+    source: int
+    dest: int
+    tag: int
+    nbytes: int
+
+
+class MessageLedger:
+    """Append-only log of all traffic on a :class:`SimMPI` fabric."""
+
+    def __init__(self) -> None:
+        self.records: list[MessageRecord] = []
+
+    def log(self, record: MessageRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def message_count(self) -> int:
+        """Total number of point-to-point messages sent."""
+        return len(self.records)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total payload bytes moved."""
+        return sum(r.nbytes for r in self.records)
+
+    def messages_by_step(self) -> dict[int, int]:
+        """Step → number of messages sent during that step."""
+        out: dict[int, int] = defaultdict(int)
+        for r in self.records:
+            out[r.step] += 1
+        return dict(out)
+
+    def bytes_by_rank(self, num_ranks: int) -> np.ndarray:
+        """Bytes *sent* per rank (load-balance diagnostics)."""
+        out = np.zeros(num_ranks, dtype=np.int64)
+        for r in self.records:
+            out[r.source] += r.nbytes
+        return out
+
+
+@dataclasses.dataclass
+class Request:
+    """Handle for a pending non-blocking operation.
+
+    ``kind`` is ``"send"`` or ``"recv"``.  Receives resolve at
+    :meth:`SimMPI.waitall`, storing the payload in :attr:`data`.
+    """
+
+    kind: str
+    rank: int
+    peer: int
+    tag: int
+    data: np.ndarray | None = None
+    complete: bool = False
+
+
+class SimMPI:
+    """An in-process message fabric for ``num_ranks`` simulated ranks.
+
+    Delivery model: a message is available to ``waitall`` as soon as the
+    matching ``isend`` has executed.  Because the SPMD emulation runs
+    phases rank-by-rank, posting all sends of a phase before any
+    ``waitall`` of the next phase reproduces the ordering constraints of
+    real non-blocking MPI.  Matching is FIFO per (source, dest, tag),
+    like MPI's non-overtaking rule.
+    """
+
+    def __init__(self, num_ranks: int) -> None:
+        if num_ranks < 1:
+            raise ValueError("need at least one rank")
+        self.num_ranks = num_ranks
+        self._mailboxes: dict[tuple[int, int, int], deque[np.ndarray]] = defaultdict(
+            deque
+        )
+        self.ledger = MessageLedger()
+        self.step_clock = 0  # advanced by the driver; stamps ledger records
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.num_ranks})")
+
+    # -- non-blocking API ---------------------------------------------------
+
+    def isend(self, source: int, dest: int, tag: int, payload: np.ndarray) -> Request:
+        """Post a send; the payload is copied immediately (buffered send)."""
+        self._check_rank(source)
+        self._check_rank(dest)
+        payload = np.array(payload, copy=True)
+        self._mailboxes[(source, dest, tag)].append(payload)
+        self.ledger.log(
+            MessageRecord(
+                step=self.step_clock,
+                source=source,
+                dest=dest,
+                tag=tag,
+                nbytes=payload.nbytes,
+            )
+        )
+        return Request(kind="send", rank=source, peer=dest, tag=tag, complete=True)
+
+    def irecv(self, dest: int, source: int, tag: int) -> Request:
+        """Post a receive; completes at :meth:`waitall`."""
+        self._check_rank(source)
+        self._check_rank(dest)
+        return Request(kind="recv", rank=dest, peer=source, tag=tag)
+
+    def waitall(self, requests: Iterable[Request]) -> None:
+        """Complete all requests; raises if a receive has no matching send.
+
+        Mirrors ``MPI_Waitall`` after the communication phase of a time
+        step.  An unmatched receive means the exchange schedule is broken
+        (e.g. a rank skipped its send) — that is a bug in the caller, so
+        it raises rather than deadlocks.
+        """
+        for req in requests:
+            if req.complete:
+                continue
+            if req.kind != "recv":
+                raise ValueError(f"unknown request kind {req.kind!r}")
+            box = self._mailboxes[(req.peer, req.rank, req.tag)]
+            if not box:
+                raise RuntimeError(
+                    f"deadlock: rank {req.rank} waiting on message from "
+                    f"{req.peer} tag {req.tag} that was never sent"
+                )
+            req.data = box.popleft()
+            req.complete = True
+
+    # -- convenience blocking wrappers ---------------------------------------
+
+    def sendrecv(
+        self,
+        rank: int,
+        dest: int,
+        send_payload: np.ndarray,
+        source: int,
+        tag: int,
+    ) -> np.ndarray:
+        """Blocking exchange helper used by simple schedules."""
+        self.isend(rank, dest, tag, send_payload)
+        req = self.irecv(rank, source, tag)
+        self.waitall([req])
+        assert req.data is not None
+        return req.data
+
+    def pending_messages(self) -> int:
+        """Number of sent-but-unreceived messages (0 after a clean step)."""
+        return sum(len(box) for box in self._mailboxes.values())

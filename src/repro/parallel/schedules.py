@@ -1,0 +1,70 @@
+"""Communication/computation schedules (paper §V-E, §V-F).
+
+The paper's optimization ladder changes *when* messages are posted and
+waited on relative to the stream/collide work:
+
+* ``BLOCKING`` — the naive Fig. 2 loop: a blocking exchange between
+  stream and collide; the collide cannot start until both neighbors'
+  borders arrive.
+* ``NONBLOCKING`` (NB-C) — ``MPI_Irecv`` posted before the local stream,
+  ``MPI_Isend`` at its completion, ``MPI_Waitall`` before collide.
+  Slightly relaxes ordering but still no real overlap (the collide
+  depends on the neighbor's stream results).
+* ``NONBLOCKING_GC`` (NB-C & GC) — with ghost cells the border data for
+  the *next* step can be sent at the *end* of the current step, so the
+  wait moves off the critical path of the collide.
+* ``GC_SPLIT`` (GC-C) — the collide is split: interior border planes are
+  collided first and sent immediately; the ghost-region collide then
+  runs *while the messages are in flight*, hiding the latency (Fig. 7).
+
+Functionally all four orders produce identical physics (asserted in
+tests); they differ only in the timing structure the performance
+simulator (:mod:`repro.perf.event_sim`) assigns to them.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["ExchangeSchedule"]
+
+
+class ExchangeSchedule(enum.Enum):
+    """When sends/receives are posted relative to compute."""
+
+    BLOCKING = "blocking"
+    NONBLOCKING = "nb-c"
+    NONBLOCKING_GC = "nb-c+gc"
+    GC_SPLIT = "gc-c"
+
+    @property
+    def uses_ghost_cells(self) -> bool:
+        """Whether the schedule requires ghost-cell storage."""
+        return self in (ExchangeSchedule.NONBLOCKING_GC, ExchangeSchedule.GC_SPLIT)
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Fraction of message latency hidden behind computation.
+
+        Used by the event simulator: 0 for blocking and plain
+        non-blocking (the collide waits on neighbor data either way),
+        partial for end-of-step sends with ghost cells, near-full when
+        the ghost-region collide covers the transfer (GC-C).  The values
+        encode the qualitative ordering the paper reports in Fig. 9.
+        """
+        return {
+            ExchangeSchedule.BLOCKING: 0.0,
+            ExchangeSchedule.NONBLOCKING: 0.15,
+            ExchangeSchedule.NONBLOCKING_GC: 0.55,
+            ExchangeSchedule.GC_SPLIT: 0.90,
+        }[self]
+
+    @property
+    def label(self) -> str:
+        """Legend label used in the paper's Fig. 9."""
+        return {
+            ExchangeSchedule.BLOCKING: "Blocking",
+            ExchangeSchedule.NONBLOCKING: "NB-C",
+            ExchangeSchedule.NONBLOCKING_GC: "NB-C & GC",
+            ExchangeSchedule.GC_SPLIT: "GC-C",
+        }[self]

@@ -1,0 +1,351 @@
+"""Mechanistic per-step cost model.
+
+Turns (machine, lattice, code state, workload, placement) into a
+predicted time-step breakdown and MFlup/s.  The model is the paper's
+§III-B roofline extended with the terms its §V/§VI optimizations act on:
+
+``t_step = max(t_mem, t_flop) + t_ghost + t_pack + t_comm_exposed + t_sync``
+
+* ``t_mem``   — population traffic at the achieved bandwidth fraction;
+* ``t_flop``  — collide arithmetic at the achieved issue rate / SIMD
+  width, with SMT and OpenMP efficiency for hybrid placements;
+* ``t_ghost`` — the extra lattice updates of deep-halo ghost regions
+  ("this requires extra computation to update the ghost cells", §V-A);
+* ``t_pack``  — halo pack/unpack plus on-node copies between tasks;
+* ``t_comm_exposed`` — off-node transfer + per-message latency, divided
+  by the exchange period and scaled by the schedule's overlap;
+* ``t_sync``  — load-imbalance waiting, the quantity Fig. 9 plots,
+  scaled by how much slack the schedule gives (blocking collide-waits
+  versus end-of-step sends versus GC-split overlap).
+
+Everything is per *node* (the paper's Fig. 8 y-axis is aggregate over
+128 nodes; multiply by ``placement.nodes``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import DecompositionError
+from ..lattice import VelocitySet
+from ..machine.memory import MemoryModel
+from ..machine.roofline import flops_per_cell
+from ..machine.spec import MachineSpec
+from ..parallel.schedules import ExchangeSchedule
+from .params import CodeParams
+
+__all__ = ["Workload", "Placement", "StepBreakdown", "CostModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Workload:
+    """A periodic cubic LBM problem (paper §IV)."""
+
+    lattice: VelocitySet
+    global_shape: tuple[int, int, int]
+    steps: int = 300
+
+    @property
+    def cells(self) -> int:
+        nx, ny, nz = self.global_shape
+        return nx * ny * nz
+
+    @property
+    def cross_section(self) -> int:
+        """Cells per x plane (the decomposed axis)."""
+        return self.global_shape[1] * self.global_shape[2]
+
+
+@dataclasses.dataclass(frozen=True)
+class Placement:
+    """Nodes × tasks × threads (paper §VI-B)."""
+
+    nodes: int
+    tasks_per_node: int = 1
+    threads_per_task: int = 1
+
+    @property
+    def total_ranks(self) -> int:
+        return self.nodes * self.tasks_per_node
+
+    @property
+    def threads_per_node(self) -> int:
+        return self.tasks_per_node * self.threads_per_task
+
+
+@dataclasses.dataclass(frozen=True)
+class StepBreakdown:
+    """Per-node seconds spent in each phase of one time step."""
+
+    compute_s: float
+    ghost_s: float
+    pack_s: float
+    comm_exposed_s: float
+    sync_s: float
+    cells_per_node: float
+
+    @property
+    def total_s(self) -> float:
+        return (
+            self.compute_s
+            + self.ghost_s
+            + self.pack_s
+            + self.comm_exposed_s
+            + self.sync_s
+        )
+
+    @property
+    def mflups_per_node(self) -> float:
+        """Owned-cell updates per second (ghost updates are overhead)."""
+        return self.cells_per_node / self.total_s / 1e6
+
+    @property
+    def comm_fraction(self) -> float:
+        """Share of the step spent in exposed communication + waiting."""
+        return (self.comm_exposed_s + self.sync_s) / self.total_s
+
+
+#: Per-core throughput multiplier from hardware threading (BG/Q A2 cores
+#: need ≥2 threads to keep the issue pipes busy; BG/P has 1 thread/core).
+_SMT_GAIN = {1: 1.0, 2: 1.45, 3: 1.65, 4: 1.85}
+
+#: Single-thread achievable fraction of node bandwidth, and the thread
+#: count at which the memory system saturates.
+_BW_SATURATION = {
+    "Blue Gene/P": (0.45, 4),
+    "Blue Gene/Q": (0.08, 32),
+}
+
+#: OpenMP team overhead: efficiency 1/(1 + a(t-1) + b(t-1)^2).  Nearly
+#: free for small teams (4 threads on BG/P: ~99%), increasingly costly
+#: for huge teams (64 threads on BG/Q: ~40%) — fork/join, false sharing
+#: and loop-scheduling imbalance grow superlinearly.
+_OMP_ALPHA = 0.001
+_OMP_BETA = 0.0004
+
+#: Additional multiplicative compute tax per extra OpenMP thread
+#: (synchronization at loop boundaries; favors moderate team sizes).
+_OMP_TAX = 0.00042
+
+#: On-node (shared-memory) message latency per message.
+_SHM_LATENCY_S = 3e-6
+
+#: Load-imbalance waits grow with partition size (max over more ranks);
+#: logarithmic Gumbel-style scaling anchored at 128 ranks.
+def _rank_noise_factor(total_ranks: int) -> float:
+    import math
+
+    return max(1.0, 1.0 + 0.8 * math.log(max(total_ranks, 1) / 128.0))
+
+#: Load-imbalance exposure multipliers: how much of the per-rank compute
+#: jitter turns into communication waiting under each schedule, without
+#: and with ghost cells (paper Fig. 9's three curve families).
+_SYNC_MULTIPLIER = {
+    False: {  # no ghost cells: collide blocks on neighbor stream
+        ExchangeSchedule.BLOCKING: 2.2,
+        ExchangeSchedule.NONBLOCKING: 1.3,
+        ExchangeSchedule.NONBLOCKING_GC: 1.3,
+        ExchangeSchedule.GC_SPLIT: 1.3,
+    },
+    True: {  # ghost cells: sends at end of step / overlapped
+        ExchangeSchedule.BLOCKING: 0.9,
+        ExchangeSchedule.NONBLOCKING: 0.55,
+        ExchangeSchedule.NONBLOCKING_GC: 0.45,
+        ExchangeSchedule.GC_SPLIT: 0.12,
+    },
+}
+
+
+class CostModel:
+    """Predicts step times for one (machine, lattice) pair."""
+
+    def __init__(self, machine: MachineSpec, lattice: VelocitySet) -> None:
+        self.machine = machine
+        self.lattice = lattice
+        self.flops = flops_per_cell(lattice)
+        self.bytes = lattice.bytes_per_cell
+        self.memory = MemoryModel(lattice, machine.memory_per_node)
+
+    # -- capability terms ------------------------------------------------
+
+    def omp_efficiency(self, threads_per_task: int) -> float:
+        """Parallel efficiency of one OpenMP team."""
+        extra = threads_per_task - 1
+        return 1.0 / (1.0 + _OMP_ALPHA * extra + _OMP_BETA * extra * extra)
+
+    def effective_threads(self, placement: Placement) -> float:
+        """Usable hardware threads per node after OpenMP overhead."""
+        eff = placement.threads_per_node * self.omp_efficiency(
+            placement.threads_per_task
+        )
+        return min(eff, self.machine.max_threads_per_node)
+
+    def bandwidth_saturation(self, placement: Placement) -> float:
+        """Fraction of node bandwidth reachable with this thread count."""
+        sigma1, sat = _BW_SATURATION.get(
+            self.machine.name, (1.0 / self.machine.cores_per_node, self.machine.cores_per_node)
+        )
+        t = self.effective_threads(placement)
+        if sat <= 1:
+            return 1.0
+        return min(1.0, sigma1 + (1.0 - sigma1) * (t - 1) / (sat - 1))
+
+    def node_bandwidth(self, params: CodeParams, placement: Placement) -> float:
+        """Achieved main-store bandwidth, bytes/s."""
+        return (
+            self.machine.memory_bandwidth
+            * params.bandwidth_fraction
+            * self.bandwidth_saturation(placement)
+        )
+
+    def node_flops(self, params: CodeParams, placement: Placement) -> float:
+        """Achieved flop rate, flop/s."""
+        total = self.effective_threads(placement)
+        cores = self.machine.cores_per_node
+        active_cores = min(cores, total)
+        tpc = max(1, int(round(total / active_cores))) if active_cores else 1
+        tpc = min(tpc, self.machine.threads_per_core)
+        smt = _SMT_GAIN.get(tpc, _SMT_GAIN[4])
+        lanes = min(params.simd_lanes_used, self.machine.simd_width)
+        fma = 2.0  # multiply + add per lane per cycle
+        return (
+            self.machine.clock_ghz
+            * 1e9
+            * active_cores
+            * smt
+            * fma
+            * lanes
+            * params.issue_fraction
+        )
+
+    # -- per-step phases ----------------------------------------------------
+
+    def _local_planes(self, workload: Workload, placement: Placement) -> float:
+        nx = workload.global_shape[0]
+        if nx < placement.total_ranks:
+            raise DecompositionError(
+                f"{nx} planes over {placement.total_ranks} ranks"
+            )
+        return nx / placement.total_ranks
+
+    def step_breakdown(
+        self,
+        params: CodeParams,
+        workload: Workload,
+        placement: Placement,
+        ghost_depth: int | None = None,
+        check_memory: bool = False,
+    ) -> StepBreakdown:
+        """Predict one time step's per-node phase times."""
+        depth = params.ghost_depth if ghost_depth is None else ghost_depth
+        has_gc = depth > 0
+        depth_eff = max(1, depth)
+        k = self.lattice.max_displacement
+        width = depth_eff * k
+        area = workload.cross_section
+        q = self.lattice.q
+
+        local_nx = self._local_planes(workload, placement)
+        if check_memory:
+            ny, nz = workload.global_shape[1], workload.global_shape[2]
+            self.memory.require_fits(
+                int(round(local_nx)), ny, nz, depth_eff, placement.tasks_per_node
+            )
+
+        cells_node = workload.cells / placement.nodes
+
+        bw = self.node_bandwidth(params, placement)
+        fl = self.node_flops(params, placement)
+        t_cell = max(self.bytes / bw, self.flops * params.work_overhead / fl)
+        # Per-iteration OpenMP synchronization tax on the compute sweeps.
+        t_cell *= 1.0 + _OMP_TAX * (placement.threads_per_task - 1)
+        t_compute = cells_node * t_cell
+
+        # Ghost-region updates: the padded sweep streams through the
+        # halo every step (k planes per side even at depth 1) and, for
+        # deep halos, collides the shrinking validity window — on
+        # average k*(d-1) extra collided planes plus 2k streamed ghost
+        # planes per rank per step, i.e. k*(d+1) plane-updates of
+        # overhead.  This is the cost the paper's §III-B model leaves
+        # out ("the ghost cell implementation will add computation
+        # cycles not accounted for in the flop/flup ratio").
+        ghost_planes = k * (depth_eff + 1)
+        t_ghost = placement.tasks_per_node * ghost_planes * area * t_cell
+
+        # Pack and unpack both borders every exchange (deep-halo
+        # payloads are strided across velocity blocks, so the unpack
+        # cannot fold into the stream sweep), plus one-copy
+        # shared-memory halo moves between tasks on the same node,
+        # amortised over the exchange period.
+        pack_bytes = 3.0 * width * area * q * 8
+        copy_bytes = 1.0 * (placement.tasks_per_node - 1) * width * area * q * 8
+        t_pack = (placement.tasks_per_node * pack_bytes + copy_bytes) / (
+            self.machine.memory_bandwidth
+        ) / depth_eff
+
+        # Off-node transfer: the slab chain crosses each node boundary
+        # once per direction; both directions run concurrently on the
+        # bidirectional link pair.  On-node neighbor pairs exchange
+        # through shared memory at a much smaller per-message latency.
+        link_bw = self.machine.torus_link_bandwidth_software_gbs * 1e9
+        bytes_side = width * area * q * 8
+        t_transfer = bytes_side / link_bw
+        latency = 2.0 * params.message_latency_s + 2.0 * (
+            placement.tasks_per_node - 1
+        ) * _SHM_LATENCY_S
+        overlap = params.schedule.overlap_fraction if has_gc else 0.0
+        t_comm = (1.0 - overlap) * (latency + t_transfer) / depth_eff
+
+        # Load-imbalance waiting (the Fig. 9 quantity).  Per-step jitter
+        # between exchanges partially cancels (random-walk), so waits
+        # consolidate as 1/sqrt(depth) rather than 1/depth — the
+        # mechanism that makes deep halos pay off for large subdomains
+        # (Fig. 10 / Tables III-IV) but not small ones.
+        # More tasks per node means more subdomain boundaries waiting
+        # independently — exposure grows ~sqrt(tasks) (max of more
+        # correlated waits).
+        sync_mult = _SYNC_MULTIPLIER[has_gc][params.schedule]
+        t_sync = (
+            params.jitter_fraction
+            * _rank_noise_factor(placement.total_ranks)
+            * placement.tasks_per_node**0.5
+            * (t_compute + t_ghost)
+            * sync_mult
+            / depth_eff**0.5
+        )
+
+        return StepBreakdown(
+            compute_s=t_compute,
+            ghost_s=t_ghost,
+            pack_s=t_pack,
+            comm_exposed_s=t_comm,
+            sync_s=t_sync,
+            cells_per_node=cells_node,
+        )
+
+    # -- top-level predictions ---------------------------------------------
+
+    def mflups_aggregate(
+        self,
+        params: CodeParams,
+        workload: Workload,
+        placement: Placement,
+        ghost_depth: int | None = None,
+    ) -> float:
+        """Aggregate MFlup/s over all nodes (Fig. 8 y-axis)."""
+        b = self.step_breakdown(params, workload, placement, ghost_depth)
+        return b.mflups_per_node * placement.nodes
+
+    def runtime_seconds(
+        self,
+        params: CodeParams,
+        workload: Workload,
+        placement: Placement,
+        ghost_depth: int | None = None,
+        check_memory: bool = False,
+    ) -> float:
+        """Wall-clock for the whole run (Figs. 10/11 y-axis)."""
+        b = self.step_breakdown(
+            params, workload, placement, ghost_depth, check_memory=check_memory
+        )
+        return b.total_s * workload.steps

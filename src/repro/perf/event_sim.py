@@ -1,0 +1,176 @@
+"""Per-rank discrete-event timeline simulator (paper Fig. 9).
+
+Simulates ``R`` ranks in the periodic 1-D exchange chain over ``T``
+steps and records, per rank, the total time spent waiting in
+``MPI_Waitall`` plus transferring — the paper's "time in communication".
+Three schedule families, matching Fig. 9's legend:
+
+* **NB-C** — non-blocking without ghost cells: the collide of step ``t``
+  needs both neighbors' *stream* results of step ``t``; a slow neighbor
+  stalls the rank mid-step and the stall cascades 1 hop/step along the
+  chain.
+* **NB-C & GC** — ghost cells: border data for step ``t+1`` is sent at
+  the *end* of step ``t``, giving one collide of slack; only skew that
+  outlives the slack is exposed.
+* **GC-C** — split ghost collide: sends are posted *before* the
+  ghost-region collide and receives are consumed *after* the next
+  interior collide, widening the slack window at both ends so only
+  extreme events surface (Fig. 7 of the paper).
+
+The simulation is exact discrete-event bookkeeping over the supplied
+per-(step, rank) compute times; the stochastic inputs come from
+:class:`~repro.perf.noise.JitterModel`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..parallel.schedules import ExchangeSchedule
+from .noise import JitterModel
+
+__all__ = ["CommSimResult", "simulate_comm_times"]
+
+#: Fraction of a step spent in stream (sends post after it under NB-C).
+STREAM_FRACTION = 0.55
+
+#: Fraction of a step spent colliding the ghost region (GC-C overlap window).
+GHOST_COLLIDE_FRACTION = 0.10
+
+#: Interior work done before ghost data is first consumed when the sweep
+#: is ordered interior-first (slack window of the NB-C & GC schedule).
+INTERIOR_SLACK_FRACTION = 0.40
+
+
+@dataclasses.dataclass(frozen=True)
+class CommSimResult:
+    """Per-rank communication-time totals for one schedule."""
+
+    schedule: ExchangeSchedule
+    comm_seconds: np.ndarray  # (R,)
+    elapsed_seconds: float
+
+    @property
+    def min(self) -> float:
+        return float(self.comm_seconds.min())
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.comm_seconds))
+
+    @property
+    def max(self) -> float:
+        return float(self.comm_seconds.max())
+
+    def summary(self) -> tuple[float, float, float]:
+        """(min, median, max) — the paper's Fig. 9 triplet."""
+        return (self.min, self.median, self.max)
+
+
+def _neighbors(values: np.ndarray) -> np.ndarray:
+    """Elementwise max of the two chain neighbors (periodic)."""
+    return np.maximum(np.roll(values, 1), np.roll(values, -1))
+
+
+def simulate_comm_times(
+    schedule: ExchangeSchedule,
+    num_ranks: int = 128,
+    steps: int = 300,
+    base_step_seconds: float = 0.11,
+    transfer_seconds: float = 0.007,
+    jitter: JitterModel | None = None,
+    ghost_depth: int = 1,
+) -> CommSimResult:
+    """Run the timeline simulation for one schedule.
+
+    Parameters
+    ----------
+    schedule:
+        One of NB-C (``NONBLOCKING``), NB-C & GC (``NONBLOCKING_GC``),
+        GC-C (``GC_SPLIT``) or ``BLOCKING``.
+    num_ranks, steps:
+        Chain length and number of time steps (Fig. 9 uses 300 steps).
+    base_step_seconds:
+        Nominal per-rank compute time per step.
+    transfer_seconds:
+        Wire time per exchange (both directions concurrent).
+    jitter:
+        Noise model; defaults to the calibrated :class:`JitterModel`.
+    ghost_depth:
+        Deep-halo depth: exchanges happen every ``ghost_depth`` steps
+        (> 1 consolidates waits; used by the depth ablation bench).
+    """
+    jitter = jitter or JitterModel()
+    compute = jitter.compute_times(base_step_seconds, num_ranks, steps)
+    # Per-rank per-message software/route cost; the fraction not hidden
+    # by the schedule's overlap is exposed on every exchange.
+    contention = jitter.message_contention(num_ranks, transfer_seconds)
+    exposed_contention = (1.0 - schedule.overlap_fraction) * contention
+
+    end_prev = np.zeros(num_ranks)  # completion time of previous step
+    send_prev = np.zeros(num_ranks)  # when the previous step's sends posted
+    comm = np.zeros(num_ranks)
+
+    for t in range(steps):
+        c = compute[t]
+        exchange_step = (t % ghost_depth) == 0
+        if exchange_step:
+            # Exposed route/software cost is charged to the rank's MPI
+            # time but (to first order) does not shift the global
+            # timeline: it is spent inside the network stack while
+            # neighbors progress independently.
+            comm += exposed_contention
+        if schedule in (ExchangeSchedule.BLOCKING, ExchangeSchedule.NONBLOCKING):
+            # Collide needs the neighbors' stream of *this* step.
+            stream_done = end_prev + STREAM_FRACTION * c
+            if exchange_step:
+                # Blocking posts sends only when the exchange begins
+                # (after stream); non-blocking pre-posts receives, which
+                # shaves the transfer serialization, modelled as a
+                # single vs double transfer charge.
+                serial = 2.0 if schedule is ExchangeSchedule.BLOCKING else 1.0
+                data_ready = _neighbors(stream_done) + serial * transfer_seconds
+                wait = np.maximum(0.0, data_ready - stream_done)
+                comm += wait + transfer_seconds
+            else:
+                wait = 0.0
+            end = stream_done + wait + (1.0 - STREAM_FRACTION) * c
+        elif schedule is ExchangeSchedule.NONBLOCKING_GC:
+            # Sends were posted at the end of the previous step.  The
+            # sweep is ordered interior-first, so the ghost data is only
+            # consumed part-way into this step's stream — that interior
+            # work is slack that absorbs neighbor delays.
+            if exchange_step and t > 0:
+                data_ready = _neighbors(send_prev) + transfer_seconds
+                consume_at = end_prev + INTERIOR_SLACK_FRACTION * c
+                wait = np.maximum(0.0, data_ready - consume_at)
+                comm += wait + transfer_seconds
+            else:
+                wait = 0.0
+            end = end_prev + wait + c
+            send_prev = end  # posted at end of step
+        elif schedule is ExchangeSchedule.GC_SPLIT:
+            # Sends post before the ghost collide of the previous step
+            # (earlier) and receives are consumed only after this step's
+            # interior stream+collide (later) — slack on both sides
+            # covering nearly the whole step (Fig. 7).
+            if exchange_step and t > 0:
+                data_ready = _neighbors(send_prev) + transfer_seconds
+                consume_at = end_prev + (1.0 - GHOST_COLLIDE_FRACTION) * c
+                wait = np.maximum(0.0, data_ready - consume_at)
+                comm += wait + transfer_seconds
+            else:
+                wait = 0.0
+            end = end_prev + wait + c
+            send_prev = end - GHOST_COLLIDE_FRACTION * c
+        else:  # pragma: no cover - exhaustive over enum
+            raise ValueError(f"unknown schedule {schedule}")
+        end_prev = end
+
+    return CommSimResult(
+        schedule=schedule,
+        comm_seconds=comm,
+        elapsed_seconds=float(end_prev.max()),
+    )

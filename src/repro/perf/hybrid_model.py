@@ -1,0 +1,100 @@
+"""Hybrid MPI/OpenMP threading study (paper §VI-B, Fig. 11).
+
+For a fixed global problem, sweeps tasks-per-node × threads-per-task
+placements and reports the best runtime over ghost depths for each —
+the paper plots "the time of the minimal ghost cell implementation".
+
+The competing mechanisms (all in the cost model):
+
+* more threads → saturate the node's memory system (a single thread
+  drives only a fraction of ``Bm``), but pay OpenMP team overhead;
+* more tasks → smaller subdomains, more ghost planes, more halo
+  pack/copy traffic and on-node messages ("the number of ghost cells in
+  a simulation is equal to the area of the cross sections of the number
+  of domains multiplied by 2n");
+* D3Q39's k = 3 halo makes the task-count penalty roughly three times
+  the D3Q19 one, which is why hybrid placements win more clearly for
+  the higher-order model (the paper's headline Fig. 11 observation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import DecompositionError, OutOfMemoryModelError
+from ..lattice import VelocitySet
+from ..machine.spec import MachineSpec
+from .cost_model import CostModel, Placement, Workload
+from .params import CodeParams
+
+__all__ = ["HybridSweepPoint", "sweep_hybrid"]
+
+
+@dataclasses.dataclass(frozen=True)
+class HybridSweepPoint:
+    """Best-over-depth runtime for one tasks×threads placement."""
+
+    tasks_per_node: int
+    threads_per_task: int
+    runtime_s: float | None  # None = infeasible (memory or decomposition)
+    best_depth: int | None
+
+    @property
+    def label(self) -> str:
+        """Fig. 11b style axis label, e.g. ``"4-16"``."""
+        return f"{self.tasks_per_node}-{self.threads_per_task}"
+
+
+def sweep_hybrid(
+    machine: MachineSpec,
+    lattice: VelocitySet,
+    params: CodeParams,
+    workload: Workload,
+    nodes: int,
+    combos: tuple[tuple[int, int], ...],
+    depths: tuple[int, ...] = (1, 2, 3, 4),
+    check_memory: bool = True,
+) -> list[HybridSweepPoint]:
+    """Evaluate every tasks×threads combination on a fixed workload.
+
+    Placements that oversubscribe the node's hardware threads, break
+    the decomposition, or exceed node memory are returned with
+    ``runtime_s=None`` rather than raising, so the harness can show the
+    feasibility boundary the way the paper's figure does.
+    """
+    model = CostModel(machine, lattice)
+    points: list[HybridSweepPoint] = []
+    for tasks, threads in combos:
+        placement = Placement(
+            nodes=nodes, tasks_per_node=tasks, threads_per_task=threads
+        )
+        if tasks * threads > machine.max_threads_per_node:
+            points.append(HybridSweepPoint(tasks, threads, None, None))
+            continue
+        best: tuple[float, int] | None = None
+        for depth in depths:
+            try:
+                t = model.runtime_seconds(
+                    params,
+                    workload,
+                    placement,
+                    ghost_depth=depth,
+                    check_memory=check_memory,
+                )
+            except (OutOfMemoryModelError, DecompositionError):
+                continue
+            if best is None or t < best[0]:
+                best = (t, depth)
+        if best is None:
+            points.append(HybridSweepPoint(tasks, threads, None, None))
+        else:
+            points.append(HybridSweepPoint(tasks, threads, best[0], best[1]))
+    return points
+
+
+def best_point(points: list[HybridSweepPoint]) -> HybridSweepPoint:
+    """The feasible placement with the smallest runtime."""
+    feasible = [p for p in points if p.runtime_s is not None]
+    if not feasible:
+        raise ValueError("no feasible placement in sweep")
+    return min(feasible, key=lambda p: p.runtime_s)

@@ -1,0 +1,54 @@
+"""Throughput metrics (paper §III-B, Eq. 4).
+
+"A more meaningful metric is the work done per unit time.  For LBM, this
+means the number of lattice points updated per second ... MFlup/s, or
+million lattice point updates per second."
+"""
+
+from __future__ import annotations
+
+__all__ = ["mflups", "runtime_for_mflups", "parallel_efficiency", "speedup"]
+
+
+def mflups(steps: int, num_fluid_cells: int, elapsed_seconds: float) -> float:
+    """Eq. 4: ``P = s * Nfl / (T(s) * 1e6)``.
+
+    Parameters
+    ----------
+    steps:
+        Time steps simulated (``s``).
+    num_fluid_cells:
+        Fluid cells in the domain (``Nfl``).
+    elapsed_seconds:
+        Wall-clock time for the ``steps`` updates (``T(s)``).
+    """
+    if steps < 0 or num_fluid_cells < 0:
+        raise ValueError("steps and cell count must be non-negative")
+    if elapsed_seconds <= 0:
+        raise ValueError(f"elapsed time must be positive, got {elapsed_seconds}")
+    return steps * num_fluid_cells / (elapsed_seconds * 1e6)
+
+
+def runtime_for_mflups(steps: int, num_fluid_cells: int, p_mflups: float) -> float:
+    """Invert Eq. 4: wall-clock seconds implied by a throughput."""
+    if p_mflups <= 0:
+        raise ValueError(f"throughput must be positive, got {p_mflups}")
+    return steps * num_fluid_cells / (p_mflups * 1e6)
+
+
+def speedup(baseline_seconds: float, optimized_seconds: float) -> float:
+    """Plain runtime ratio (the paper's '3x' / '7.5x' improvements)."""
+    if optimized_seconds <= 0:
+        raise ValueError("optimized time must be positive")
+    return baseline_seconds / optimized_seconds
+
+
+def parallel_efficiency(p_measured: float, p_upper_bound: float) -> float:
+    """Fraction of the model's attainable throughput achieved.
+
+    The paper reports 92%/83% (BG/P) and 85%/79% (BG/Q) for
+    D3Q19/D3Q39 at the top of the optimization ladder.
+    """
+    if p_upper_bound <= 0:
+        raise ValueError("upper bound must be positive")
+    return p_measured / p_upper_bound

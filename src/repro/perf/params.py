@@ -1,0 +1,84 @@
+"""Mechanistic code-state parameters for the performance model.
+
+A :class:`CodeParams` captures *how well the implementation uses the
+hardware* at one point of the paper's optimization ladder.  The cost
+model (:mod:`repro.perf.cost_model`) turns a ``CodeParams`` plus a
+machine/lattice/workload into predicted step times and MFlup/s; the
+ladder tables in :mod:`repro.perf.optimization` supply the per-level
+parameter changes, each annotated with the paper sentence it encodes.
+
+These are *calibrated constants* (see DESIGN.md §2): the paper measured
+its C code on real Blue Genes; we carry the measured per-optimization
+effects as data and let the mechanistic model produce every derived
+curve (ladders, depth sweeps, threading sweeps) from them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..parallel.schedules import ExchangeSchedule
+
+__all__ = ["CodeParams"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CodeParams:
+    """State of the code at one optimization level.
+
+    Attributes
+    ----------
+    bandwidth_fraction:
+        Fraction of the node's main-store bandwidth ``Bm`` the
+        stream/collide sweeps achieve (cache-friendliness; raised by the
+        DH and CF levels).
+    issue_fraction:
+        Fraction of a core's scalar issue rate achieved in the collide
+        ("max issue rate per core rose from 16.19% to 29.52%", §VI).
+    simd_lanes_used:
+        SIMD lanes effectively exploited (1 = scalar; raised by the SIMD
+        level to the machine's width on BG/P, partially on BG/Q).
+    work_overhead:
+        Multiplier >= 1 on per-cell work for branches, redundant index
+        arithmetic and divisions (reduced by DH and LoBr).
+    schedule:
+        Communication schedule (see
+        :class:`~repro.parallel.schedules.ExchangeSchedule`).
+    ghost_depth:
+        Deep-halo depth; 0 = no ghost cells at all (the pre-GC state
+        where the collide waits on neighbor borders every step).
+    message_latency_s:
+        Effective per-message software overhead (send/recv posting,
+        matching, first-byte latency).
+    jitter_fraction:
+        Magnitude of per-rank compute-time imbalance feeding the
+        event simulator (reduced by communication tuning only insofar
+        as waits, not the jitter itself, are restructured).
+    """
+
+    bandwidth_fraction: float
+    issue_fraction: float
+    simd_lanes_used: float
+    work_overhead: float
+    schedule: ExchangeSchedule
+    ghost_depth: int
+    message_latency_s: float
+    jitter_fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.bandwidth_fraction <= 1:
+            raise ValueError(f"bandwidth_fraction {self.bandwidth_fraction} not in (0,1]")
+        if not 0 < self.issue_fraction <= 1:
+            raise ValueError(f"issue_fraction {self.issue_fraction} not in (0,1]")
+        if self.simd_lanes_used < 1:
+            raise ValueError("simd_lanes_used must be >= 1")
+        if self.work_overhead < 1:
+            raise ValueError("work_overhead must be >= 1")
+        if self.ghost_depth < 0:
+            raise ValueError("ghost_depth must be >= 0")
+        if self.message_latency_s < 0 or self.jitter_fraction < 0:
+            raise ValueError("latency and jitter must be non-negative")
+
+    def replace(self, **changes) -> "CodeParams":
+        """Functional update (used by the ladder builder)."""
+        return dataclasses.replace(self, **changes)

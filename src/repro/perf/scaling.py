@@ -1,0 +1,85 @@
+"""Strong- and weak-scaling predictions from the cost model.
+
+Not a figure in the paper, but the question its §III-C torus analysis
+answers implicitly: how far do the models scale before halo traffic and
+imbalance dominate?  Used by ``examples/scaling_study.py`` and the
+scaling shape tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..lattice import VelocitySet
+from ..machine.spec import MachineSpec
+from .cost_model import CostModel, Placement, Workload
+from .params import CodeParams
+
+__all__ = ["ScalingPoint", "strong_scaling", "weak_scaling"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalingPoint:
+    """One node count of a scaling sweep."""
+
+    nodes: int
+    mflups: float
+    efficiency: float
+    comm_fraction: float
+
+
+def strong_scaling(
+    machine: MachineSpec,
+    lattice: VelocitySet,
+    params: CodeParams,
+    workload: Workload,
+    node_counts: tuple[int, ...],
+    tasks_per_node: int = 1,
+    threads_per_task: int = 1,
+) -> list[ScalingPoint]:
+    """Fixed global problem, growing node count.
+
+    Efficiency is relative to ideal scaling from the smallest count.
+    """
+    model = CostModel(machine, lattice)
+    points: list[ScalingPoint] = []
+    base_per_node: float | None = None
+    for nodes in node_counts:
+        placement = Placement(nodes, tasks_per_node, threads_per_task)
+        b = model.step_breakdown(params, workload, placement)
+        agg = b.mflups_per_node * nodes
+        if base_per_node is None:
+            base_per_node = agg / nodes
+        efficiency = agg / (base_per_node * nodes)
+        points.append(
+            ScalingPoint(nodes, agg, efficiency, b.comm_fraction)
+        )
+    return points
+
+
+def weak_scaling(
+    machine: MachineSpec,
+    lattice: VelocitySet,
+    params: CodeParams,
+    planes_per_node: int,
+    cross_section: tuple[int, int],
+    node_counts: tuple[int, ...],
+    tasks_per_node: int = 1,
+    threads_per_task: int = 1,
+    steps: int = 300,
+) -> list[ScalingPoint]:
+    """Fixed per-node work, growing node count (and problem)."""
+    model = CostModel(machine, lattice)
+    ny, nz = cross_section
+    points: list[ScalingPoint] = []
+    base_per_node: float | None = None
+    for nodes in node_counts:
+        workload = Workload(lattice, (planes_per_node * nodes, ny, nz), steps=steps)
+        placement = Placement(nodes, tasks_per_node, threads_per_task)
+        b = model.step_breakdown(params, workload, placement)
+        agg = b.mflups_per_node * nodes
+        if base_per_node is None:
+            base_per_node = agg / nodes
+        efficiency = (agg / nodes) / base_per_node
+        points.append(ScalingPoint(nodes, agg, efficiency, b.comm_fraction))
+    return points

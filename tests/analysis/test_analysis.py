@@ -1,0 +1,51 @@
+"""Tests for table rendering and ASCII plotting."""
+
+import pytest
+
+from repro.analysis import bar_chart, render_table
+from repro.analysis.paper_reference import FIG8_ENDPOINTS, TABLE2
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["col", "x"], [["a", 1], ["bbbb", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("col")
+        assert all("|" in l for l in (lines[0], lines[2], lines[3]))
+        # columns aligned: separator positions identical
+        assert lines[2].index("|") == lines[3].index("|")
+
+    def test_title(self):
+        out = render_table(["a"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+
+class TestBarChart:
+    def test_basic(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_infeasible_marker(self):
+        out = bar_chart(["a", "b"], [1.0, None])
+        assert "(infeasible)" in out
+
+    def test_all_none(self):
+        assert "no feasible data" in bar_chart(["a"], [None])
+
+    def test_title_and_unit(self):
+        out = bar_chart(["a"], [2.0], title="X", unit="s")
+        assert out.splitlines()[0] == "X"
+        assert "2s" in out
+
+
+class TestPaperReference:
+    def test_table2_is_bandwidth_limited_everywhere(self):
+        for (_, _), (bm, p_bm, peak, p_peak) in TABLE2.items():
+            assert p_bm < p_peak  # bandwidth always binds
+
+    def test_fig8_fractions_are_fractions(self):
+        for frac, improvement in FIG8_ENDPOINTS.values():
+            assert 0 < frac < 1
+            assert improvement > 1

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lattice import get_lattice
+
+
+@pytest.fixture(params=["D3Q15", "D3Q19", "D3Q27", "D3Q39"])
+def lattice(request):
+    """Every registered lattice."""
+    return get_lattice(request.param)
+
+
+@pytest.fixture(params=["D3Q19", "D3Q39"])
+def paper_lattice(request):
+    """The two lattices the paper studies."""
+    return get_lattice(request.param)
+
+
+@pytest.fixture
+def q19():
+    return get_lattice("D3Q19")
+
+
+@pytest.fixture
+def q39():
+    return get_lattice("D3Q39")
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for random fields."""
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def small_shape():
+    """A small anisotropic grid (catches axis mix-ups)."""
+    return (6, 5, 4)
+
+
+def random_state(lattice, shape, rng, amplitude=0.02):
+    """A random near-equilibrium (rho, u) pair."""
+    rho = 1.0 + amplitude * rng.standard_normal(shape)
+    u = amplitude * rng.standard_normal((lattice.dim, *shape))
+    return rho, u
+
+
+@pytest.fixture
+def make_random_state(rng):
+    """Factory fixture for random (rho, u) fields."""
+
+    def factory(lattice, shape, amplitude=0.02):
+        return random_state(lattice, shape, rng, amplitude)
+
+    return factory

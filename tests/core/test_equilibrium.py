@@ -1,0 +1,126 @@
+"""Tests for the Hermite equilibria (paper Eqs. 2-3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import equilibrium, equilibrium_order_for
+from repro.errors import LatticeError
+from repro.lattice import get_lattice
+
+
+class TestOrderResolution:
+    def test_native_orders(self, q19, q39):
+        assert equilibrium_order_for(q19, None) == 2
+        assert equilibrium_order_for(q39, None) == 3
+
+    def test_explicit_order_within_support(self, q39):
+        assert equilibrium_order_for(q39, 2) == 2
+
+    def test_third_order_on_d3q19_rejected(self, q19):
+        # the reason the paper needs D3Q39 at all
+        with pytest.raises(LatticeError, match="higher-isotropy"):
+            equilibrium_order_for(q19, 3)
+
+    def test_out_of_range_order(self, q39):
+        with pytest.raises(LatticeError):
+            equilibrium_order_for(q39, 0)
+        with pytest.raises(LatticeError):
+            equilibrium_order_for(q39, 4)
+
+
+class TestConservation:
+    """feq must carry exactly the density and momentum it was built from."""
+
+    @pytest.mark.parametrize("order", [1, 2])
+    def test_mass_all_lattices(self, lattice, order, make_random_state, small_shape):
+        rho, u = make_random_state(lattice, small_shape)
+        feq = equilibrium(lattice, rho, u, order=order)
+        assert np.allclose(feq.sum(axis=0), rho, atol=1e-14)
+
+    @pytest.mark.parametrize("order", [1, 2])
+    def test_momentum_all_lattices(self, lattice, order, make_random_state, small_shape):
+        rho, u = make_random_state(lattice, small_shape)
+        feq = equilibrium(lattice, rho, u, order=order)
+        c = lattice.velocities.astype(float)
+        mom = np.tensordot(c.T, feq, axes=([1], [0]))
+        assert np.allclose(mom, rho[None] * u, atol=1e-14)
+
+    def test_third_order_conserves_on_d3q39(self, q39, make_random_state, small_shape):
+        rho, u = make_random_state(q39, small_shape)
+        feq = equilibrium(q39, rho, u, order=3)
+        c = q39.velocities.astype(float)
+        assert np.allclose(feq.sum(axis=0), rho, atol=1e-14)
+        mom = np.tensordot(c.T, feq, axes=([1], [0]))
+        assert np.allclose(mom, rho[None] * u, atol=1e-14)
+
+    def test_second_moment_matches_ideal_gas(self, paper_lattice, make_random_state, small_shape):
+        """Pi^eq_ab = rho cs2 delta_ab + rho u_a u_b at order >= 2."""
+        lat = paper_lattice
+        rho, u = make_random_state(lat, small_shape, amplitude=0.01)
+        feq = equilibrium(lat, rho, u)
+        c = lat.velocities.astype(float)
+        pi = np.einsum("qa,qb,q...->ab...", c, c, feq)
+        expected = lat.cs2_float * rho * np.eye(3)[:, :, None, None, None]
+        expected = expected + rho[None, None] * np.einsum("a...,b...->ab...", u, u)
+        assert np.allclose(pi, expected, atol=1e-12)
+
+
+class TestPointwiseFormula:
+    """Vectorized equilibrium equals the scalar textbook formula."""
+
+    def test_against_scalar_evaluation(self, q39):
+        rho = np.array([[[1.05]]])
+        u = np.array([0.03, -0.02, 0.01]).reshape(3, 1, 1, 1)
+        feq = equilibrium(q39, rho, u, order=3)
+        cs2 = q39.cs2_float
+        u2 = float((u[0] ** 2 + u[1] ** 2 + u[2] ** 2).item())
+        for i in range(q39.q):
+            cu = float(np.dot(q39.velocities[i], u[:, 0, 0, 0]))
+            expected = (
+                q39.weights[i]
+                * 1.05
+                * (
+                    1.0
+                    + cu / cs2
+                    + 0.5 * (cu / cs2) ** 2
+                    - 0.5 * u2 / cs2
+                    + cu / (6 * cs2**2) * (cu**2 / cs2 - 3 * u2)
+                )
+            )
+            assert feq[i, 0, 0, 0] == pytest.approx(expected, rel=1e-14)
+
+    def test_zero_velocity_gives_weights(self, lattice):
+        feq = equilibrium(lattice, np.ones((2, 2, 2)), np.zeros((3, 2, 2, 2)))
+        for i in range(lattice.q):
+            assert np.allclose(feq[i], lattice.weights[i])
+
+    def test_positive_at_moderate_mach(self, paper_lattice):
+        rho = np.ones((2, 2, 2))
+        u = np.full((3, 2, 2, 2), 0.05)
+        feq = equilibrium(paper_lattice, rho, u)
+        assert (feq > 0).all()
+
+
+class TestBuffersAndErrors:
+    def test_out_buffer_reused(self, q19):
+        rho = np.ones((3, 3, 3))
+        u = np.zeros((3, 3, 3, 3))
+        out = np.empty((19, 3, 3, 3))
+        result = equilibrium(q19, rho, u, out=out)
+        assert result is out
+
+    def test_wrong_velocity_dim_raises(self, q19):
+        with pytest.raises(LatticeError, match="leading dim"):
+            equilibrium(q19, np.ones((3, 3, 3)), np.zeros((2, 3, 3, 3)))
+
+    def test_galilean_shift_order2_error_is_cubic(self, q19):
+        """Order-2 truncation error grows as u^3 (sanity on truncation)."""
+        rho = np.ones((1, 1, 1))
+        errs = []
+        for mag in (0.02, 0.04):
+            u = np.full((3, 1, 1, 1), mag)
+            feq2 = equilibrium(q19, rho, u, order=2)
+            feq1 = equilibrium(q19, rho, u, order=1)
+            errs.append(np.abs(feq2 - feq1).max())
+        # second-order term scales ~u^2: ratio ~4 for 2x velocity
+        assert errs[1] / errs[0] == pytest.approx(4.0, rel=0.1)

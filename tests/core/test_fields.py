@@ -1,0 +1,70 @@
+"""Tests for the distribution-field container."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributionField, uniform_flow
+from repro.errors import LatticeError
+
+
+class TestConstruction:
+    def test_zeros(self, q19):
+        field = DistributionField.zeros(q19, (4, 5, 6))
+        assert field.data.shape == (19, 4, 5, 6)
+        assert field.num_cells == 120
+
+    def test_layout_is_velocity_major_contiguous(self, q39):
+        """The paper's collision-optimized layout: C-contiguous with the
+        velocity index outermost."""
+        field = DistributionField.zeros(q39, (4, 4, 4))
+        assert field.data.flags["C_CONTIGUOUS"]
+        assert field.data.strides[0] == max(field.data.strides)
+
+    def test_from_equilibrium(self, q19):
+        rho, u = uniform_flow((3, 3, 3), velocity=(0.01, 0, 0))
+        field = DistributionField.from_equilibrium(q19, rho, u)
+        assert field.data.sum() == pytest.approx(27.0)
+
+    def test_bad_shape_rejected(self, q19):
+        with pytest.raises(LatticeError):
+            DistributionField.zeros(q19, (4, 4))
+        with pytest.raises(LatticeError):
+            DistributionField.zeros(q19, (4, 4, 0))
+
+    def test_wrong_q_rejected(self, q19):
+        with pytest.raises(LatticeError, match="Q"):
+            DistributionField(q19, np.zeros((20, 3, 3, 3)))
+
+    def test_nbytes(self, q19):
+        field = DistributionField.zeros(q19, (10, 10, 10))
+        assert field.nbytes == 19 * 1000 * 8
+
+
+class TestOperations:
+    def test_copy_is_deep(self, q19):
+        a = DistributionField.zeros(q19, (3, 3, 3))
+        b = a.copy()
+        b[0, 0, 0, 0] = 1.0
+        assert a[0, 0, 0, 0] == 0.0
+
+    def test_allclose_same_lattice(self, q19):
+        a = DistributionField.zeros(q19, (3, 3, 3))
+        b = a.copy()
+        assert a.allclose(b)
+
+    def test_allclose_rejects_cross_lattice(self, q19, q39):
+        a = DistributionField.zeros(q19, (3, 3, 3))
+        b = DistributionField.zeros(q39, (3, 3, 3))
+        with pytest.raises(LatticeError):
+            a.allclose(b)
+
+    def test_is_finite(self, q19):
+        a = DistributionField.zeros(q19, (3, 3, 3))
+        assert a.is_finite()
+        a[0, 0, 0, 0] = np.nan
+        assert not a.is_finite()
+
+    def test_indexing_passthrough(self, q19):
+        a = DistributionField.zeros(q19, (3, 3, 3))
+        a[2] = 5.0
+        assert (a[2] == 5.0).all()

@@ -1,0 +1,78 @@
+"""Tests for the analytic initial conditions."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    density_pulse,
+    random_perturbation,
+    shear_wave,
+    taylor_green,
+    uniform_flow,
+)
+
+
+class TestShapes:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda s: uniform_flow(s),
+            lambda s: shear_wave(s),
+            lambda s: random_perturbation(s),
+            lambda s: density_pulse(s),
+        ],
+    )
+    def test_shapes(self, factory):
+        shape = (8, 6, 4)
+        rho, u = factory(shape)
+        assert rho.shape == shape
+        assert u.shape == (3, *shape)
+
+
+class TestShearWave:
+    def test_transverse(self):
+        rho, u = shear_wave((16, 4, 4), amplitude=1e-3, vary_axis=0, flow_axis=1)
+        assert np.abs(u[0]).max() == 0.0
+        assert np.abs(u[1]).max() == pytest.approx(1e-3, rel=1e-3)
+
+    def test_longitudinal_rejected(self):
+        with pytest.raises(ValueError, match="transverse"):
+            shear_wave((8, 8, 8), vary_axis=0, flow_axis=0)
+
+    def test_zero_mean(self):
+        _, u = shear_wave((32, 4, 4))
+        assert abs(u[1].mean()) < 1e-15
+
+    def test_wavenumber(self):
+        _, u = shear_wave((32, 4, 4), wavenumber=2, amplitude=1.0)
+        # two full periods: u(x) = u(x + 16)
+        assert np.allclose(u[1][:16], u[1][16:])
+
+
+class TestTaylorGreen:
+    def test_divergence_free(self):
+        _, u = taylor_green((32, 32, 4), u0=1.0)
+        dux = (np.roll(u[0], -1, 0) - np.roll(u[0], 1, 0)) / 2
+        duy = (np.roll(u[1], -1, 1) - np.roll(u[1], 1, 1)) / 2
+        assert np.abs(dux + duy).max() < 1e-12
+
+    def test_z_invariant(self):
+        _, u = taylor_green((16, 16, 8))
+        assert np.allclose(u[:, :, :, 0], u[:, :, :, 5])
+
+
+class TestOthers:
+    def test_random_is_deterministic(self):
+        _, u1 = random_perturbation((4, 4, 4), seed=3)
+        _, u2 = random_perturbation((4, 4, 4), seed=3)
+        assert np.array_equal(u1, u2)
+
+    def test_density_pulse_peak_at_centre(self):
+        rho, u = density_pulse((16, 16, 16), amplitude=1e-3)
+        assert rho.argmax() == np.ravel_multi_index((8, 8, 8), (16, 16, 16))
+        assert np.abs(u).max() == 0.0
+
+    def test_uniform_flow_values(self):
+        rho, u = uniform_flow((3, 3, 3), velocity=(0.1, 0.2, 0.3), rho0=2.0)
+        assert (rho == 2.0).all()
+        assert (u[2] == 0.3).all()

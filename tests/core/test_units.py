@@ -1,0 +1,86 @@
+"""Tests for units and dimensionless groups."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    FlowRegime,
+    LatticeUnits,
+    classify_regime,
+    knudsen_number,
+    mach_number,
+    mean_free_path,
+    reynolds_number,
+    tau_for_knudsen,
+)
+
+
+class TestRegimes:
+    def test_continuum(self):
+        assert classify_regime(0.0) is FlowRegime.CONTINUUM
+        assert classify_regime(1e-4) is FlowRegime.CONTINUUM
+
+    def test_slip(self):
+        assert classify_regime(0.05) is FlowRegime.SLIP
+
+    def test_paper_boundary_at_0_1(self):
+        # "flows with Knudsen numbers between 0 and 0.1"
+        assert classify_regime(0.1) is FlowRegime.SLIP
+        assert classify_regime(0.11) is FlowRegime.TRANSITION
+
+    def test_transition_and_free_molecular(self):
+        assert classify_regime(1.0) is FlowRegime.TRANSITION
+        assert classify_regime(50.0) is FlowRegime.FREE_MOLECULAR
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            classify_regime(-0.1)
+
+
+class TestDimensionless:
+    def test_mach(self):
+        assert mach_number(0.1, 1 / 3) == pytest.approx(0.1 * math.sqrt(3))
+
+    def test_reynolds(self):
+        assert reynolds_number(0.05, 100, 0.1) == pytest.approx(50.0)
+
+    def test_mean_free_path_positive(self):
+        assert mean_free_path(0.1, 1 / 3) > 0
+
+    def test_kn_tau_roundtrip(self):
+        for kn in (0.01, 0.1, 1.0):
+            tau = tau_for_knudsen(kn, length=32, cs2=2 / 3)
+            assert knudsen_number(tau, 32, 2 / 3) == pytest.approx(kn)
+
+    def test_tau_half_is_zero_kn(self):
+        assert knudsen_number(0.5, 10, 1 / 3) == 0.0
+
+    def test_higher_kn_needs_larger_tau(self):
+        taus = [tau_for_knudsen(kn, 16, 2 / 3) for kn in (0.01, 0.1, 1.0)]
+        assert taus == sorted(taus)
+        assert taus[0] > 0.5
+
+
+class TestLatticeUnits:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatticeUnits(dx=0.0, dt=1.0)
+
+    def test_velocity_roundtrip(self):
+        units = LatticeUnits(dx=1e-6, dt=1e-8)
+        assert units.to_lattice_velocity(
+            units.to_physical_velocity(0.05)
+        ) == pytest.approx(0.05)
+
+    def test_viscosity_scale(self):
+        units = LatticeUnits(dx=2.0, dt=0.5)
+        assert units.viscosity_scale == pytest.approx(8.0)
+
+    def test_physical_time(self):
+        units = LatticeUnits(dx=1.0, dt=0.25)
+        assert units.to_physical_time(100) == pytest.approx(25.0)
+
+    def test_density(self):
+        units = LatticeUnits(dx=1.0, dt=1.0, rho0=1060.0)  # blood
+        assert units.to_physical_density(1.02) == pytest.approx(1081.2)

@@ -1,0 +1,161 @@
+"""Shape tests over every reproduced artifact (the per-experiment
+checks that EXPERIMENTS.md reports)."""
+
+import pytest
+
+from repro.experiments import available_experiments, run_experiment
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {eid: run_experiment(eid) for eid in available_experiments()}
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_covered(self):
+        assert set(available_experiments()) == {
+            "table1",
+            "table2",
+            "fig8a",
+            "fig8b",
+            "fig9",
+            "fig10a",
+            "fig10b",
+            "tables34",
+            "fig11a",
+            "fig11b",
+        }
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError, match="available"):
+            run_experiment("fig99")
+
+    def test_results_render(self, results):
+        for eid, result in results.items():
+            text = result.to_text()
+            assert len(text.splitlines()) >= 3, eid
+            assert result.experiment_id == eid
+
+
+class TestTable1(object):
+    def test_lattice_structure(self, results):
+        c = results["table1"].checks
+        assert c["q19"] == 19 and c["q39"] == 39
+        assert c["q19_isotropy"] < 6 <= c["q39_isotropy"]
+        assert c["q19_k"] == 1 and c["q39_k"] == 3
+
+
+class TestTable2:
+    def test_within_3pct_of_paper(self, results):
+        from repro.analysis.paper_reference import TABLE2, TORUS_LOWER_BOUNDS
+
+        c = results["table2"].checks
+        for (mkey, lname), (_, p_bm, _, p_peak) in TABLE2.items():
+            assert c[f"{mkey}/{lname}/p_bm"] == pytest.approx(p_bm, rel=0.03)
+            assert c[f"{mkey}/{lname}/p_peak"] == pytest.approx(p_peak, rel=0.01)
+            assert c[f"{mkey}/{lname}/limiter"] == "bandwidth"
+        for key, bound in TORUS_LOWER_BOUNDS.items():
+            assert c[f"{key[0]}/{key[1]}/torus"] == pytest.approx(bound, rel=0.02)
+
+
+class TestFig9:
+    def test_nbc_spread_matches_paper(self, results):
+        """Paper: 4.8 s ... 40 s for D3Q19 under NB-C."""
+        c = results["fig9"].checks
+        assert 3.0 < c["D3Q19/NB-C/min"] < 10.0
+        assert 30.0 < c["D3Q19/NB-C/max"] < 55.0
+
+    def test_gcc_compresses_to_few_seconds(self, results):
+        """Paper: GC-C range ~3-5 s."""
+        c = results["fig9"].checks
+        assert c["D3Q19/GC-C/max"] < 10.0
+        assert c["D3Q19/GC-C/max"] < 0.25 * c["D3Q19/NB-C/max"]
+
+    def test_schedule_ordering_for_both_models(self, results):
+        c = results["fig9"].checks
+        for lname in ("D3Q19", "D3Q39"):
+            assert (
+                c[f"{lname}/NB-C/max"]
+                > c[f"{lname}/NB-C & GC/max"]
+                > c[f"{lname}/GC-C/max"]
+            )
+
+    def test_d3q39_costs_more_comm(self, results):
+        c = results["fig9"].checks
+        assert c["D3Q39/NB-C/max"] > c["D3Q19/NB-C/max"]
+
+
+class TestFig10:
+    def test_fig10a_small_sizes_prefer_gc1(self, results):
+        c = results["fig10a"].checks
+        for size in ("8k", "16k", "32k"):
+            assert c[f"{size}/optimal"] == 1
+
+    def test_fig10a_large_sizes_prefer_deep(self, results):
+        c = results["fig10a"].checks
+        assert c["64k/optimal"] >= 2
+        assert c["133k/optimal"] >= 2
+
+    def test_fig10a_oom_at_133k_depth4(self, results):
+        """'the individual nodes ran out of memory due to the addition
+        of the fourth ghost cell'."""
+        c = results["fig10a"].checks
+        assert c["133k/oom"] == (4,)
+        for size in ("8k", "16k", "32k", "64k"):
+            assert c[f"{size}/oom"] == ()
+
+    def test_fig10b_crossover_at_large_sizes(self, results):
+        c = results["fig10b"].checks
+        assert c["16k/optimal"] == 1
+        assert c["200k/optimal"] >= 2
+
+    def test_fig10_normalized_shape(self, results):
+        """Small systems: monotone penalty with depth; largest systems:
+        depth 2 at or below 1.0."""
+        series_a = results["fig10a"].series
+        assert series_a["8k"][3] > series_a["8k"][1] > series_a["8k"][0]
+        assert series_a["133k"][1] <= 1.0
+
+
+class TestTables34:
+    def test_table3_structure(self, results):
+        c = results["tables34"].checks
+        # paper: depth 1 up to R=16; >= 2 in the 32-66 band
+        for r in (4, 8, 16):
+            assert c[f"t3/{r}"] == 1
+        for r in (48, 64):
+            assert c[f"t3/{r}"] >= 2
+
+    def test_table4_structure(self, results):
+        c = results["tables34"].checks
+        for r in (128, 256):
+            assert c[f"t4/{r}"] == 1
+        for r in (680, 800):
+            assert c[f"t4/{r}"] >= 2
+
+
+class TestFig11:
+    def test_threading_helps_bgp(self, results):
+        c = results["fig11a"].checks
+        for lname in ("D3Q19", "D3Q39"):
+            assert c[f"{lname}/t4_runtime"] < c[f"{lname}/t1_runtime"]
+
+    def test_d3q19_hybrid_ties_vn(self, results):
+        """Paper: 'approximately the same' for D3Q19."""
+        c = results["fig11a"].checks
+        ratio = c["D3Q19/t4_runtime"] / c["D3Q19/vn_runtime"]
+        assert ratio == pytest.approx(1.0, abs=0.08)
+
+    def test_d3q39_hybrid_beats_vn_with_depth2(self, results):
+        """Paper: 'the hybrid model with 4-threads with two ghost cells
+        actually outperforms the virtual node mode case'."""
+        c = results["fig11a"].checks
+        assert c["D3Q39/t4_runtime"] < c["D3Q39/vn_runtime"]
+        assert c["D3Q39/t4_depth"] == 2
+
+    def test_bgq_optimum_is_4_tasks_16_threads(self, results):
+        """Paper: 'the optimal pairing ... is actually four tasks per
+        node with 16 threads assigned ... true for both models'."""
+        c = results["fig11b"].checks
+        assert c["D3Q19/best"] == (4, 16)
+        assert c["D3Q39/best"] == (4, 16)

@@ -1,0 +1,172 @@
+"""Tests for Hermite/Gaussian moment machinery."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.lattice import (
+    double_factorial,
+    gaussian_moment,
+    gaussian_moment_1d,
+    get_lattice,
+    hermite_tensor,
+    hermite_value,
+    multi_indices,
+)
+from repro.lattice.hermite import hermite_orthogonality_defect
+
+
+class TestDoubleFactorial:
+    def test_base_cases(self):
+        assert double_factorial(-1) == 1
+        assert double_factorial(0) == 1
+        assert double_factorial(1) == 1
+
+    def test_even(self):
+        assert double_factorial(6) == 48
+
+    def test_odd(self):
+        assert double_factorial(7) == 105
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            double_factorial(-2)
+
+
+class TestGaussianMoments1D:
+    def test_odd_vanish(self):
+        for order in (1, 3, 5, 7):
+            assert gaussian_moment_1d(order, Fraction(1, 3)) == 0
+
+    def test_second_is_variance(self):
+        assert gaussian_moment_1d(2, Fraction(2, 3)) == Fraction(2, 3)
+
+    def test_fourth(self):
+        # <x^4> = 3 sigma^4
+        assert gaussian_moment_1d(4, Fraction(1, 3)) == 3 * Fraction(1, 9)
+
+    def test_sixth(self):
+        # <x^6> = 15 sigma^6
+        assert gaussian_moment_1d(6, Fraction(1, 3)) == 15 * Fraction(1, 27)
+
+    def test_float_input(self):
+        assert gaussian_moment_1d(2, 0.5) == pytest.approx(0.5)
+
+    def test_negative_order_raises(self):
+        with pytest.raises(ValueError):
+            gaussian_moment_1d(-1, 0.5)
+
+
+class TestGaussianMomentsND:
+    def test_factorizes(self):
+        cs2 = Fraction(1, 3)
+        assert gaussian_moment((2, 2, 0), cs2) == cs2 * cs2
+
+    def test_any_odd_component_vanishes(self):
+        assert gaussian_moment((2, 1, 0), Fraction(1, 3)) == 0
+
+    def test_isotropic_sixth(self):
+        cs2 = Fraction(2, 3)
+        assert gaussian_moment((2, 2, 2), cs2) == cs2**3
+        assert gaussian_moment((4, 2, 0), cs2) == 3 * cs2**3
+        assert gaussian_moment((6, 0, 0), cs2) == 15 * cs2**3
+
+
+class TestMultiIndices:
+    def test_count_matches_stars_and_bars(self):
+        # number of multi-indices of degree n in d vars = C(n+d-1, d-1)
+        import math
+
+        for d, n in ((3, 2), (3, 4), (2, 5)):
+            got = len(list(multi_indices(d, n)))
+            assert got == math.comb(n + d - 1, d - 1)
+
+    def test_degrees_are_exact(self):
+        for alpha in multi_indices(3, 4):
+            assert sum(alpha) == 4
+
+    def test_one_dimension(self):
+        assert list(multi_indices(1, 3)) == [(3,)]
+
+
+class TestHermiteTensors:
+    def setup_method(self):
+        self.xi = np.array([[1.0, 0.0, 0.0], [1.0, 1.0, -1.0], [0.0, 0.0, 0.0]])
+        self.cs2 = 1.0 / 3.0
+
+    def test_order0(self):
+        assert np.allclose(hermite_tensor(0, self.xi, self.cs2), 1.0)
+
+    def test_order1_is_identity(self):
+        assert np.allclose(hermite_tensor(1, self.xi, self.cs2), self.xi)
+
+    def test_order2_diagonal(self):
+        h2 = hermite_tensor(2, self.xi, self.cs2)
+        assert h2[0, 0, 0] == pytest.approx(1.0 - self.cs2)
+        assert h2[0, 1, 1] == pytest.approx(-self.cs2)
+        assert h2[0, 0, 1] == pytest.approx(0.0)
+
+    def test_order2_symmetry(self):
+        h2 = hermite_tensor(2, self.xi, self.cs2)
+        assert np.allclose(h2, np.swapaxes(h2, 1, 2))
+
+    def test_order3_value(self):
+        h3 = hermite_tensor(3, self.xi, self.cs2)
+        # H3_xxx(xi=(1,0,0)) = 1 - 3*cs2
+        assert h3[0, 0, 0, 0] == pytest.approx(1.0 - 3 * self.cs2)
+
+    def test_order3_full_symmetry(self):
+        h3 = hermite_tensor(3, self.xi, self.cs2)
+        assert np.allclose(h3, np.transpose(h3, (0, 2, 1, 3)))
+        assert np.allclose(h3, np.transpose(h3, (0, 3, 2, 1)))
+
+    def test_order4_rest_velocity(self):
+        h4 = hermite_tensor(4, self.xi, self.cs2)
+        # H4_xxyy(0) = cs2^2 (one delta-delta term survives)
+        assert h4[2, 0, 0, 1, 1] == pytest.approx(self.cs2**2)
+        # H4_xxxx(0) = 3 cs2^2
+        assert h4[2, 0, 0, 0, 0] == pytest.approx(3 * self.cs2**2)
+
+    def test_single_velocity_input(self):
+        h1 = hermite_tensor(1, np.array([1.0, 2.0, 3.0]), self.cs2)
+        assert h1.shape == (1, 3)
+
+    def test_order5_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            hermite_tensor(5, self.xi, self.cs2)
+
+    def test_hermite_value_component(self):
+        val = hermite_value((0, 0), self.xi, self.cs2)
+        h2 = hermite_tensor(2, self.xi, self.cs2)
+        assert np.allclose(val, h2[:, 0, 0])
+
+
+class TestOrthogonality:
+    """Discrete Hermite orthogonality on the quadrature lattices."""
+
+    @pytest.mark.parametrize("name,max_pair", [("D3Q19", 2), ("D3Q39", 3)])
+    def test_orthogonality_holds_up_to_supported_order(self, name, max_pair):
+        lat = get_lattice(name)
+        for a in range(max_pair + 1):
+            for b in range(max_pair + 1):
+                if a + b > 2 * lat.equilibrium_order:
+                    continue
+                defect = hermite_orthogonality_defect(
+                    lat.weights, lat.velocities.astype(float), lat.cs2_float, a, b
+                )
+                assert defect < 1e-12, (a, b, defect)
+
+    def test_d3q19_fails_third_order_orthogonality(self):
+        lat = get_lattice("D3Q19")
+        defect = hermite_orthogonality_defect(
+            lat.weights, lat.velocities.astype(float), lat.cs2_float, 3, 3
+        )
+        assert defect > 1e-3
+
+    def test_d3q39_passes_third_order_orthogonality(self):
+        lat = get_lattice("D3Q39")
+        defect = hermite_orthogonality_defect(
+            lat.weights, lat.velocities.astype(float), lat.cs2_float, 3, 3
+        )
+        assert defect < 1e-12

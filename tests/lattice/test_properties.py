@@ -1,0 +1,87 @@
+"""Property-based tests on the lattice substrate."""
+
+from fractions import Fraction
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.lattice import (
+    gaussian_moment,
+    get_lattice,
+    multi_indices,
+    shell_size,
+    signed_permutations,
+)
+
+LATTICE_NAMES = ("D3Q15", "D3Q19", "D3Q27", "D3Q39")
+
+small_ints = st.integers(min_value=0, max_value=3)
+
+
+@given(base=st.tuples(small_ints, small_ints, small_ints))
+def test_shell_closed_under_negation(base):
+    vecs = set(signed_permutations(base))
+    assert all(tuple(-c for c in v) in vecs for v in vecs)
+
+
+@given(base=st.tuples(small_ints, small_ints, small_ints))
+def test_shell_size_formula(base):
+    """|orbit| = 3!/(multiplicity!) permutations x 2^(nonzeros) signs."""
+    import math
+    from collections import Counter
+
+    counts = Counter(base)
+    perms = math.factorial(3)
+    for c in counts.values():
+        perms //= math.factorial(c)
+    nonzero = sum(1 for c in base if c != 0)
+    assert shell_size(base) == perms * 2**nonzero
+
+
+@given(
+    name=st.sampled_from(LATTICE_NAMES),
+    alpha=st.tuples(small_ints, small_ints, small_ints),
+)
+def test_odd_moments_vanish(name, alpha):
+    """Any moment with an odd component vanishes by lattice parity."""
+    lat = get_lattice(name)
+    if all(a % 2 == 0 for a in alpha):
+        return
+    assert abs(lat.moment(alpha)) < 1e-12
+
+
+@given(name=st.sampled_from(LATTICE_NAMES), order=st.integers(1, 4))
+@settings(max_examples=20, deadline=None)
+def test_isotropy_claim_matches_moment_defects(name, order):
+    """isotropy_order() is consistent with per-degree moment defects."""
+    lat = get_lattice(name)
+    iso = lat.isotropy_order()
+    if order <= iso:
+        assert lat.moment_defect(order) < 1e-12
+    else:
+        assert lat.moment_defect(order) > 1e-12
+
+
+@given(
+    alpha=st.tuples(small_ints, small_ints, small_ints),
+    num=st.integers(1, 5),
+    den=st.integers(1, 5),
+)
+def test_gaussian_moment_scaling(alpha, num, den):
+    """<xi^alpha> scales as cs2^(|alpha|/2) for even alpha."""
+    cs2 = Fraction(num, den)
+    m1 = gaussian_moment(alpha, cs2)
+    m2 = gaussian_moment(alpha, 4 * cs2)
+    degree = sum(alpha)
+    if any(a % 2 for a in alpha):
+        assert m1 == 0 and m2 == 0
+    else:
+        assert m2 == m1 * 2**degree
+
+
+@given(dim=st.integers(1, 4), degree=st.integers(0, 5))
+def test_multi_indices_unique_and_complete(dim, degree):
+    idx = list(multi_indices(dim, degree))
+    assert len(idx) == len(set(idx))
+    assert all(sum(a) == degree and len(a) == dim for a in idx)

@@ -1,0 +1,63 @@
+"""Tests for shell generation by signed permutation."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import expand_shells, shell_size, signed_permutations
+
+
+class TestSignedPermutations:
+    def test_rest(self):
+        assert signed_permutations((0, 0, 0)) == [(0, 0, 0)]
+
+    def test_face_neighbors(self):
+        assert shell_size((1, 0, 0)) == 6
+
+    def test_edge_neighbors(self):
+        assert shell_size((1, 1, 0)) == 12
+
+    def test_corner_neighbors(self):
+        assert shell_size((1, 1, 1)) == 8
+
+    def test_220_shell(self):
+        assert shell_size((2, 2, 0)) == 12
+
+    def test_300_shell(self):
+        assert shell_size((3, 0, 0)) == 6
+
+    def test_mixed_magnitudes(self):
+        # (2,1,0): 3! orderings x 2^2 signs = 24
+        assert shell_size((2, 1, 0)) == 24
+
+    def test_sorted_and_unique(self):
+        vecs = signed_permutations((1, 1, 0))
+        assert vecs == sorted(set(vecs))
+
+    def test_closed_under_negation(self):
+        vecs = set(signed_permutations((2, 1, 0)))
+        for v in vecs:
+            assert tuple(-c for c in v) in vecs
+
+    def test_2d_input(self):
+        assert shell_size((1, 0)) == 4
+
+
+class TestExpandShells:
+    def test_d3q19_structure(self):
+        velocities, shell_index = expand_shells([(0, 0, 0), (1, 0, 0), (1, 1, 0)])
+        assert velocities.shape == (19, 3)
+        assert np.bincount(shell_index).tolist() == [1, 6, 12]
+
+    def test_duplicate_shells_raise(self):
+        with pytest.raises(ValueError, match="overlap"):
+            expand_shells([(1, 0, 0), (0, 1, 0)])
+
+    def test_dtype_is_integer(self):
+        velocities, _ = expand_shells([(1, 0, 0)])
+        assert velocities.dtype == np.int64
+
+    def test_shell_order_preserved(self):
+        velocities, shell_index = expand_shells([(1, 1, 1), (1, 0, 0)])
+        # first 8 vectors belong to shell 0 (the corner shell)
+        assert (shell_index[:8] == 0).all()
+        assert (np.abs(velocities[:8]).sum(axis=1) == 3).all()

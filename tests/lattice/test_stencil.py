@@ -1,0 +1,179 @@
+"""Tests for the VelocitySet abstraction and the four lattices."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.lattice import available_lattices, get_lattice, register_lattice
+from repro.lattice.stencil import build_velocity_set
+
+
+class TestBasicStructure:
+    def test_q_counts(self):
+        for name, q in (("D3Q15", 15), ("D3Q19", 19), ("D3Q27", 27), ("D3Q39", 39)):
+            assert get_lattice(name).q == q
+
+    def test_weights_sum_to_one(self, lattice):
+        assert lattice.weights.sum() == pytest.approx(1.0, abs=1e-14)
+
+    def test_weights_positive(self, lattice):
+        assert (lattice.weights > 0).all()
+
+    def test_rest_velocity_exists(self, lattice):
+        assert (lattice.velocities[lattice.rest_index] == 0).all()
+
+    def test_closed_under_negation(self, lattice):
+        opp = lattice.opposite
+        assert np.array_equal(
+            lattice.velocities[opp], -lattice.velocities
+        )
+
+    def test_opposite_is_involution(self, lattice):
+        opp = lattice.opposite
+        assert np.array_equal(opp[opp], np.arange(lattice.q))
+
+    def test_velocities_readonly(self, lattice):
+        with pytest.raises(ValueError):
+            lattice.velocities[0, 0] = 99
+
+    def test_validate_passes(self, lattice):
+        lattice.validate()
+
+
+class TestPaperConstants:
+    """The specific numbers the paper's performance model depends on."""
+
+    def test_bytes_per_cell_d3q19(self, q19):
+        # "B = (19+19+19)*8 = 456 bytes per lattice point"
+        assert q19.bytes_per_cell == 456
+
+    def test_bytes_per_cell_d3q39(self, q39):
+        # "for the D3Q39 model, there are 936 bytes per lattice point"
+        assert q39.bytes_per_cell == 936
+
+    def test_sound_speeds(self, q19, q39):
+        assert q19.cs2 == Fraction(1, 3)
+        assert q39.cs2 == Fraction(2, 3)
+
+    def test_max_displacement_d3q19(self, q19):
+        assert q19.max_displacement == 1
+
+    def test_max_displacement_d3q39_is_three(self, q39):
+        # Table I includes (3,0,0): populations hop up to 3 planes.
+        # (The paper's prose says 2; see DESIGN.md.)
+        assert q39.max_displacement == 3
+
+    def test_d3q39_shell_weights(self, q39):
+        by_base = {s.base: s.weight for s in q39.shells}
+        assert by_base[(0, 0, 0)] == Fraction(1, 12)
+        assert by_base[(1, 0, 0)] == Fraction(1, 12)
+        assert by_base[(1, 1, 1)] == Fraction(1, 27)
+        assert by_base[(2, 0, 0)] == Fraction(2, 135)
+        # OCR-corrected from the paper's printed "1/142":
+        assert by_base[(2, 2, 0)] == Fraction(1, 432)
+        assert by_base[(3, 0, 0)] == Fraction(1, 1620)
+
+    def test_d3q39_weights_sum_exactly(self, q39):
+        total = sum(s.weight * s.size for s in q39.shells)
+        assert total == Fraction(1)
+
+    def test_d3q19_neighbor_orders(self, q19):
+        orders = [s.neighbor_order for s in q19.shells]
+        assert orders == [0, 1, 2]
+
+    def test_d3q39_spans_five_neighbor_orders(self, q39):
+        assert [s.neighbor_order for s in q39.shells] == [0, 1, 2, 3, 4, 5]
+
+
+class TestIsotropy:
+    """The paper's central quadrature claims."""
+
+    def test_second_moment_is_cs2(self, lattice):
+        assert lattice.moment((2, 0, 0)) == pytest.approx(
+            lattice.cs2_float, abs=1e-14
+        )
+
+    def test_all_fourth_order_isotropic(self, lattice):
+        assert lattice.isotropy_order() >= 4
+
+    def test_d3q19_not_sixth_order(self, q19):
+        assert q19.isotropy_order() < 6
+
+    def test_d3q39_exactly_sixth_order(self, q39):
+        assert q39.isotropy_order() >= 6
+
+    def test_d3q39_not_eighth_order(self, q39):
+        assert q39.isotropy_order() < 8
+
+    def test_d3q19_sixth_moment_defects_are_physical(self, q19):
+        # two physical failures at sixth order: D3Q19 has no (1,1,1)
+        # velocities, so <cx^2 cy^2 cz^2> = 0 vs cs2^3 = 1/27, and
+        # <cx^6> = 1/3 vs 15 cs2^3 = 5/9 (defect 2/9, the worst one).
+        assert q19.moment((2, 2, 2)) == pytest.approx(0.0, abs=1e-14)
+        assert q19.moment((6, 0, 0)) == pytest.approx(1.0 / 3.0, abs=1e-14)
+        assert q19.moment_defect(6) == pytest.approx(2.0 / 9.0, abs=1e-12)
+
+    def test_exact_rational_moments_agree_with_float(self, q39):
+        for alpha in ((2, 0, 0), (2, 2, 0), (4, 0, 0), (2, 2, 2)):
+            assert float(q39.moment_exact(alpha)) == pytest.approx(
+                q39.moment(alpha), abs=1e-12
+            )
+
+    def test_moment_defect_exact_mode(self, q39):
+        assert q39.moment_defect(6, exact=True) == 0
+
+
+class TestTableRows:
+    def test_row_rendering(self, q19):
+        rows = q19.table_rows()
+        assert rows[0] == ("(0, 0, 0)", "1/3", 0, "0")
+        assert rows[2][3] == "sqrt(2)"
+
+    def test_d3q39_distances(self, q39):
+        dist = [row[3] for row in q39.table_rows()]
+        assert dist == ["0", "1", "sqrt(3)", "2", "sqrt(8)", "3"]
+
+
+class TestRegistry:
+    def test_available(self):
+        assert set(available_lattices()) >= {"D3Q15", "D3Q19", "D3Q27", "D3Q39"}
+
+    def test_case_insensitive(self):
+        assert get_lattice("d3q19") is get_lattice("D3Q19")
+
+    def test_cached(self):
+        assert get_lattice("D3Q39") is get_lattice("D3Q39")
+
+    def test_unknown_raises_with_hint(self):
+        with pytest.raises(KeyError, match="available"):
+            get_lattice("D3Q999")
+
+    def test_register_duplicate_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_lattice("D3Q19", lambda: None)
+
+
+class TestBuildValidation:
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ValueError, match="sum"):
+            build_velocity_set(
+                "BAD",
+                Fraction(1, 3),
+                [((0, 0, 0), Fraction(1, 2)), ((1, 0, 0), Fraction(1, 2))],
+                equilibrium_order=2,
+            )
+
+    def test_wrong_cs2_rejected(self):
+        # D3Q19 weights with a wrong declared sound speed
+        with pytest.raises(ValueError, match="second moment"):
+            build_velocity_set(
+                "BAD",
+                Fraction(1, 2),
+                [
+                    ((0, 0, 0), Fraction(1, 3)),
+                    ((1, 0, 0), Fraction(1, 18)),
+                    ((1, 1, 0), Fraction(1, 36)),
+                ],
+                equilibrium_order=2,
+            )

@@ -1,0 +1,79 @@
+"""Tests for the memory-capacity and cache models."""
+
+import pytest
+
+from repro.errors import OutOfMemoryModelError
+from repro.lattice import get_lattice
+from repro.machine import BGP_CACHE, BGQ_CACHE, BLUE_GENE_P, CacheHierarchy, CacheLevel, MemoryModel
+
+
+class TestMemoryModel:
+    def _model(self, lname="D3Q19"):
+        lat = get_lattice(lname)
+        return MemoryModel(lat, BLUE_GENE_P.memory_per_node)
+
+    def test_slab_bytes_formula(self):
+        m = self._model()
+        # 2 copies x 19 vel x 8 B x (10 + 2*2*1) x 4 x 4 cells
+        assert m.slab_bytes(10, 4, 4, ghost_depth=2) == 2 * 19 * 8 * 14 * 16
+
+    def test_d3q39_halo_three_planes_per_depth(self):
+        m = self._model("D3Q39")
+        assert m.slab_bytes(10, 4, 4, ghost_depth=1) == 2 * 39 * 8 * 16 * 16
+
+    def test_fits_boundary(self):
+        m = self._model()
+        assert m.fits(100, 32, 32, 1)
+        assert not m.fits(100000, 128, 128, 1)
+
+    def test_require_fits_raises_with_sizes(self):
+        m = self._model()
+        with pytest.raises(OutOfMemoryModelError, match="GB"):
+            m.require_fits(100000, 128, 128, 4)
+
+    def test_tasks_multiply_footprint(self):
+        m = self._model()
+        one = m.node_bytes(50, 64, 64, 1, tasks_per_node=1)
+        four = m.node_bytes(50, 64, 64, 1, tasks_per_node=4)
+        assert four == 4 * one
+
+    def test_max_ghost_depth(self):
+        m = self._model()
+        d = m.max_ghost_depth(60, 140, 140, tasks_per_node=4)
+        assert d >= 1
+        assert m.fits(60, 140, 140, d, 4)
+        assert not m.fits(60, 140, 140, d + 1, 4)
+
+    def test_fig10a_oom_scenario(self):
+        """The paper's 133k case: depth 3 fits, depth 4 does not
+        (2048 procs, R=65 planes/proc, 140x140 cross-section)."""
+        m = self._model()
+        assert m.fits(65, 140, 140, 3, tasks_per_node=4)
+        assert not m.fits(65, 140, 140, 4, tasks_per_node=4)
+
+
+class TestCacheModel:
+    def test_hit_fractions_must_sum(self):
+        with pytest.raises(ValueError, match="sum"):
+            BGP_CACHE.effective_bandwidth_gbs((0.5, 0.2, 0.2))
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError):
+            BGQ_CACHE.effective_bandwidth_gbs((1.0,))
+
+    def test_all_l1_gives_l1_bandwidth(self):
+        bw = BGQ_CACHE.effective_bandwidth_gbs((1.0, 0.0, 0.0, 0.0))
+        assert bw == pytest.approx(820.0)
+
+    def test_better_locality_is_faster(self):
+        """The paper's §V-B counter shift: fewer DDR hits -> higher
+        effective bandwidth."""
+        before = (0.80, 0.05, 0.12, 0.03)
+        after = (0.804, 0.05, 0.132, 0.014)
+        assert BGQ_CACHE.speedup(before, after) > 1.0
+
+    def test_custom_hierarchy(self):
+        h = CacheHierarchy((CacheLevel("fast", 100.0), CacheLevel("slow", 10.0)))
+        assert h.effective_bandwidth_gbs((0.5, 0.5)) == pytest.approx(
+            1 / (0.5 / 100 + 0.5 / 10)
+        )

@@ -1,0 +1,66 @@
+"""Tests for machine specifications (paper §III-A numbers)."""
+
+import pytest
+
+from repro.machine import BLUE_GENE_P, BLUE_GENE_Q, available_machines, get_machine
+
+
+class TestBlueGeneP:
+    def test_peak_flops(self):
+        # 0.85 GHz x 4 cores x 4 flops/cycle = 13.6 GFlop/s
+        assert BLUE_GENE_P.peak_gflops == pytest.approx(13.6)
+
+    def test_memory(self):
+        assert BLUE_GENE_P.memory_bandwidth_gbs == 13.6
+        assert BLUE_GENE_P.memory_per_node_gb == 2.0
+
+    def test_threading(self):
+        assert BLUE_GENE_P.max_threads_per_node == 4
+
+    def test_torus(self):
+        assert BLUE_GENE_P.torus_dims == 3
+        # 12 unidirectional links x 425 MB/s = 5.1 GB/s aggregate
+        assert BLUE_GENE_P.torus_aggregate_bandwidth == pytest.approx(5.1e9)
+
+    def test_machine_balance(self):
+        assert BLUE_GENE_P.machine_balance_bytes_per_flop == pytest.approx(1.0)
+
+
+class TestBlueGeneQ:
+    def test_peak_flops(self):
+        # 1.6 GHz x 16 cores x 8 flops/cycle = 204.8 GFlop/s
+        assert BLUE_GENE_Q.peak_gflops == pytest.approx(204.8)
+
+    def test_memory(self):
+        assert BLUE_GENE_Q.memory_bandwidth_gbs == 43.0
+        assert BLUE_GENE_Q.memory_per_node_gb == 16.0
+
+    def test_threading(self):
+        assert BLUE_GENE_Q.max_threads_per_node == 64
+
+    def test_torus_effective_aggregate(self):
+        # backed out of the paper's SIII-C lower bounds: ~32 GB/s
+        assert BLUE_GENE_Q.torus_aggregate_bandwidth == pytest.approx(32e9)
+
+    def test_bandwidth_starved_relative_to_p(self):
+        """The paper's conclusion: the byte/flop balance worsened."""
+        assert (
+            BLUE_GENE_Q.machine_balance_bytes_per_flop
+            < BLUE_GENE_P.machine_balance_bytes_per_flop / 4
+        )
+
+
+class TestLookup:
+    def test_short_names(self):
+        assert get_machine("BG/P") is BLUE_GENE_P
+        assert get_machine("BG/Q") is BLUE_GENE_Q
+
+    def test_full_names(self):
+        assert get_machine("Blue Gene/Q") is BLUE_GENE_Q
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_machine("Cray XT5")
+
+    def test_available(self):
+        assert available_machines() == ("BG/P", "BG/Q")

@@ -1,0 +1,77 @@
+"""Tests for the 1-D slab decomposition."""
+
+import pytest
+
+from repro.errors import DecompositionError
+from repro.parallel import Slab1D
+
+
+class TestBalancedSplit:
+    def test_even_split(self):
+        d = Slab1D(12, 4)
+        assert [d.local_size(r) for r in range(4)] == [3, 3, 3, 3]
+
+    def test_remainder_goes_to_first_ranks(self):
+        d = Slab1D(14, 4)
+        assert [d.local_size(r) for r in range(4)] == [4, 4, 3, 3]
+
+    def test_sizes_sum_to_global(self):
+        for nx, ranks in ((17, 5), (100, 7), (8, 8)):
+            d = Slab1D(nx, ranks)
+            assert sum(d.local_size(r) for r in range(ranks)) == nx
+
+    def test_ranges_are_contiguous(self):
+        d = Slab1D(23, 6)
+        for r in range(5):
+            assert d.stop(r) == d.start(r + 1)
+        assert d.start(0) == 0 and d.stop(5) == 23
+
+    def test_owner(self):
+        d = Slab1D(10, 3)
+        for x in range(10):
+            r = d.owner(x)
+            assert d.start(r) <= x < d.stop(r)
+
+    def test_owner_out_of_range(self):
+        with pytest.raises(DecompositionError):
+            Slab1D(10, 2).owner(10)
+
+
+class TestNeighbors:
+    def test_periodic_ring(self):
+        d = Slab1D(12, 4)
+        assert d.left_neighbor(0) == 3
+        assert d.right_neighbor(3) == 0
+        assert d.right_neighbor(1) == 2
+
+    def test_single_rank_self_neighbor(self):
+        d = Slab1D(8, 1)
+        assert d.left_neighbor(0) == 0
+        assert d.right_neighbor(0) == 0
+
+
+class TestValidation:
+    def test_too_many_ranks(self):
+        with pytest.raises(DecompositionError):
+            Slab1D(3, 4)
+
+    def test_zero_ranks(self):
+        with pytest.raises(DecompositionError):
+            Slab1D(10, 0)
+
+    def test_rank_range_checked(self):
+        d = Slab1D(10, 2)
+        with pytest.raises(DecompositionError):
+            d.local_size(2)
+
+    def test_validate_halo_ok(self):
+        Slab1D(16, 4).validate_halo(4)
+
+    def test_validate_halo_too_wide(self):
+        with pytest.raises(DecompositionError, match="halo width"):
+            Slab1D(16, 4).validate_halo(5)
+
+    def test_validate_halo_uses_smallest_rank(self):
+        # 4,4,3,3 split: halo 4 exceeds the size-3 subdomains
+        with pytest.raises(DecompositionError):
+            Slab1D(14, 4).validate_halo(4)

@@ -1,0 +1,93 @@
+"""Tests for deep-halo slab management."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HaloValidityError
+from repro.lattice import get_lattice
+from repro.parallel import HaloSlab, HaloSpec
+
+
+class TestHaloSpec:
+    def test_width(self):
+        assert HaloSpec(k=1, depth=3).width == 3
+        assert HaloSpec(k=3, depth=2).width == 6
+
+    def test_for_lattice(self, q19, q39):
+        assert HaloSpec.for_lattice(q19, 2).width == 2
+        # D3Q39's fundamental thickness is k=3 planes
+        assert HaloSpec.for_lattice(q39, 2).width == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HaloSpec(k=0, depth=1)
+        with pytest.raises(ValueError):
+            HaloSpec(k=1, depth=0)
+
+
+class TestHaloSlab:
+    def _slab(self, q19, local=8, depth=2):
+        return HaloSlab(q19, local, 4, 4, HaloSpec.for_lattice(q19, depth))
+
+    def test_padded_shape(self, q19):
+        slab = self._slab(q19, local=8, depth=2)
+        assert slab.data.shape == (19, 12, 4, 4)
+        assert slab.interior == slice(2, 10)
+
+    def test_too_thin_subdomain_rejected(self, q19):
+        with pytest.raises(HaloValidityError):
+            HaloSlab(q19, 2, 4, 4, HaloSpec(k=1, depth=3))
+
+    def test_pack_shapes(self, q19):
+        slab = self._slab(q19)
+        assert slab.pack_to_left().shape == (19, 2, 4, 4)
+        assert slab.pack_to_right().shape == (19, 2, 4, 4)
+
+    def test_pack_reads_interior_borders(self, q19):
+        slab = self._slab(q19, local=6, depth=1)
+        slab.interior_view()[...] = np.arange(6)[None, :, None, None]
+        assert (slab.pack_to_left()[:, 0] == 0).all()
+        assert (slab.pack_to_right()[:, 0] == 5).all()
+
+    def test_unpack_fills_ghosts(self, q19):
+        slab = self._slab(q19, depth=1)
+        payload = np.full((19, 1, 4, 4), 3.5)
+        slab.unpack_from_left(payload)
+        assert (slab.data[:, :1] == 3.5).all()
+        slab.unpack_from_right(payload * 2)
+        assert (slab.data[:, -1:] == 7.0).all()
+
+    def test_unpack_shape_checked(self, q19):
+        slab = self._slab(q19, depth=2)
+        with pytest.raises(HaloValidityError, match="payload"):
+            slab.unpack_from_left(np.zeros((19, 1, 4, 4)))
+
+    def test_validity_lifecycle(self, q19):
+        slab = self._slab(q19, depth=3)
+        assert slab.validity == 0
+        with pytest.raises(HaloValidityError, match="exhausted"):
+            slab.consume_step()
+        slab.mark_exchanged()
+        assert slab.validity == 3
+        assert slab.steps_until_exchange == 3
+        for expected in (2, 1, 0):
+            slab.consume_step()
+            assert slab.validity == expected
+        with pytest.raises(HaloValidityError):
+            slab.consume_step()
+
+    def test_compute_window_tracks_validity(self, q19):
+        slab = self._slab(q19, local=8, depth=2)
+        slab.mark_exchanged()
+        slab.consume_step()
+        assert slab.compute_window() == slice(1, 11)
+        slab.consume_step()
+        assert slab.compute_window() == slice(2, 10)
+
+    def test_d3q39_consumes_three_planes_per_step(self, q39):
+        slab = HaloSlab(q39, 12, 3, 3, HaloSpec.for_lattice(q39, 2))
+        slab.mark_exchanged()
+        assert slab.validity == 6
+        slab.consume_step()
+        assert slab.validity == 3
+        assert slab.steps_until_exchange == 1

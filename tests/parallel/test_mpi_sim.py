@@ -1,0 +1,106 @@
+"""Tests for the simulated MPI fabric."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import SimMPI
+
+
+class TestPointToPoint:
+    def test_send_then_recv(self):
+        mpi = SimMPI(2)
+        payload = np.arange(5.0)
+        mpi.isend(0, 1, tag=7, payload=payload)
+        req = mpi.irecv(1, source=0, tag=7)
+        mpi.waitall([req])
+        assert np.array_equal(req.data, payload)
+
+    def test_payload_copied_on_send(self):
+        """Value semantics: later mutation must not reach the receiver."""
+        mpi = SimMPI(2)
+        payload = np.zeros(3)
+        mpi.isend(0, 1, tag=1, payload=payload)
+        payload[:] = 99.0
+        req = mpi.irecv(1, source=0, tag=1)
+        mpi.waitall([req])
+        assert (req.data == 0.0).all()
+
+    def test_fifo_per_channel(self):
+        """MPI non-overtaking rule: same (src, dst, tag) is FIFO."""
+        mpi = SimMPI(2)
+        mpi.isend(0, 1, tag=5, payload=np.array([1.0]))
+        mpi.isend(0, 1, tag=5, payload=np.array([2.0]))
+        r1 = mpi.irecv(1, 0, tag=5)
+        r2 = mpi.irecv(1, 0, tag=5)
+        mpi.waitall([r1, r2])
+        assert r1.data[0] == 1.0 and r2.data[0] == 2.0
+
+    def test_tags_are_independent_channels(self):
+        mpi = SimMPI(2)
+        mpi.isend(0, 1, tag=2, payload=np.array([20.0]))
+        mpi.isend(0, 1, tag=1, payload=np.array([10.0]))
+        r = mpi.irecv(1, 0, tag=1)
+        mpi.waitall([r])
+        assert r.data[0] == 10.0
+
+    def test_unmatched_recv_raises_deadlock(self):
+        mpi = SimMPI(2)
+        req = mpi.irecv(1, 0, tag=3)
+        with pytest.raises(RuntimeError, match="deadlock"):
+            mpi.waitall([req])
+
+    def test_rank_bounds_checked(self):
+        mpi = SimMPI(2)
+        with pytest.raises(ValueError, match="rank"):
+            mpi.isend(0, 2, tag=1, payload=np.zeros(1))
+        with pytest.raises(ValueError, match="rank"):
+            mpi.irecv(-1, 0, tag=1)
+
+    def test_sendrecv_helper(self):
+        mpi = SimMPI(3)
+        mpi.isend(2, 1, tag=9, payload=np.array([5.0]))
+        got = mpi.sendrecv(1, dest=0, send_payload=np.array([1.0]), source=2, tag=9)
+        assert got[0] == 5.0
+
+    def test_single_rank_fabric(self):
+        mpi = SimMPI(1)
+        mpi.isend(0, 0, tag=1, payload=np.array([3.0]))
+        req = mpi.irecv(0, 0, tag=1)
+        mpi.waitall([req])
+        assert req.data[0] == 3.0
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            SimMPI(0)
+
+
+class TestLedger:
+    def test_counts_and_bytes(self):
+        mpi = SimMPI(2)
+        mpi.isend(0, 1, tag=1, payload=np.zeros(10))
+        mpi.isend(1, 0, tag=1, payload=np.zeros(4, dtype=np.float64))
+        assert mpi.ledger.message_count == 2
+        assert mpi.ledger.total_bytes == 14 * 8
+
+    def test_step_clock_stamps_records(self):
+        mpi = SimMPI(2)
+        mpi.step_clock = 7
+        mpi.isend(0, 1, tag=1, payload=np.zeros(1))
+        assert mpi.ledger.records[0].step == 7
+        assert mpi.ledger.messages_by_step() == {7: 1}
+
+    def test_bytes_by_rank(self):
+        mpi = SimMPI(3)
+        mpi.isend(0, 1, tag=1, payload=np.zeros(2))
+        mpi.isend(0, 2, tag=1, payload=np.zeros(3))
+        per_rank = mpi.ledger.bytes_by_rank(3)
+        assert per_rank.tolist() == [40, 0, 0]
+
+    def test_pending_messages(self):
+        mpi = SimMPI(2)
+        assert mpi.pending_messages() == 0
+        mpi.isend(0, 1, tag=1, payload=np.zeros(1))
+        assert mpi.pending_messages() == 1
+        req = mpi.irecv(1, 0, tag=1)
+        mpi.waitall([req])
+        assert mpi.pending_messages() == 0

@@ -1,0 +1,61 @@
+"""Tests for exchange schedules and hybrid placement descriptions."""
+
+import pytest
+
+from repro.parallel import ExchangeSchedule, HybridConfig
+
+
+class TestSchedules:
+    def test_overlap_ordering(self):
+        """Overlap grows along the paper's tuning sequence."""
+        order = [
+            ExchangeSchedule.BLOCKING,
+            ExchangeSchedule.NONBLOCKING,
+            ExchangeSchedule.NONBLOCKING_GC,
+            ExchangeSchedule.GC_SPLIT,
+        ]
+        fracs = [s.overlap_fraction for s in order]
+        assert fracs == sorted(fracs)
+        assert fracs[0] == 0.0
+        assert fracs[-1] < 1.0
+
+    def test_ghost_cell_requirement(self):
+        assert ExchangeSchedule.GC_SPLIT.uses_ghost_cells
+        assert ExchangeSchedule.NONBLOCKING_GC.uses_ghost_cells
+        assert not ExchangeSchedule.BLOCKING.uses_ghost_cells
+        assert not ExchangeSchedule.NONBLOCKING.uses_ghost_cells
+
+    def test_labels_match_figure_legend(self):
+        assert ExchangeSchedule.NONBLOCKING.label == "NB-C"
+        assert ExchangeSchedule.NONBLOCKING_GC.label == "NB-C & GC"
+        assert ExchangeSchedule.GC_SPLIT.label == "GC-C"
+
+
+class TestHybridConfig:
+    def test_totals(self):
+        cfg = HybridConfig(nodes=16, tasks_per_node=4, threads_per_task=16)
+        assert cfg.total_ranks == 64
+        assert cfg.hardware_threads_per_node == 64
+        assert cfg.label == "4-16"
+
+    def test_fits(self):
+        cfg = HybridConfig(nodes=1, tasks_per_node=4, threads_per_task=16)
+        assert cfg.fits(cores_per_node=16, threads_per_core=4)
+        assert not cfg.fits(cores_per_node=16, threads_per_core=2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HybridConfig(nodes=0, tasks_per_node=1, threads_per_task=1)
+
+    def test_ghost_cell_count_formula(self):
+        """§VI-B: ghost cells = cross-section x domains x 2n (x k planes)."""
+        cfg = HybridConfig(nodes=32, tasks_per_node=4, threads_per_task=1)
+        assert cfg.ghost_cells_total(cross_section=100, depth=2, k=1) == (
+            128 * 2 * 2 * 1 * 100
+        )
+
+    def test_threading_reduces_ghost_cells(self):
+        """The paper's key §VI-B observation."""
+        vn = HybridConfig(nodes=32, tasks_per_node=4, threads_per_task=1)
+        hybrid = HybridConfig(nodes=32, tasks_per_node=1, threads_per_task=4)
+        assert hybrid.ghost_cells_total(100, 2, 3) == vn.ghost_cells_total(100, 2, 3) // 4

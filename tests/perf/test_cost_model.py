@@ -1,0 +1,120 @@
+"""Tests for the mechanistic step cost model."""
+
+import pytest
+
+from repro.errors import DecompositionError, OutOfMemoryModelError
+from repro.lattice import get_lattice
+from repro.machine import BLUE_GENE_P, BLUE_GENE_Q
+from repro.perf import CostModel, Placement, Workload, base_params
+
+
+@pytest.fixture
+def q19_model():
+    return CostModel(BLUE_GENE_P, get_lattice("D3Q19"))
+
+
+@pytest.fixture
+def params():
+    return base_params(BLUE_GENE_P, get_lattice("D3Q19"))
+
+
+@pytest.fixture
+def workload():
+    return Workload(get_lattice("D3Q19"), (512, 64, 64), steps=100)
+
+
+class TestCapabilities:
+    def test_bandwidth_saturation_monotone_in_threads(self, q19_model, params):
+        sats = [
+            q19_model.bandwidth_saturation(Placement(1, 1, t)) for t in (1, 2, 3, 4)
+        ]
+        assert sats == sorted(sats)
+        assert sats[0] == pytest.approx(0.45)
+        # 4 threads saturate (up to the small OpenMP team overhead)
+        assert sats[-1] == pytest.approx(1.0, abs=0.01)
+
+    def test_bgq_needs_many_threads(self):
+        model = CostModel(BLUE_GENE_Q, get_lattice("D3Q19"))
+        assert model.bandwidth_saturation(Placement(1, 1, 1)) < 0.1
+        assert model.bandwidth_saturation(Placement(1, 32, 1)) == pytest.approx(1.0)
+
+    def test_omp_efficiency_decreasing(self, q19_model):
+        effs = [q19_model.omp_efficiency(t) for t in (1, 4, 16, 64)]
+        assert effs[0] == 1.0
+        assert effs == sorted(effs, reverse=True)
+        assert effs[-1] < 0.5  # 64-thread teams are expensive
+
+    def test_simd_capped_by_machine_width(self, q19_model, params):
+        wide = params.replace(simd_lanes_used=8.0)
+        narrow = params.replace(simd_lanes_used=2.0)
+        assert q19_model.node_flops(wide, Placement(1, 4, 1)) == q19_model.node_flops(
+            narrow, Placement(1, 4, 1)
+        )
+
+
+class TestStepBreakdown:
+    def test_all_phases_nonnegative(self, q19_model, params, workload):
+        b = q19_model.step_breakdown(params, workload, Placement(8, 4, 1))
+        for field in ("compute_s", "ghost_s", "pack_s", "comm_exposed_s", "sync_s"):
+            assert getattr(b, field) >= 0
+        assert b.total_s > 0
+        assert 0 <= b.comm_fraction < 1
+
+    def test_compute_dominates_for_large_slabs(self, q19_model, params, workload):
+        b = q19_model.step_breakdown(params, workload, Placement(8, 4, 1))
+        assert b.compute_s > 0.5 * b.total_s
+
+    def test_deeper_halo_more_ghost_work(self, q19_model, params, workload):
+        b1 = q19_model.step_breakdown(params, workload, Placement(8, 4, 1), ghost_depth=1)
+        b3 = q19_model.step_breakdown(params, workload, Placement(8, 4, 1), ghost_depth=3)
+        assert b3.ghost_s > b1.ghost_s
+
+    def test_deeper_halo_less_sync(self, q19_model, params, workload):
+        p = params.replace(ghost_depth=1)
+        b1 = q19_model.step_breakdown(p, workload, Placement(8, 4, 1), ghost_depth=1)
+        b4 = q19_model.step_breakdown(p, workload, Placement(8, 4, 1), ghost_depth=4)
+        assert b4.sync_s < b1.sync_s
+
+    def test_better_bandwidth_fraction_is_faster(self, q19_model, params, workload):
+        fast = params.replace(bandwidth_fraction=0.9, issue_fraction=0.9)
+        slow = params.replace(bandwidth_fraction=0.3)
+        t_fast = q19_model.step_breakdown(fast, workload, Placement(8, 4, 1)).total_s
+        t_slow = q19_model.step_breakdown(slow, workload, Placement(8, 4, 1)).total_s
+        assert t_fast < t_slow
+
+    def test_mflups_scale_with_nodes(self, q19_model, params):
+        wl = Workload(get_lattice("D3Q19"), (1024, 64, 64))
+        a = q19_model.mflups_aggregate(params, wl, Placement(8, 4, 1))
+        b = q19_model.mflups_aggregate(params, wl, Placement(16, 4, 1))
+        assert b > a  # strong scaling helps (fewer cells per node)
+
+    def test_memory_check(self, q19_model, params):
+        wl = Workload(get_lattice("D3Q19"), (4096, 512, 512))
+        with pytest.raises(OutOfMemoryModelError):
+            q19_model.step_breakdown(
+                params, wl, Placement(2, 4, 1), ghost_depth=1, check_memory=True
+            )
+
+    def test_decomposition_check(self, q19_model, params):
+        wl = Workload(get_lattice("D3Q19"), (8, 64, 64))
+        with pytest.raises(DecompositionError):
+            q19_model.step_breakdown(params, wl, Placement(8, 4, 1))
+
+    def test_runtime_is_steps_times_step(self, q19_model, params, workload):
+        b = q19_model.step_breakdown(params, workload, Placement(8, 4, 1))
+        rt = q19_model.runtime_seconds(params, workload, Placement(8, 4, 1))
+        assert rt == pytest.approx(b.total_s * workload.steps)
+
+
+class TestLatticeContrast:
+    def test_d3q39_costs_more_per_cell(self, workload):
+        """The headline cost of going beyond Navier-Stokes."""
+        p19 = base_params(BLUE_GENE_P, get_lattice("D3Q19"))
+        p39 = base_params(BLUE_GENE_P, get_lattice("D3Q39"))
+        m19 = CostModel(BLUE_GENE_P, get_lattice("D3Q19"))
+        m39 = CostModel(BLUE_GENE_P, get_lattice("D3Q39"))
+        wl19 = Workload(get_lattice("D3Q19"), (512, 64, 64))
+        wl39 = Workload(get_lattice("D3Q39"), (512, 64, 64))
+        f19 = m19.mflups_aggregate(p19, wl19, Placement(8, 4, 1))
+        f39 = m39.mflups_aggregate(p39, wl39, Placement(8, 4, 1))
+        assert f39 < 0.7 * f19

@@ -1,0 +1,104 @@
+"""Tests for the jitter model and the comm-time event simulator."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.schedules import ExchangeSchedule
+from repro.perf import JitterModel, simulate_comm_times
+
+
+class TestJitterModel:
+    def test_deterministic(self):
+        a = JitterModel(seed=5).compute_times(0.1, 64, 50)
+        b = JitterModel(seed=5).compute_times(0.1, 64, 50)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_draws(self):
+        a = JitterModel(seed=5).compute_times(0.1, 64, 50)
+        b = JitterModel(seed=6).compute_times(0.1, 64, 50)
+        assert not np.array_equal(a, b)
+
+    def test_compute_times_exceed_base(self):
+        times = JitterModel().compute_times(0.1, 128, 100)
+        assert times.shape == (100, 128)
+        assert (times >= 0.09).all()  # skew is small, spikes only add
+
+    def test_hotspot_is_contiguous_block(self):
+        jm = JitterModel(hotspot_fraction=0.1)
+        mask = jm.hotspot_mask(200)
+        assert mask.sum() == 20
+        # contiguity (modulo wrap): the mask has at most 2 runs
+        transitions = int(np.abs(np.diff(mask.astype(int))).sum())
+        assert transitions <= 2
+
+    def test_hot_ranks_spike_more(self):
+        jm = JitterModel(hotspot_probability=0.5, spike_probability=0.01)
+        mask = jm.hotspot_mask(256)
+        spikes = jm.spikes(256, 400)
+        hot_rate = (spikes[:, mask] > 0).mean()
+        cold_rate = (spikes[:, ~mask] > 0).mean()
+        assert hot_rate > 10 * cold_rate
+
+    def test_contention_positive_and_clipped(self):
+        jm = JitterModel()
+        m = jm.message_contention(1024, 0.007)
+        assert (m > 0).all()
+        assert m.max() <= jm.contention_max_mult * 0.007 + 1e-12
+
+
+class TestEventSimulator:
+    def test_deterministic(self):
+        a = simulate_comm_times(ExchangeSchedule.NONBLOCKING, num_ranks=64, steps=50)
+        b = simulate_comm_times(ExchangeSchedule.NONBLOCKING, num_ranks=64, steps=50)
+        assert np.array_equal(a.comm_seconds, b.comm_seconds)
+
+    def test_summary_ordering(self):
+        r = simulate_comm_times(ExchangeSchedule.NONBLOCKING, num_ranks=64, steps=50)
+        mn, med, mx = r.summary()
+        assert mn <= med <= mx
+
+    def test_schedule_hierarchy(self):
+        """The Fig. 9 ordering: NB-C worst, GC-C best (medians)."""
+        meds = {}
+        for sched in (
+            ExchangeSchedule.NONBLOCKING,
+            ExchangeSchedule.NONBLOCKING_GC,
+            ExchangeSchedule.GC_SPLIT,
+        ):
+            meds[sched] = simulate_comm_times(
+                sched, num_ranks=256, steps=100
+            ).median
+        assert (
+            meds[ExchangeSchedule.NONBLOCKING]
+            > meds[ExchangeSchedule.NONBLOCKING_GC]
+            > meds[ExchangeSchedule.GC_SPLIT]
+        )
+
+    def test_blocking_worst_of_all(self):
+        blocking = simulate_comm_times(ExchangeSchedule.BLOCKING, num_ranks=128, steps=60)
+        nbc = simulate_comm_times(ExchangeSchedule.NONBLOCKING, num_ranks=128, steps=60)
+        assert blocking.median >= nbc.median
+
+    def test_deep_halo_reduces_comm_time(self):
+        shallow = simulate_comm_times(
+            ExchangeSchedule.NONBLOCKING_GC, num_ranks=128, steps=120, ghost_depth=1
+        )
+        deep = simulate_comm_times(
+            ExchangeSchedule.NONBLOCKING_GC, num_ranks=128, steps=120, ghost_depth=3
+        )
+        assert deep.median < shallow.median
+
+    def test_elapsed_exceeds_compute_floor(self):
+        r = simulate_comm_times(
+            ExchangeSchedule.NONBLOCKING, num_ranks=32, steps=50, base_step_seconds=0.1
+        )
+        assert r.elapsed_seconds >= 50 * 0.1
+
+    def test_larger_transfers_cost_more(self):
+        small = simulate_comm_times(
+            ExchangeSchedule.NONBLOCKING, num_ranks=64, steps=60, transfer_seconds=0.001
+        )
+        large = simulate_comm_times(
+            ExchangeSchedule.NONBLOCKING, num_ranks=64, steps=60, transfer_seconds=0.02
+        )
+        assert large.median > small.median

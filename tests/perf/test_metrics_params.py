@@ -1,0 +1,77 @@
+"""Tests for metrics (Eq. 4) and code-state parameters."""
+
+import pytest
+
+from repro.parallel.schedules import ExchangeSchedule
+from repro.perf import CodeParams, mflups, parallel_efficiency, runtime_for_mflups, speedup
+
+
+class TestMFlups:
+    def test_eq4(self):
+        # 300 steps x 1e6 cells in 10 s = 30 MFlup/s
+        assert mflups(300, 1_000_000, 10.0) == pytest.approx(30.0)
+
+    def test_roundtrip(self):
+        t = runtime_for_mflups(300, 1_000_000, 30.0)
+        assert mflups(300, 1_000_000, t) == pytest.approx(30.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mflups(10, 100, 0.0)
+        with pytest.raises(ValueError):
+            mflups(-1, 100, 1.0)
+        with pytest.raises(ValueError):
+            runtime_for_mflups(10, 100, 0.0)
+
+    def test_speedup(self):
+        assert speedup(30.0, 10.0) == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            speedup(10.0, 0.0)
+
+    def test_parallel_efficiency(self):
+        assert parallel_efficiency(27.4, 29.8) == pytest.approx(0.9195, rel=1e-3)
+        with pytest.raises(ValueError):
+            parallel_efficiency(1.0, 0.0)
+
+
+class TestCodeParams:
+    def _valid(self, **over):
+        base = dict(
+            bandwidth_fraction=0.5,
+            issue_fraction=0.3,
+            simd_lanes_used=1.0,
+            work_overhead=1.2,
+            schedule=ExchangeSchedule.BLOCKING,
+            ghost_depth=0,
+            message_latency_s=50e-6,
+            jitter_fraction=0.1,
+        )
+        base.update(over)
+        return CodeParams(**base)
+
+    def test_valid_construction(self):
+        p = self._valid()
+        assert p.bandwidth_fraction == 0.5
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("bandwidth_fraction", 0.0),
+            ("bandwidth_fraction", 1.5),
+            ("issue_fraction", -0.1),
+            ("simd_lanes_used", 0.5),
+            ("work_overhead", 0.9),
+            ("ghost_depth", -1),
+            ("message_latency_s", -1e-6),
+            ("jitter_fraction", -0.1),
+        ],
+    )
+    def test_invalid_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            self._valid(**{field: value})
+
+    def test_replace(self):
+        p = self._valid()
+        q = p.replace(ghost_depth=2)
+        assert q.ghost_depth == 2
+        assert p.ghost_depth == 0

@@ -1,0 +1,73 @@
+"""Cross-consistency between the performance-model components."""
+
+import pytest
+
+from repro.lattice import get_lattice
+from repro.machine import BLUE_GENE_P, BLUE_GENE_Q, roofline
+from repro.parallel.schedules import ExchangeSchedule
+from repro.perf import (
+    CostModel,
+    Placement,
+    Workload,
+    base_params,
+    ladder_states,
+    simulate_comm_times,
+)
+from repro.perf.optimization import OptimizationLevel
+
+
+class TestModelRoofline:
+    @pytest.mark.parametrize("machine", [BLUE_GENE_P, BLUE_GENE_Q])
+    @pytest.mark.parametrize("lname", ["D3Q19", "D3Q39"])
+    def test_cost_model_never_exceeds_roofline(self, machine, lname):
+        """No code state may beat the Eq. 5 bound."""
+        lat = get_lattice(lname)
+        model = CostModel(machine, lat)
+        tasks = 4 if machine is BLUE_GENE_P else 32
+        placement = Placement(128, tasks)
+        workload = Workload(lat, (placement.total_ranks * 48, 64, 64))
+        bound = roofline(machine, lat).attainable_mflups * placement.nodes
+        for _, params in ladder_states(machine, lat):
+            assert model.mflups_aggregate(params, workload, placement) < bound
+
+    def test_cost_model_above_torus_floor_when_tuned(self):
+        """The tuned state must clear the §III-C all-remote lower bound."""
+        from repro.machine import torus_lower_bound
+
+        lat = get_lattice("D3Q19")
+        model = CostModel(BLUE_GENE_P, lat)
+        params = dict(ladder_states(BLUE_GENE_P, lat))[OptimizationLevel.SIMD]
+        placement = Placement(128, 4)
+        workload = Workload(lat, (placement.total_ranks * 64, 128, 128))
+        agg = model.mflups_aggregate(params, workload, placement)
+        floor = torus_lower_bound(BLUE_GENE_P, lat) * placement.nodes
+        assert agg > floor
+
+
+class TestCostModelVsEventSim:
+    def test_sync_term_tracks_event_sim_median(self):
+        """The cost model's mean-field sync estimate and the event
+        simulator's measured median wait agree within a small factor
+        for the same schedule/step scale."""
+        lat = get_lattice("D3Q19")
+        model = CostModel(BLUE_GENE_P, lat)
+        params = base_params(BLUE_GENE_P, lat).replace(
+            schedule=ExchangeSchedule.NONBLOCKING_GC, ghost_depth=1
+        )
+        placement = Placement(1024, 1)
+        # pick a workload whose modeled compute is ~0.11 s/step to match
+        # the event simulator's base_step_seconds
+        workload = Workload(lat, (1024 * 20, 128, 128), steps=300)
+        b = model.step_breakdown(params, workload, placement)
+        assert b.compute_s == pytest.approx(0.11, rel=0.5)
+
+        sim = simulate_comm_times(
+            ExchangeSchedule.NONBLOCKING_GC,
+            num_ranks=1024,
+            steps=300,
+            base_step_seconds=b.compute_s,
+            transfer_seconds=0.007,
+        )
+        model_comm_total = (b.sync_s + b.comm_exposed_s) * 300
+        ratio = sim.median / model_comm_total
+        assert 0.2 < ratio < 5.0

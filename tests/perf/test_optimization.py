@@ -1,0 +1,86 @@
+"""Tests for the optimization-ladder definition."""
+
+import pytest
+
+from repro.lattice import get_lattice
+from repro.machine import BLUE_GENE_P, BLUE_GENE_Q
+from repro.parallel.schedules import ExchangeSchedule
+from repro.perf import LADDER, OptimizationLevel, base_params, effect_note, ladder_states
+
+
+class TestLadderStructure:
+    def test_order_matches_fig8_axis(self):
+        assert [l.value for l in LADDER] == [
+            "Orig",
+            "GC",
+            "DH",
+            "CF",
+            "LoBr",
+            "NB-C",
+            "GC_C",
+            "SIMD",
+        ]
+
+    @pytest.mark.parametrize("machine", [BLUE_GENE_P, BLUE_GENE_Q])
+    @pytest.mark.parametrize("lname", ["D3Q19", "D3Q39"])
+    def test_eight_states(self, machine, lname):
+        states = ladder_states(machine, get_lattice(lname))
+        assert len(states) == 8
+        assert states[0][0] is OptimizationLevel.ORIG
+
+    def test_base_params_unknown_lattice(self):
+        with pytest.raises(KeyError, match="calibration"):
+            base_params(BLUE_GENE_P, get_lattice("D3Q27"))
+
+
+class TestCumulativeEffects:
+    @pytest.mark.parametrize("machine", [BLUE_GENE_P, BLUE_GENE_Q])
+    @pytest.mark.parametrize("lname", ["D3Q19", "D3Q39"])
+    def test_parameters_improve_monotonically(self, machine, lname):
+        states = ladder_states(machine, get_lattice(lname))
+        by_level = dict(states)
+        orig = by_level[OptimizationLevel.ORIG]
+        final = by_level[OptimizationLevel.SIMD]
+        assert final.bandwidth_fraction > orig.bandwidth_fraction
+        assert final.issue_fraction > orig.issue_fraction
+        assert final.work_overhead < orig.work_overhead
+        assert final.simd_lanes_used > orig.simd_lanes_used
+
+    def test_schedule_progression(self):
+        states = dict(ladder_states(BLUE_GENE_P, get_lattice("D3Q19")))
+        assert states[OptimizationLevel.ORIG].schedule is ExchangeSchedule.BLOCKING
+        assert states[OptimizationLevel.ORIG].ghost_depth == 0
+        assert states[OptimizationLevel.GC].ghost_depth == 1
+        assert (
+            states[OptimizationLevel.NB_C].schedule
+            is ExchangeSchedule.NONBLOCKING_GC
+        )
+        assert states[OptimizationLevel.GC_C].schedule is ExchangeSchedule.GC_SPLIT
+
+    def test_dh_gain_larger_on_bgq(self):
+        """'30%' on BG/P vs '75%' on BG/Q (§V-B)."""
+        for lname in ("D3Q19", "D3Q39"):
+            lat = get_lattice(lname)
+            p_states = dict(ladder_states(BLUE_GENE_P, lat))
+            q_states = dict(ladder_states(BLUE_GENE_Q, lat))
+            p_gain = (
+                p_states[OptimizationLevel.DH].bandwidth_fraction
+                / p_states[OptimizationLevel.GC].bandwidth_fraction
+            )
+            q_gain = (
+                q_states[OptimizationLevel.DH].bandwidth_fraction
+                / q_states[OptimizationLevel.GC].bandwidth_fraction
+            )
+            assert q_gain > p_gain
+
+    def test_simd_sets_two_lanes(self):
+        for machine in (BLUE_GENE_P, BLUE_GENE_Q):
+            states = dict(ladder_states(machine, get_lattice("D3Q19")))
+            assert states[OptimizationLevel.SIMD].simd_lanes_used == 2.0
+
+    def test_every_effect_has_provenance_note(self):
+        for machine in (BLUE_GENE_P, BLUE_GENE_Q):
+            for lname in ("D3Q19", "D3Q39"):
+                for level in LADDER[1:]:
+                    note = effect_note(machine, get_lattice(lname), level)
+                    assert len(note) > 20, (machine.name, lname, level)

@@ -1,0 +1,80 @@
+"""Tests for the strong/weak scaling predictions."""
+
+import pytest
+
+from repro.lattice import get_lattice
+from repro.machine import BLUE_GENE_P, BLUE_GENE_Q
+from repro.perf import (
+    Workload,
+    base_params,
+    ladder_states,
+    strong_scaling,
+    weak_scaling,
+)
+from repro.perf.optimization import OptimizationLevel
+
+
+@pytest.fixture
+def tuned():
+    lat = get_lattice("D3Q19")
+    return dict(ladder_states(BLUE_GENE_Q, lat))[OptimizationLevel.SIMD]
+
+
+class TestStrongScaling:
+    def test_throughput_grows_with_nodes(self, tuned):
+        lat = get_lattice("D3Q19")
+        wl = Workload(lat, (4096, 64, 64))
+        pts = strong_scaling(BLUE_GENE_Q, lat, tuned, wl, (8, 16, 32, 64), 32)
+        values = [p.mflups for p in pts]
+        assert values == sorted(values)
+
+    def test_efficiency_decays(self, tuned):
+        lat = get_lattice("D3Q19")
+        wl = Workload(lat, (4096, 64, 64))
+        pts = strong_scaling(BLUE_GENE_Q, lat, tuned, wl, (8, 16, 32, 64), 32)
+        effs = [p.efficiency for p in pts]
+        assert effs[0] == pytest.approx(1.0)
+        assert effs == sorted(effs, reverse=True)
+        assert effs[-1] < 0.95  # surface effects bite at 64 nodes
+
+    def test_comm_fraction_grows(self, tuned):
+        lat = get_lattice("D3Q19")
+        wl = Workload(lat, (4096, 64, 64))
+        pts = strong_scaling(BLUE_GENE_Q, lat, tuned, wl, (8, 64), 32)
+        assert pts[-1].comm_fraction > pts[0].comm_fraction
+
+
+class TestWeakScaling:
+    def test_near_flat_efficiency(self, tuned):
+        """Per-node work fixed: efficiency should stay near 1."""
+        lat = get_lattice("D3Q19")
+        pts = weak_scaling(
+            BLUE_GENE_Q, lat, tuned, planes_per_node=512, cross_section=(64, 64),
+            node_counts=(8, 32, 128), tasks_per_node=32,
+        )
+        for p in pts:
+            assert p.efficiency > 0.9
+
+    def test_aggregate_grows_linearly(self, tuned):
+        lat = get_lattice("D3Q19")
+        pts = weak_scaling(
+            BLUE_GENE_Q, lat, tuned, 512, (64, 64), (8, 16), tasks_per_node=32
+        )
+        assert pts[1].mflups == pytest.approx(2 * pts[0].mflups, rel=0.1)
+
+    def test_d3q39_scales_worse_than_d3q19(self):
+        """k=3 halos triple the surface traffic of the extended model."""
+        results = {}
+        for lname in ("D3Q19", "D3Q39"):
+            lat = get_lattice(lname)
+            params = base_params(BLUE_GENE_P, lat)
+            pts = strong_scaling(
+                BLUE_GENE_P,
+                lat,
+                params,
+                Workload(lat, (2048, 48, 48)),
+                (8, 64),
+                tasks_per_node=4,
+            )
+            results[lname] = pts[-1].efficiency
+        assert results["D3Q39"] <= results["D3Q19"] + 0.02

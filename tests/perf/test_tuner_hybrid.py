@@ -1,0 +1,109 @@
+"""Tests for the ghost-depth tuner and the hybrid threading sweep."""
+
+import pytest
+
+from repro.errors import OutOfMemoryModelError
+from repro.lattice import get_lattice
+from repro.machine import BLUE_GENE_P, BLUE_GENE_Q
+from repro.perf import (
+    Placement,
+    Workload,
+    base_params,
+    best_point,
+    depth_table,
+    ladder_states,
+    sweep_ghost_depth,
+    sweep_hybrid,
+    tuned_params_for_depth_study,
+)
+from repro.perf.optimization import OptimizationLevel
+
+
+@pytest.fixture
+def tuned_q19():
+    lat = get_lattice("D3Q19")
+    return tuned_params_for_depth_study(
+        dict(ladder_states(BLUE_GENE_P, lat))[OptimizationLevel.SIMD]
+    )
+
+
+class TestDepthSweep:
+    def test_result_structure(self, tuned_q19):
+        lat = get_lattice("D3Q19")
+        wl = Workload(lat, (32000, 140, 140))
+        sweep = sweep_ghost_depth(
+            BLUE_GENE_P, lat, tuned_q19, wl, Placement(512, 4)
+        )
+        assert sweep.depths == (1, 2, 3, 4)
+        assert len(sweep.runtimes_s) == 4
+        assert sweep.normalized[0] == pytest.approx(1.0)
+
+    def test_small_system_prefers_shallow(self, tuned_q19):
+        lat = get_lattice("D3Q19")
+        wl = Workload(lat, (8000, 140, 140))
+        sweep = sweep_ghost_depth(BLUE_GENE_P, lat, tuned_q19, wl, Placement(512, 4))
+        assert sweep.optimal_depth == 1
+        norms = [n for n in sweep.normalized if n is not None]
+        assert norms == sorted(norms)  # monotonically worse with depth
+
+    def test_large_system_prefers_deep(self, tuned_q19):
+        lat = get_lattice("D3Q19")
+        wl = Workload(lat, (133000, 140, 140))
+        sweep = sweep_ghost_depth(BLUE_GENE_P, lat, tuned_q19, wl, Placement(512, 4))
+        assert sweep.optimal_depth >= 2
+
+    def test_oom_at_depth4_for_133k(self, tuned_q19):
+        """The paper's Fig. 10a footnote, reproduced by the memory model."""
+        lat = get_lattice("D3Q19")
+        wl = Workload(lat, (133000, 140, 140))
+        sweep = sweep_ghost_depth(BLUE_GENE_P, lat, tuned_q19, wl, Placement(512, 4))
+        assert sweep.oom_depths == (4,)
+        assert sweep.normalized[3] is None
+
+    def test_nothing_fits_raises(self, tuned_q19):
+        lat = get_lattice("D3Q19")
+        wl = Workload(lat, (10**6, 600, 600))
+        sweep = sweep_ghost_depth(BLUE_GENE_P, lat, tuned_q19, wl, Placement(8, 4))
+        with pytest.raises(OutOfMemoryModelError):
+            _ = sweep.optimal_depth
+
+    def test_depth_table_monotone(self, tuned_q19):
+        lat = get_lattice("D3Q19")
+        rows = depth_table(
+            BLUE_GENE_P, lat, tuned_q19, (4, 16, 32, 64), (140, 140), Placement(512, 4)
+        )
+        depths = [d for _, d in rows]
+        assert depths == sorted(depths)  # deeper for larger ratios
+        assert depths[0] == 1
+
+
+class TestHybridSweep:
+    def _sweep(self, lname, machine, combos, nodes, area, r_per_proc, ref_procs):
+        lat = get_lattice(lname)
+        params = dict(ladder_states(machine, lat))[OptimizationLevel.SIMD]
+        wl = Workload(lat, (r_per_proc * ref_procs, area, area))
+        return sweep_hybrid(machine, lat, params, wl, nodes, combos)
+
+    def test_threading_improves_bgp(self):
+        pts = self._sweep(
+            "D3Q19", BLUE_GENE_P, ((1, 1), (1, 2), (1, 4)), 32, 64, 66, 128
+        )
+        times = [p.runtime_s for p in pts]
+        assert times[0] > times[1] > times[2]
+
+    def test_oversubscription_marked_infeasible(self):
+        pts = self._sweep("D3Q19", BLUE_GENE_P, ((4, 4),), 32, 64, 66, 128)
+        assert pts[0].runtime_s is None  # 16 threads > 4 hw threads
+
+    def test_labels(self):
+        pts = self._sweep("D3Q19", BLUE_GENE_Q, ((4, 16),), 16, 128, 66, 256)
+        assert pts[0].label == "4-16"
+
+    def test_best_point_requires_feasible(self):
+        pts = self._sweep("D3Q19", BLUE_GENE_P, ((4, 4),), 32, 64, 66, 128)
+        with pytest.raises(ValueError):
+            best_point(pts)
+
+    def test_best_depth_reported(self):
+        pts = self._sweep("D3Q39", BLUE_GENE_P, ((1, 4),), 32, 28, 800, 128)
+        assert pts[0].best_depth in (1, 2, 3, 4)

@@ -1,0 +1,59 @@
+"""Smoke tests: the fast example scripts run end-to-end and PASS."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str, timeout: int = 180) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestFastExamples:
+    def test_quickstart(self):
+        result = _run("quickstart.py", "16")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "PASS" in result.stdout
+        assert "MFlup/s" in result.stdout
+
+    def test_scaling_study(self):
+        result = _run("scaling_study.py", "D3Q19")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "Strong scaling" in result.stdout
+        assert "Hybrid placement" in result.stdout
+
+    def test_deep_halo_tuning(self):
+        result = _run("deep_halo_tuning.py")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "max |error| = 0.00e+00" in result.stdout
+        assert "chosen ghost depth" in result.stdout
+
+
+class TestExampleSources:
+    """The slow examples at least import and expose main()."""
+
+    @pytest.mark.parametrize(
+        "script",
+        [
+            "quickstart.py",
+            "microchannel_knudsen.py",
+            "artery_flow.py",
+            "deep_halo_tuning.py",
+            "scaling_study.py",
+            "microfluidic_clogging.py",
+        ],
+    )
+    def test_compiles(self, script):
+        source = (EXAMPLES / script).read_text()
+        code = compile(source, script, "exec")
+        assert code is not None
+        assert "def main(" in source
