@@ -1,104 +1,22 @@
 #!/usr/bin/env python3
 """Continuum application: pressure-driven flow in a curved vessel.
 
-The paper's code is the fluid component of a cardiovascular multiphysics
-stack (Fig. 1 shows aortic flow).  Patient CT geometries are not
-available here (see DESIGN.md substitutions), so this example builds a
-synthetic curved vessel — a tube whose centre meanders sinusoidally —
-voxelised onto the lattice with full-way bounce-back walls, driven by a
-body force (the pressure-gradient surrogate).
+Thin wrapper over the registered ``artery-flow`` case (synthetic
+meandering tube, bounce-back walls, body-force drive; checks no-slip,
+mass conservation and low Mach).  Equivalent CLI::
 
-It reports flow rate, peak velocity and Reynolds number, and checks two
-physical invariants: no-slip at the vessel wall and mass conservation.
+    python -m repro case artery-flow
 
 Usage::
 
     python examples/artery_flow.py
 """
 
-import numpy as np
-
-from repro.core import (
-    BounceBackWalls,
-    GuoForcing,
-    Simulation,
-    macroscopic,
-    reynolds_number,
-    total_mass,
-    uniform_flow,
-)
-from repro.lattice import get_lattice
-
-SHAPE = (48, 21, 21)  # axial x cross-section
-RADIUS = 7.0
-MEANDER = 2.5  # centreline deflection amplitude
-FORCE = 4e-6
-TAU = 0.8
-STEPS = 600
-
-
-def build_vessel(shape, radius, meander) -> np.ndarray:
-    """Solid mask of a curved tube along x (True = vessel wall/outside)."""
-    nx, ny, nz = shape
-    x = np.arange(nx)[:, None, None]
-    y = np.arange(ny)[None, :, None]
-    z = np.arange(nz)[None, None, :]
-    cy = ny / 2.0 + meander * np.sin(2 * np.pi * x / nx)
-    cz = nz / 2.0 + meander * np.cos(2 * np.pi * x / nx)
-    r2 = (y - cy) ** 2 + (z - cz) ** 2
-    return r2 > radius * radius
+from repro.scenarios.cli import run_case_cli
 
 
 def main() -> int:
-    lattice = get_lattice("D3Q19")
-    solid = build_vessel(SHAPE, RADIUS, MEANDER)
-    fluid_cells = int((~solid).sum())
-    print(f"Curved vessel: grid {SHAPE}, radius {RADIUS}, "
-          f"{fluid_cells} fluid cells ({fluid_cells / solid.size:.0%} of box)")
-
-    sim = Simulation(
-        lattice,
-        SHAPE,
-        tau=TAU,
-        boundaries=[BounceBackWalls(lattice, solid)],
-        forcing=GuoForcing(lattice, (FORCE, 0.0, 0.0)),
-    )
-    rho, u = uniform_flow(SHAPE)
-    sim.initialize(rho, u)
-    m0 = total_mass(sim.f)
-    sim.run(STEPS, check_stability_every=100)
-
-    rho_out, u_out = macroscopic(lattice, sim.f)
-    axial = np.where(~solid, u_out[0], 0.0)
-    flow_rate = axial.sum(axis=(1, 2)).mean()
-    peak = axial.max()
-    mean_speed = axial.sum() / fluid_cells
-    nu = lattice.cs2_float * (TAU - 0.5)
-    re = reynolds_number(mean_speed, 2 * RADIUS, nu)
-
-    # no-slip: fluid adjacent to the wall is much slower than the core
-    wall_adjacent = (~solid) & (
-        np.roll(solid, 1, 1) | np.roll(solid, -1, 1) | np.roll(solid, 1, 2) | np.roll(solid, -1, 2)
-    )
-    near_wall_speed = axial[wall_adjacent].mean()
-
-    mass_drift = abs(total_mass(sim.f) - m0) / m0
-    print(f"  flow rate:        {flow_rate:.4e} (lattice units)")
-    print(f"  peak velocity:    {peak:.4e}  (Mach {peak / np.sqrt(lattice.cs2_float):.3f})")
-    print(f"  Reynolds number:  {re:.3g}")
-    print(f"  near-wall speed:  {near_wall_speed:.2e} "
-          f"({near_wall_speed / peak:.1%} of peak -> no-slip)")
-    print(f"  mass drift:       {mass_drift:.2e}")
-    print(f"  throughput:       {sim.mflups():.2f} MFlup/s")
-
-    ok = (
-        flow_rate > 0
-        and near_wall_speed < 0.35 * peak
-        and mass_drift < 1e-10
-        and peak / np.sqrt(lattice.cs2_float) < 0.3
-    )
-    print("  PASS" if ok else "  FAIL")
-    return 0 if ok else 1
+    return run_case_cli("artery-flow")
 
 
 if __name__ == "__main__":

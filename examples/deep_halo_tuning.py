@@ -1,86 +1,23 @@
 #!/usr/bin/env python3
 """Deep-halo ghost-cell tuning for a user workload (paper §V-A/§VI-A).
 
-Given a D3Q39 problem on a simulated Blue Gene/Q partition, this
-example:
+Thin wrapper over the registered ``deep-halo-tuning`` case: verifies
+that deep halos preserve the physics bit-for-bit while cutting the
+message count, then lets the calibrated BG/Q cost model pick the
+runtime-optimal depth.  Equivalent CLI::
 
-1. verifies *functionally* (with the in-process distributed solver)
-   that deep halos preserve the physics bit-for-bit while cutting the
-   message count d-fold, and
-2. uses the calibrated cost model to pick the runtime-optimal depth,
-   showing the tradeoff the paper's Fig. 10 plots.
+    python -m repro case deep-halo-tuning
 
 Usage::
 
     python examples/deep_halo_tuning.py
 """
 
-import numpy as np
-
-from repro.core import Simulation, shear_wave
-from repro.lattice import get_lattice
-from repro.machine import BLUE_GENE_Q
-from repro.parallel import DistributedSimulation
-from repro.perf import Placement, Workload, ladder_states, sweep_ghost_depth
-from repro.perf.optimization import OptimizationLevel
-from repro.perf.tuner import tuned_params_for_depth_study
-
-
-def functional_check() -> bool:
-    """Deep halos change messages, not physics."""
-    shape = (36, 5, 5)
-    steps = 8
-    lattice = get_lattice("D3Q39")
-    ref = Simulation(lattice, shape, tau=0.8)
-    rho, u = shear_wave(shape)
-    ref.initialize(rho, u)
-    ref.run(steps)
-
-    print("functional check (D3Q39, 2 ranks, 8 steps):")
-    ok = True
-    for depth in (1, 2):
-        dist = DistributedSimulation(
-            lattice, shape, tau=0.8, num_ranks=2, ghost_depth=depth
-        )
-        dist.initialize(rho, u)
-        dist.run(steps)
-        err = float(np.abs(dist.gather() - ref.f).max())
-        print(
-            f"  depth {depth}: max |error| = {err:.2e}, "
-            f"messages = {dist.message_count()}, "
-            f"bytes = {dist.total_comm_bytes():,}"
-        )
-        ok = ok and err < 1e-13
-    return ok
-
-
-def model_tuning() -> int:
-    """Pick the best depth for a 16-node BG/Q run of a large system."""
-    lattice = get_lattice("D3Q39")
-    params = tuned_params_for_depth_study(
-        dict(ladder_states(BLUE_GENE_Q, lattice))[OptimizationLevel.SIMD]
-    )
-    placement = Placement(nodes=16, tasks_per_node=16)
-    workload = Workload(lattice, (200_000, 40, 40), steps=300)
-    sweep = sweep_ghost_depth(
-        BLUE_GENE_Q, lattice, params, workload, placement, size_label="200k"
-    )
-    print("\nmodel tuning (D3Q39, 200k planes on 16 BG/Q nodes x 16 tasks):")
-    for depth, runtime, norm in zip(sweep.depths, sweep.runtimes_s, sweep.normalized):
-        if runtime is None:
-            print(f"  depth {depth}: OUT OF MEMORY")
-        else:
-            marker = " <- optimal" if depth == sweep.optimal_depth else ""
-            print(f"  depth {depth}: {runtime:8.2f} s ({norm:.3f} of GC=1){marker}")
-    return sweep.optimal_depth
+from repro.scenarios.cli import run_case_cli
 
 
 def main() -> int:
-    ok = functional_check()
-    best = model_tuning()
-    print(f"\nchosen ghost depth: {best}")
-    print("PASS" if ok and best >= 1 else "FAIL")
-    return 0 if ok else 1
+    return run_case_cli("deep-halo-tuning")
 
 
 if __name__ == "__main__":

@@ -1,106 +1,49 @@
 #!/usr/bin/env python3
 """Beyond Navier-Stokes: rarefied Couette flow in a microchannel.
 
-The paper's motivation: at finite Knudsen number the continuum
-assumption fails and higher-order lattices are needed.  This example
-runs plane Couette flow between diffuse (Maxwell) walls over a range of
-Kn and measures the wall *slip* — the signature rarefaction effect —
-by extrapolating the bulk linear profile to the wall plane.
+Thin wrapper over the registered ``microchannel-knudsen`` case: a
+parameter sweep over Knudsen number x lattice reproduces the original
+example's table — D3Q39's third-order quadrature tracks the kinetic
+slip prediction Kn/(1+2Kn); second-order D3Q19 stays biased.
+Equivalent CLI::
 
-Kinetic theory (first-order slip, full accommodation) predicts a slip
-fraction of about ``Kn / (1 + 2 Kn)``.  The third-order D3Q39 model
-tracks this closely across the slip and transition regimes; the
-second-order D3Q19 model overshoots badly in the near-continuum limit
-and stays biased throughout — the missing kinetic moments the paper's
-extended model restores.
+    python -m repro sweep microchannel-knudsen \
+        --param kn=0.01,0.05,0.1,0.3,0.7 --param lattice=D3Q19,D3Q39
 
 Usage::
 
     python examples/microchannel_knudsen.py
 """
 
-import numpy as np
-
-from repro.core import (
-    DiffuseWallPair,
-    RegularizedBGKCollision,
-    Simulation,
-    classify_regime,
-    tau_for_knudsen,
-    uniform_flow,
-    velocity_profile,
-)
-from repro.lattice import get_lattice
-
-CHANNEL = 17  # wall-normal extent (lattice nodes)
-WALL_SPEED = 0.005
-STEPS = 1200
-
-
-def measured_slip(lname: str, kn: float) -> float:
-    """Slip fraction 1 - u(wall)/u_wall via bulk-profile extrapolation."""
-    lattice = get_lattice(lname)
-    tau = tau_for_knudsen(kn, CHANNEL, lattice.cs2_float)
-    shape = (4, CHANNEL, 4)
-    bc = DiffuseWallPair(
-        lattice,
-        axis=1,
-        wall_velocity_low=(0.0, 0.0, 0.0),
-        wall_velocity_high=(WALL_SPEED, 0.0, 0.0),
-    )
-    sim = Simulation(
-        lattice,
-        shape,
-        collision=RegularizedBGKCollision(lattice, tau),
-        boundaries=[bc],
-    )
-    rho, u = uniform_flow(shape)
-    sim.initialize(rho, u)
-    sim.run(STEPS, check_stability_every=200)
-    profile = velocity_profile(lattice, sim.f, flow_axis=0, across_axis=1)
-    y = np.arange(CHANNEL)
-    bulk = slice(5, CHANNEL - 5)  # linear Couette core, outside Knudsen layers
-    fit = np.polyfit(y[bulk], profile[bulk], 1)
-    u_at_wall = np.polyval(fit, CHANNEL - 0.5)
-    return 1.0 - float(u_at_wall) / WALL_SPEED
-
-
-def theory_slip(kn: float) -> float:
-    """First-order Maxwell slip fraction for symmetric Couette flow."""
-    return kn / (1.0 + 2.0 * kn)
+from repro.scenarios import Sweep
 
 
 def main() -> int:
-    kns = (0.01, 0.05, 0.1, 0.3, 0.7)
-    print(f"Couette microchannel, H={CHANNEL}, wall speed {WALL_SPEED}")
-    print(
-        f"{'Kn':>6} | {'regime':<12} | {'theory':>7} | "
-        f"{'D3Q19':>7} | {'D3Q39':>7} | {'err Q19':>8} | {'err Q39':>8}"
+    sweep = Sweep(
+        "microchannel-knudsen",
+        {"kn": [0.01, 0.05, 0.1, 0.3, 0.7], "lattice": ["D3Q19", "D3Q39"]},
     )
-    print("-" * 72)
-    err19_all, err39_all = [], []
-    slips39 = []
-    for kn in kns:
-        s19 = measured_slip("D3Q19", kn)
-        s39 = measured_slip("D3Q39", kn)
-        th = theory_slip(kn)
-        e19, e39 = abs(s19 - th), abs(s39 - th)
-        err19_all.append(e19)
-        err39_all.append(e39)
-        slips39.append(s39)
-        print(
-            f"{kn:6.2f} | {classify_regime(kn).value:<12} | {th:7.4f} | "
-            f"{s19:7.4f} | {s39:7.4f} | {e19:8.4f} | {e39:8.4f}"
-        )
+    result = sweep.run()
+    print(result.to_table())
 
-    monotone = all(b > a for a, b in zip(slips39, slips39[1:]))
-    q39_wins = all(e39 <= e19 for e19, e39 in zip(err19_all, err39_all))
+    # D3Q39 must beat D3Q19 against kinetic theory at every Kn, and its
+    # slip must grow monotonically with Kn (the rarefaction signature).
+    errors: dict[str, dict[float, float]] = {}
+    slips39: dict[float, float] = {}
+    for overrides, run in zip(result.variants, result.results):
+        errors.setdefault(overrides["lattice"], {})[overrides["kn"]] = (
+            run.metrics["slip_error"]
+        )
+        if overrides["lattice"] == "D3Q39":
+            slips39[overrides["kn"]] = run.metrics["slip_measured"]
+    q39_wins = all(
+        errors["D3Q39"][kn] <= errors["D3Q19"][kn] for kn in errors["D3Q39"]
+    )
+    ordered = [slips39[kn] for kn in sorted(slips39)]
+    monotone = all(b > a for a, b in zip(ordered, ordered[1:]))
     print()
-    print(f"  slip grows with Kn (D3Q39):              {'yes' if monotone else 'NO'}")
+    print(f"  slip grows with Kn (D3Q39):               {'yes' if monotone else 'NO'}")
     print(f"  D3Q39 closer to kinetic theory at all Kn: {'yes' if q39_wins else 'NO'}")
-    print("  -> the higher-order quadrature recovers the kinetic moments the")
-    print("     second-order model truncates; this is the physics the paper's")
-    print("     performance engineering makes affordable.")
     return 0 if (monotone and q39_wins) else 1
 
 

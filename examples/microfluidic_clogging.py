@@ -1,96 +1,31 @@
 #!/usr/bin/env python3
 """Microfluidic constriction: drag and flow reduction from a clog.
 
-The paper's introduction motivates the extended model with "the study
-of clogging in a microfluidic device".  This example builds a plane
-channel with a growing spherical occlusion at its throat and measures,
-for each occlusion radius:
+Thin wrapper over the registered ``microfluidic-clogging`` case: a
+sweep over the occlusion radius shows the flow being monotonically
+choked while the momentum-exchange drag balances the injected body
+force.  Equivalent CLI::
 
-* the volumetric flow rate (how much the clog chokes the channel), and
-* the hydrodynamic drag on the particle via momentum exchange (the
-  force trying to push the clog downstream).
-
-At steady state the drag on all solid surfaces balances the injected
-body force exactly — an invariant the script verifies.
+    python -m repro sweep microfluidic-clogging --param clog_radius=0,2,3.5,5
 
 Usage::
 
     python examples/microfluidic_clogging.py
 """
 
-import numpy as np
-
-from repro.core import (
-    BounceBackWalls,
-    GuoForcing,
-    Simulation,
-    channel_walls_mask,
-    macroscopic,
-    momentum_exchange_force,
-    sphere_mask,
-    stream_periodic,
-    uniform_flow,
-)
-from repro.lattice import get_lattice
-
-SHAPE = (24, 15, 15)
-FORCE = 3e-6
-TAU = 0.8
-STEPS = 700
-
-
-def run_case(radius: float):
-    lattice = get_lattice("D3Q19")
-    walls = channel_walls_mask(SHAPE, axis=1)
-    clog = (
-        sphere_mask(SHAPE, (SHAPE[0] // 2, SHAPE[1] // 2, SHAPE[2] // 2), radius)
-        if radius > 0
-        else np.zeros(SHAPE, dtype=bool)
-    )
-    solid = walls | clog
-    sim = Simulation(
-        lattice,
-        SHAPE,
-        tau=TAU,
-        boundaries=[BounceBackWalls(lattice, solid)],
-        forcing=GuoForcing(lattice, (FORCE, 0.0, 0.0)),
-    )
-    rho, u = uniform_flow(SHAPE)
-    sim.initialize(rho, u)
-    sim.run(STEPS, check_stability_every=100)
-
-    _, u_out = macroscopic(lattice, sim.f)
-    axial = np.where(~solid, u_out[0], 0.0)
-    flow_rate = float(axial.sum(axis=(1, 2)).mean())
-
-    adv = stream_periodic(lattice, sim.f)
-    drag_clog = momentum_exchange_force(lattice, adv, clog)[0] if radius > 0 else 0.0
-    drag_total = momentum_exchange_force(lattice, adv, solid)[0]
-    injected = FORCE * sim.num_cells
-    return flow_rate, float(drag_clog), float(drag_total), injected
+from repro.scenarios import Sweep
 
 
 def main() -> int:
-    radii = (0.0, 2.0, 3.5, 5.0)
-    print(f"Channel {SHAPE} with growing clog, body force {FORCE}")
-    print(f"{'radius':>7} | {'flow rate':>10} | {'choked':>7} | {'clog drag':>10} | {'force balance':>13}")
-    print("-" * 62)
-    base_flow = None
-    flows, balances = [], []
-    for radius in radii:
-        flow, drag_clog, drag_total, injected = run_case(radius)
-        base_flow = base_flow or flow
-        choke = 1 - flow / base_flow
-        balance = drag_total / injected
-        flows.append(flow)
-        balances.append(balance)
-        print(
-            f"{radius:7.1f} | {flow:10.4e} | {choke:7.1%} | "
-            f"{drag_clog:10.3e} | {balance:13.3f}"
-        )
+    sweep = Sweep("microfluidic-clogging", {"clog_radius": [0.0, 2.0, 3.5, 5.0]})
+    result = sweep.run()
+    print(result.to_table())
 
+    flows = [run.metrics["flow_rate"] for run in result.results]
     monotone = all(b < a for a, b in zip(flows, flows[1:]))
-    balanced = all(abs(b - 1) < 0.05 for b in balances)
+    balanced = all(
+        abs(run.metrics["force_balance"] - 1.0) < 0.05 for run in result.results
+    )
     print()
     print(f"  flow monotonically choked by clog:   {'yes' if monotone else 'NO'}")
     print(f"  steady-state force balance holds:    {'yes' if balanced else 'NO'}")

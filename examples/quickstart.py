@@ -1,9 +1,12 @@
 #!/usr/bin/env python3
-"""Quickstart: a Taylor-Green vortex on the D3Q19 lattice.
+"""Quickstart: the Taylor-Green vortex case from the scenario registry.
 
-Runs a periodic vortex flow, checks the kinetic-energy decay against
-the analytic viscous rate, and reports the measured throughput in
-MFlup/s (the paper's Eq. 4 metric).
+Thin wrapper over ``repro.scenarios`` — the workload itself (initial
+condition, observables, analytic decay check) is the registered
+``taylor-green`` case; this script only picks the grid size.
+Equivalent CLI::
+
+    python -m repro case taylor-green --set shape=N,N,4
 
 Usage::
 
@@ -12,41 +15,15 @@ Usage::
 
 import sys
 
-import numpy as np
-
-from repro.core import Simulation, kinetic_energy, taylor_green
-from repro.lattice import get_lattice
+from repro.scenarios import run_case
 
 
 def main() -> int:
     n = int(sys.argv[1]) if len(sys.argv) > 1 else 32
-    shape = (n, n, 4)
-    tau = 0.7
-    steps = 200
-
-    lattice = get_lattice("D3Q19")
-    sim = Simulation(lattice, shape, tau=tau)
-    rho, u = taylor_green(shape, u0=1e-3)
-    sim.initialize(rho, u)
-
-    print(f"Taylor-Green vortex, {lattice.name}, grid {shape}, tau={tau}")
-    e0 = kinetic_energy(lattice, sim.f)
-    sim.run(steps, check_stability_every=50)
-    e1 = kinetic_energy(lattice, sim.f)
-
-    nu = lattice.cs2_float * (tau - 0.5)
-    k = 2 * np.pi / n
-    expected = np.exp(-4 * nu * k * k * steps)
-    measured = e1 / e0
-
-    print(f"  kinetic energy decay: measured {measured:.4f}, theory {expected:.4f}")
-    print(f"  relative error:       {abs(measured / expected - 1):.2%}")
-    print(f"  throughput:           {sim.mflups():.2f} MFlup/s "
-          f"(stream {sim.timings.stream_seconds:.2f}s, "
-          f"collide {sim.timings.collide_seconds:.2f}s)")
-    ok = abs(measured / expected - 1) < 0.1
-    print("  PASS" if ok else "  FAIL")
-    return 0 if ok else 1
+    result = run_case("taylor-green", shape=(n, n, 4))
+    print(result.to_text())
+    print(f"  throughput: {result.metrics['mflups']:.2f} MFlup/s")
+    return 0 if result.passed else 1
 
 
 if __name__ == "__main__":

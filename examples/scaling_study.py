@@ -1,102 +1,25 @@
 #!/usr/bin/env python3
 """Machine-model scaling study: the paper's evaluation in miniature.
 
-Uses the calibrated Blue Gene models to answer the questions a user of
-the paper would ask before a production run:
+Thin wrapper over the registered ``scaling-study`` case: optimization
+ladder, strong scaling and hybrid-placement tables from the calibrated
+Blue Gene models.  Equivalent CLI::
 
-* What throughput should I expect at each optimization level?
-* How does performance strong-scale as I add nodes?
-* Which hybrid tasks x threads placement should I use?
+    python -m repro case scaling-study --set lattice=D3Q39
 
 Usage::
 
-    python examples/scaling_study.py [D3Q19|D3Q39]
+    python examples/scaling_study.py [D3Q15|D3Q19|D3Q27|D3Q39]
 """
 
 import sys
 
-from repro.analysis import bar_chart, render_table
-from repro.lattice import get_lattice
-from repro.machine import BLUE_GENE_Q, roofline
-from repro.perf import (
-    CostModel,
-    Placement,
-    Workload,
-    best_point,
-    ladder_states,
-    sweep_hybrid,
-)
-from repro.perf.optimization import OptimizationLevel
-
-
-def ladder_section(lattice) -> None:
-    model = CostModel(BLUE_GENE_Q, lattice)
-    placement = Placement(nodes=64, tasks_per_node=32)
-    workload = Workload(lattice, (placement.total_ranks * 32, 64, 64))
-    states = ladder_states(BLUE_GENE_Q, lattice)
-    labels = [lv.value for lv, _ in states]
-    values = [model.mflups_aggregate(p, workload, placement) for _, p in states]
-    peak = roofline(BLUE_GENE_Q, lattice).attainable_mflups * placement.nodes
-    print(
-        bar_chart(
-            labels,
-            values,
-            title=f"\nOptimization ladder, {lattice.name} on 64 BG/Q nodes "
-            f"(model peak {peak:.0f} MFlup/s)",
-        )
-    )
-
-
-def strong_scaling_section(lattice) -> None:
-    model = CostModel(BLUE_GENE_Q, lattice)
-    params = dict(ladder_states(BLUE_GENE_Q, lattice))[OptimizationLevel.SIMD]
-    workload = Workload(lattice, (4096, 64, 64))
-    rows = []
-    base = None
-    for nodes in (8, 16, 32, 64, 128):
-        placement = Placement(nodes=nodes, tasks_per_node=32)
-        agg = model.mflups_aggregate(params, workload, placement)
-        base = base or agg / nodes * 8
-        eff = agg / (base * nodes / 8)
-        rows.append([nodes, f"{agg:.0f}", f"{eff:.1%}"])
-    print()
-    print(
-        render_table(
-            ["nodes", "MFlup/s", "scaling efficiency"],
-            rows,
-            title=f"Strong scaling, {lattice.name}, 4096x64x64 grid",
-        )
-    )
-
-
-def hybrid_section(lattice) -> None:
-    params = dict(ladder_states(BLUE_GENE_Q, lattice))[OptimizationLevel.SIMD]
-    workload = Workload(lattice, (12800, 40, 40))
-    combos = ((1, 64), (2, 32), (4, 16), (8, 8), (16, 4), (32, 2), (64, 1))
-    points = sweep_hybrid(BLUE_GENE_Q, lattice, params, workload, 16, combos)
-    best = best_point(points)
-    rows = [
-        [p.label, "infeasible" if p.runtime_s is None else f"{p.runtime_s:.1f}",
-         p.best_depth or "-", "<-- best" if p is best else ""]
-        for p in points
-    ]
-    print()
-    print(
-        render_table(
-            ["tasks-threads", "runtime (s)", "ghost depth", ""],
-            rows,
-            title=f"Hybrid placement, {lattice.name}, 16 BG/Q nodes",
-        )
-    )
+from repro.scenarios.cli import run_case_cli
 
 
 def main() -> int:
-    lname = sys.argv[1] if len(sys.argv) > 1 else "D3Q39"
-    lattice = get_lattice(lname)
-    ladder_section(lattice)
-    strong_scaling_section(lattice)
-    hybrid_section(lattice)
-    return 0
+    lattice = sys.argv[1] if len(sys.argv) > 1 else "D3Q39"
+    return run_case_cli("scaling-study", overrides={"lattice": lattice})
 
 
 if __name__ == "__main__":

@@ -19,14 +19,28 @@ Subpackages
     simulator, ghost-depth tuner, hybrid-threading model.
 ``repro.experiments``
     One ``run()`` per paper table/figure + registry.
+``repro.scenarios``
+    Declarative application workloads: case registry, runner with
+    checkpoint/restart, parameter sweeps.
 """
 
-from . import analysis, core, errors, experiments, lattice, machine, parallel, perf
+from . import (
+    analysis,
+    core,
+    errors,
+    experiments,
+    lattice,
+    machine,
+    parallel,
+    perf,
+    scenarios,
+)
 from ._version import __version__
 from .core import Simulation
 from .experiments import run_experiment
 from .lattice import get_lattice
 from .parallel import DistributedSimulation
+from .scenarios import run_case
 
 __all__ = [
     "analysis",
@@ -39,7 +53,9 @@ __all__ = [
     "machine",
     "parallel",
     "perf",
+    "run_case",
     "run_experiment",
+    "scenarios",
     "Simulation",
     "__version__",
 ]

@@ -1,11 +1,18 @@
-"""Command-line entry: regenerate paper artifacts.
+"""Command-line entry: paper artifacts and scenario cases.
 
 Usage::
 
-    python -m repro              # run every experiment
-    python -m repro fig8a fig9   # run selected experiments
-    python -m repro --list       # list experiment ids
-    python -m repro --report     # emit the EXPERIMENTS.md record
+    python -m repro                       # run every paper experiment
+    python -m repro fig8a fig9            # run selected experiments
+    python -m repro --list                # list experiment ids
+    python -m repro --report              # emit the EXPERIMENTS.md record
+
+    python -m repro cases                 # list the scenario case catalog
+    python -m repro case taylor-green --steps 200
+    python -m repro case artery-flow --checkpoint state.npz
+    python -m repro case artery-flow --resume state.npz
+    python -m repro sweep taylor-green --param tau=0.6,0.8 \
+        --param lattice=D3Q19,D3Q27 --steps 50
 """
 
 from __future__ import annotations
@@ -14,9 +21,15 @@ import sys
 
 from .experiments import available_experiments, run_experiment
 
+SCENARIO_COMMANDS = ("case", "cases", "sweep")
+
 
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
+    if args and args[0] in SCENARIO_COMMANDS:
+        from .scenarios.cli import main as scenarios_main
+
+        return scenarios_main(args)
     if "--list" in args:
         print("\n".join(available_experiments()))
         return 0

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["render_table"]
+__all__ = ["render_table", "render_csv"]
 
 
 def render_table(
@@ -29,3 +29,17 @@ def render_table(
     for row in cells[1:]:
         lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def render_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render the same tabular data as minimal CSV (comma-quoted cells)."""
+
+    def cell(value: object) -> str:
+        text = str(value)
+        if "," in text or '"' in text or "\n" in text:
+            text = '"' + text.replace('"', '""') + '"'
+        return text
+
+    lines = [",".join(cell(h) for h in headers)]
+    lines += [",".join(cell(c) for c in row) for row in rows]
+    return "\n".join(lines) + "\n"

@@ -1,6 +1,11 @@
 """LBM core: fields, equilibria, collision, streaming, boundaries, driver."""
 
-from .boundary import BounceBackWalls, BoundaryCondition, DiffuseWallPair
+from .boundary import (
+    BounceBackWalls,
+    BoundaryCondition,
+    DiffuseWallPair,
+    MovingWallBounceBack,
+)
 from .collision import (
     BGKCollision,
     RegularizedBGKCollision,
@@ -10,7 +15,14 @@ from .collision import (
 from .equilibrium import equilibrium, equilibrium_order_for
 from .fields import DistributionField
 from .forcing import GuoForcing
-from .io import TimeSeriesLogger, load_checkpoint, save_checkpoint, write_vtk
+from .io import (
+    CheckpointData,
+    TimeSeriesLogger,
+    load_checkpoint,
+    load_checkpoint_data,
+    save_checkpoint,
+    write_vtk,
+)
 from .initial_conditions import (
     density_pulse,
     random_perturbation,
@@ -62,6 +74,8 @@ from .units import (
 __all__ = [
     "BGKCollision",
     "channel_walls_mask",
+    "CheckpointData",
+    "load_checkpoint_data",
     "cylinder_mask",
     "HermiteMRTCollision",
     "load_checkpoint",
@@ -99,6 +113,7 @@ __all__ = [
     "mean_free_path",
     "momentum",
     "momentum_flux",
+    "MovingWallBounceBack",
     "NaiveKernel",
     "random_perturbation",
     "RegularizedBGKCollision",

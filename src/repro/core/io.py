@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import dataclasses
 import io as _io
+import json
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -26,7 +27,14 @@ from ..lattice import get_lattice
 from .moments import macroscopic
 from .simulation import Simulation
 
-__all__ = ["write_vtk", "save_checkpoint", "load_checkpoint", "TimeSeriesLogger"]
+__all__ = [
+    "write_vtk",
+    "CheckpointData",
+    "save_checkpoint",
+    "load_checkpoint",
+    "load_checkpoint_data",
+    "TimeSeriesLogger",
+]
 
 
 def write_vtk(
@@ -78,8 +86,38 @@ def write_vtk(
     return path
 
 
-def save_checkpoint(path: str | Path, simulation: Simulation) -> Path:
-    """Serialise a simulation's full state for exact restart."""
+@dataclasses.dataclass
+class CheckpointData:
+    """Raw contents of a restart file.
+
+    Callers that know how the simulation was configured (e.g. the
+    scenario :class:`~repro.scenarios.runner.CaseRunner`) rebuild the
+    full driver — collision operator, boundaries, forcing — from their
+    own spec and restore only ``f`` / ``time_step`` from here, so the
+    restart is bit-exact under any collision model.
+    """
+
+    f: np.ndarray
+    lattice: str
+    tau: float
+    order: int
+    time_step: int
+    extra: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+
+def save_checkpoint(
+    path: str | Path,
+    simulation: Simulation,
+    extra: Mapping[str, Any] | None = None,
+) -> Path:
+    """Serialise a simulation's full state for exact restart.
+
+    Parameters
+    ----------
+    extra:
+        Optional JSON-serialisable metadata stored alongside the state
+        (e.g. the scenario case name that produced the checkpoint).
+    """
     path = Path(path)
     tau = getattr(simulation.collision, "tau", None)
     if tau is None:
@@ -95,27 +133,42 @@ def save_checkpoint(path: str | Path, simulation: Simulation) -> Path:
         tau=float(tau),
         order=int(simulation.collision.order),
         time_step=int(simulation.time_step),
+        extra_json=json.dumps(dict(extra or {})),
     )
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_checkpoint_data(path: str | Path) -> CheckpointData:
+    """Read a checkpoint back as raw state without building a driver."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        extra_json = str(data["extra_json"]) if "extra_json" in data else "{}"
+        return CheckpointData(
+            f=np.array(data["f"]),
+            lattice=str(data["lattice"]),
+            tau=float(data["tau"]),
+            order=int(data["order"]),
+            time_step=int(data["time_step"]),
+            extra=json.loads(extra_json),
+        )
 
 
 def load_checkpoint(path: str | Path) -> Simulation:
     """Rebuild a :class:`Simulation` from a checkpoint (BGK collision).
 
     The populations are restored bit-exactly; boundary conditions and
-    forcing are *not* serialised (reattach them after loading).
+    forcing are *not* serialised (reattach them after loading, or use
+    :class:`repro.scenarios.CaseRunner` which rebuilds them from the
+    case spec).
     """
-    with np.load(Path(path), allow_pickle=False) as data:
-        lattice = get_lattice(str(data["lattice"]))
-        f = np.array(data["f"])
-        sim = Simulation(
-            lattice,
-            f.shape[1:],
-            tau=float(data["tau"]),
-            order=int(data["order"]),
-        )
-        sim.field.data[...] = f
-        sim.time_step = int(data["time_step"])
+    data = load_checkpoint_data(path)
+    sim = Simulation(
+        get_lattice(data.lattice),
+        data.f.shape[1:],
+        tau=data.tau,
+        order=data.order,
+    )
+    sim.field.data[...] = data.f
+    sim.time_step = data.time_step
     return sim
 
 

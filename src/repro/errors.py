@@ -8,6 +8,7 @@ __all__ = [
     "DecompositionError",
     "HaloValidityError",
     "OutOfMemoryModelError",
+    "ScenarioError",
     "StabilityError",
 ]
 
@@ -34,6 +35,10 @@ class OutOfMemoryModelError(ReproError):
     Mirrors the paper's Fig. 10 observation that the 133k D3Q19 case with
     ghost depth 4 'ran out of memory ... and could not complete'.
     """
+
+
+class ScenarioError(ReproError):
+    """A scenario case is misdeclared, unknown, or restored inconsistently."""
 
 
 class StabilityError(ReproError):

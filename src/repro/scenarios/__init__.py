@@ -1,0 +1,34 @@
+"""Declarative scenario subsystem.
+
+Turn workloads into data: a :class:`CaseSpec` declares lattice, domain,
+geometry, boundary conditions, forcing, stopping criteria and
+observables; :func:`register_case` puts it in the catalog;
+:class:`CaseRunner` executes it with checkpoint/restart; :class:`Sweep`
+expands parameter grids into comparison tables.
+
+>>> from repro.scenarios import run_case
+>>> result = run_case("taylor-green", steps=100)
+>>> result.passed
+True
+
+CLI: ``python -m repro cases`` / ``case <name>`` / ``sweep <name>``.
+"""
+
+from .registry import available_cases, catalog_table, get_case, register_case
+from .runner import CaseResult, CaseRunner, run_case
+from .spec import CaseSpec, steady_state
+from .sweep import Sweep, SweepResult
+
+__all__ = [
+    "available_cases",
+    "CaseResult",
+    "CaseRunner",
+    "CaseSpec",
+    "catalog_table",
+    "get_case",
+    "register_case",
+    "run_case",
+    "steady_state",
+    "Sweep",
+    "SweepResult",
+]

@@ -1,0 +1,169 @@
+"""Command-line front end for the scenario subsystem.
+
+Wired into ``python -m repro`` as the ``cases``/``case``/``sweep``
+subcommands; the thin ``examples/*.py`` wrappers call
+:func:`run_case_cli` / :func:`run_sweep_cli` directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Sequence
+
+from ..errors import ScenarioError
+from .registry import catalog_table
+from .runner import CaseRunner
+from .sweep import Sweep
+
+__all__ = ["main", "run_case_cli", "run_sweep_cli"]
+
+
+def _parse_value(text: str) -> Any:
+    """Best-effort scalar parsing for ``--set``/``--param`` values."""
+    for convert in (int, float):
+        try:
+            return convert(text)
+        except ValueError:
+            continue
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    return text
+
+
+def _parse_assignments(pairs: Sequence[str]) -> dict[str, Any]:
+    overrides: dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ScenarioError(f"expected key=value, got {pair!r}")
+        if "," in value:  # e.g. --set shape=16,16,4
+            overrides[key] = tuple(_parse_value(v) for v in value.split(","))
+        else:
+            overrides[key] = _parse_value(value)
+    return overrides
+
+
+def _parse_grid(pairs: Sequence[str]) -> dict[str, list[Any]]:
+    grid: dict[str, list[Any]] = {}
+    for pair in pairs:
+        key, sep, values = pair.partition("=")
+        if not sep or not key or not values:
+            raise ScenarioError(f"expected key=v1,v2,..., got {pair!r}")
+        grid[key] = [_parse_value(v) for v in values.split(",")]
+    return grid
+
+
+def run_case_cli(
+    name: str,
+    *,
+    steps: int | None = None,
+    overrides: dict[str, Any] | None = None,
+    checkpoint: str | None = None,
+    checkpoint_every: int = 0,
+    resume: str | None = None,
+) -> int:
+    """Run one case, print its summary (and report), return an exit code."""
+    kwargs = dict(overrides or {})
+    if steps is not None:
+        kwargs["steps"] = steps
+    runner = CaseRunner(name, **kwargs)
+    result = runner.run(
+        checkpoint=checkpoint,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
+    )
+    print(result.to_text())
+    if result.spec.report is not None:
+        print()
+        print(result.spec.report(result))
+    return 0 if result.passed else 1
+
+
+def run_sweep_cli(
+    name: str,
+    grid: dict[str, list[Any]],
+    *,
+    steps: int | None = None,
+    csv: str | None = None,
+) -> int:
+    """Run a sweep, print the comparison table, return an exit code."""
+    sweep = Sweep(name, grid, steps=steps)
+    result = sweep.run()
+    print(result.to_table())
+    if csv is not None:
+        with open(csv, "w") as handle:
+            handle.write(result.to_csv())
+        print(f"wrote {csv}")
+    return 0 if result.passed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Scenario subsystem: registered application workloads.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("cases", help="list the registered case catalog")
+
+    case = sub.add_parser("case", help="run one registered case")
+    case.add_argument("name", help="case name (see `cases`)")
+    case.add_argument("--steps", type=int, default=None, help="override steps")
+    case.add_argument(
+        "--set",
+        dest="assignments",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override a spec field or case parameter (repeatable)",
+    )
+    case.add_argument("--checkpoint", default=None, help="restart file to write")
+    case.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also checkpoint every N steps (requires --checkpoint)",
+    )
+    case.add_argument("--resume", default=None, help="restart file to resume from")
+
+    sweep = sub.add_parser("sweep", help="run a parameter sweep over one case")
+    sweep.add_argument("name", help="case name (see `cases`)")
+    sweep.add_argument(
+        "--param",
+        dest="params",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2,...",
+        required=True,
+        help="parameter grid axis (repeatable)",
+    )
+    sweep.add_argument("--steps", type=int, default=None, help="override steps")
+    sweep.add_argument("--csv", default=None, help="also write the table as CSV")
+    return parser
+
+
+def main(argv: Sequence[str]) -> int:
+    """Entry point for the ``cases``/``case``/``sweep`` subcommands."""
+    args = build_parser().parse_args(list(argv))
+    try:
+        if args.command == "cases":
+            print(catalog_table())
+            return 0
+        if args.command == "case":
+            return run_case_cli(
+                args.name,
+                steps=args.steps,
+                overrides=_parse_assignments(args.assignments),
+                checkpoint=args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+                resume=args.resume,
+            )
+        return run_sweep_cli(
+            args.name, _parse_grid(args.params), steps=args.steps, csv=args.csv
+        )
+    except (ScenarioError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

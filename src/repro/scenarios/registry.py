@@ -1,0 +1,88 @@
+"""Case registry: name -> :class:`~repro.scenarios.spec.CaseSpec`.
+
+Mirrors :mod:`repro.experiments.registry` (paper artifacts) for
+application workloads.  Cases register themselves at import time via
+:func:`register_case`; the catalog is what ``python -m repro cases``
+prints.
+"""
+
+from __future__ import annotations
+
+from ..errors import ScenarioError
+from .spec import CaseSpec
+
+__all__ = [
+    "CASES",
+    "register_case",
+    "get_case",
+    "available_cases",
+    "catalog_table",
+]
+
+CASES: dict[str, CaseSpec] = {}
+
+
+def register_case(spec: CaseSpec) -> CaseSpec:
+    """Validate ``spec`` and add it to the registry (idempotent-safe).
+
+    Usable as a plain call or wrapped by case modules::
+
+        SPEC = register_case(CaseSpec(name="taylor-green", ...))
+
+    Raises
+    ------
+    ScenarioError
+        If the spec fails validation or the name is already taken by a
+        *different* spec.
+    """
+    spec.validate()
+    existing = CASES.get(spec.name)
+    if existing is not None and existing is not spec:
+        raise ScenarioError(f"case {spec.name!r} is already registered")
+    CASES[spec.name] = spec
+    return spec
+
+
+def available_cases() -> tuple[str, ...]:
+    """Sorted names of every registered case."""
+    _ensure_builtin_cases()
+    return tuple(sorted(CASES))
+
+
+def get_case(name: str) -> CaseSpec:
+    """Look up one case by name; raises with hints on a miss."""
+    _ensure_builtin_cases()
+    try:
+        return CASES[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown case {name!r}; available: {', '.join(available_cases())}"
+        ) from None
+
+
+def catalog_table() -> str:
+    """The case catalog as an aligned table (CLI ``cases`` subcommand)."""
+    from ..analysis.tables import render_table
+
+    _ensure_builtin_cases()
+    rows = [
+        [
+            spec.name,
+            spec.lattice,
+            "x".join(str(s) for s in spec.shape),
+            spec.steps,
+            ",".join(spec.tags) or "-",
+            spec.title,
+        ]
+        for _, spec in sorted(CASES.items())
+    ]
+    return render_table(
+        ["case", "lattice", "grid", "steps", "tags", "title"],
+        rows,
+        title=f"Registered cases ({len(rows)})",
+    )
+
+
+def _ensure_builtin_cases() -> None:
+    """Import the built-in case catalog exactly once (lazy, cycle-free)."""
+    from . import cases  # noqa: F401  (registers on import)

@@ -1,0 +1,236 @@
+"""Declarative scenario specification.
+
+A :class:`CaseSpec` is a frozen, self-contained description of one
+workload: which lattice, what domain, how the geometry is built, which
+boundary conditions and forcing apply, when to stop, and which scalar
+observables to record along the way.  Everything the runner needs is
+data or a pure factory callable — a registered case is ~30 lines of
+declaration instead of a ~100-line standalone script.
+
+Factories receive the spec itself, so case-specific knobs live in the
+free-form ``params`` mapping and stay sweepable: a parameter sweep can
+override ``tau``, ``lattice``, ``shape``, ``steps`` *or* any ``params``
+key (e.g. the Knudsen number of the microchannel case) through
+:meth:`CaseSpec.with_overrides`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.boundary import BoundaryCondition
+from ..core.simulation import Simulation
+from ..errors import ScenarioError
+from ..lattice import VelocitySet, available_lattices
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runner import CaseResult
+
+__all__ = ["CaseSpec", "steady_state"]
+
+# Factory signatures (all receive the spec so they can read spec.params):
+GeometryBuilder = Callable[["CaseSpec"], np.ndarray]
+BoundaryFactory = Callable[
+    ["CaseSpec", VelocitySet, "np.ndarray | None"], Sequence[BoundaryCondition]
+]
+CollisionFactory = Callable[["CaseSpec", VelocitySet], Any]
+InitialCondition = Callable[["CaseSpec"], "tuple[np.ndarray, np.ndarray]"]
+Observable = Callable[[Simulation], float]
+StopCondition = Callable[[], Callable[[Simulation], bool]]
+
+
+@dataclasses.dataclass(frozen=True)
+class CaseSpec:
+    """Frozen declaration of one simulation workload.
+
+    Attributes
+    ----------
+    name:
+        Registry key (kebab-case, e.g. ``"taylor-green"``).
+    title / description:
+        Human-readable catalog entries.
+    lattice:
+        Velocity-set name (``"D3Q19"``, ``"D3Q39"``, ...).
+    shape:
+        Spatial grid shape.
+    tau:
+        BGK relaxation time (a ``collision`` factory may ignore it).
+    order:
+        Hermite equilibrium order (``None`` = lattice native).
+    collision:
+        Optional factory ``(spec, lattice) -> operator``; default BGK.
+    geometry:
+        Optional factory ``(spec) -> solid bool mask`` over the grid.
+    boundaries:
+        Optional factory ``(spec, lattice, solid) -> [BoundaryCondition]``.
+    forcing:
+        Constant body-force vector, or ``None``.
+    initial:
+        Factory ``(spec) -> (rho, u)``; default uniform fluid at rest.
+    steps:
+        Maximum number of time steps.
+    stop_when:
+        Optional *factory* returning a fresh stopping predicate
+        ``(sim) -> bool`` evaluated at monitor points (factories keep
+        stateful convergence monitors from leaking between runs).
+    monitor_every / check_stability_every:
+        Observable-recording and stability-check periods.
+    observables:
+        Named scalar probes ``(sim) -> float`` recorded as time series.
+    analysis:
+        Optional post-run hook ``(CaseResult) -> {metric: value}``.
+    checks:
+        Optional pass/fail hook ``(CaseResult) -> {check: bool}``.
+    report:
+        Optional pretty-printer ``(CaseResult) -> str`` for the CLI.
+    params:
+        Free-form case knobs read by the factories; sweepable.
+    tags:
+        Catalog labels (``"continuum"``, ``"kinetic"``, ``"model"``...).
+    """
+
+    name: str
+    title: str
+    description: str = ""
+    lattice: str = "D3Q19"
+    shape: tuple[int, ...] = (16, 16, 16)
+    tau: float = 0.8
+    order: int | None = None
+    collision: CollisionFactory | None = None
+    geometry: GeometryBuilder | None = None
+    boundaries: BoundaryFactory | None = None
+    forcing: tuple[float, ...] | None = None
+    initial: InitialCondition | None = None
+    steps: int = 500
+    stop_when: StopCondition | None = None
+    monitor_every: int = 10
+    check_stability_every: int = 100
+    observables: Mapping[str, Observable] = dataclasses.field(default_factory=dict)
+    analysis: Callable[["CaseResult"], Mapping[str, Any]] | None = None
+    checks: Callable[["CaseResult"], Mapping[str, bool]] | None = None
+    report: Callable[["CaseResult"], str] | None = None
+    params: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+    tags: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        try:
+            object.__setattr__(self, "shape", tuple(int(s) for s in self.shape))
+        except (TypeError, ValueError) as exc:
+            raise ScenarioError(
+                f"case {self.name!r}: shape must be a sequence of ints, "
+                f"got {self.shape!r}"
+            ) from exc
+        if self.forcing is not None:
+            try:
+                object.__setattr__(
+                    self, "forcing", tuple(float(c) for c in self.forcing)
+                )
+            except (TypeError, ValueError) as exc:
+                raise ScenarioError(
+                    f"case {self.name!r}: forcing must be a sequence of "
+                    f"floats, got {self.forcing!r}"
+                ) from exc
+        object.__setattr__(self, "params", dict(self.params))
+        object.__setattr__(self, "observables", dict(self.observables))
+        object.__setattr__(self, "tags", tuple(self.tags))
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`ScenarioError` if the declaration is inconsistent."""
+        if not self.name:
+            raise ScenarioError("case name must be non-empty")
+        if self.lattice not in available_lattices():
+            raise ScenarioError(
+                f"case {self.name!r}: unknown lattice {self.lattice!r} "
+                f"(available: {', '.join(available_lattices())})"
+            )
+        if len(self.shape) != 3 or any(s < 1 for s in self.shape):
+            raise ScenarioError(
+                f"case {self.name!r}: shape must be 3 positive ints, got {self.shape}"
+            )
+        if not isinstance(self.tau, (int, float)):
+            raise ScenarioError(
+                f"case {self.name!r}: tau must be a number, got {self.tau!r}"
+            )
+        if self.collision is None and not self.tau > 0.5:
+            raise ScenarioError(
+                f"case {self.name!r}: BGK tau must exceed 0.5, got {self.tau}"
+            )
+        for field_name in ("steps", "monitor_every", "check_stability_every"):
+            if not isinstance(getattr(self, field_name), int):
+                raise ScenarioError(
+                    f"case {self.name!r}: {field_name} must be an int, "
+                    f"got {getattr(self, field_name)!r}"
+                )
+        if self.steps < 1:
+            raise ScenarioError(
+                f"case {self.name!r}: steps must be positive, got {self.steps}"
+            )
+        if self.monitor_every < 1:
+            raise ScenarioError(
+                f"case {self.name!r}: monitor_every must be positive"
+            )
+        if self.forcing is not None and len(self.forcing) != len(self.shape):
+            raise ScenarioError(
+                f"case {self.name!r}: forcing must have {len(self.shape)} components"
+            )
+
+    # -- derivation --------------------------------------------------------
+
+    #: CaseSpec field names a sweep/CLI may override directly.
+    OVERRIDABLE = frozenset(
+        {"lattice", "shape", "tau", "order", "forcing", "steps",
+         "monitor_every", "check_stability_every"}
+    )
+
+    def with_overrides(self, **overrides: Any) -> "CaseSpec":
+        """A copy with selected fields replaced.
+
+        Keys in :data:`OVERRIDABLE` replace the spec field; any other
+        key is merged into ``params`` (unknown knobs belong to the
+        case's factories, which decide what they mean).  Spec fields
+        outside :data:`OVERRIDABLE` (titles, factories, hooks) are
+        rejected rather than silently routed to ``params``.
+        """
+        fields = {k: v for k, v in overrides.items() if k in self.OVERRIDABLE}
+        extra = {k: v for k, v in overrides.items() if k not in self.OVERRIDABLE}
+        field_names = {f.name for f in dataclasses.fields(self)}
+        blocked = sorted(set(extra) & field_names)
+        if blocked:
+            raise ScenarioError(
+                f"case {self.name!r}: spec field(s) {', '.join(blocked)} "
+                f"cannot be overridden (only {', '.join(sorted(self.OVERRIDABLE))} "
+                "and free-form params)"
+            )
+        if extra:
+            fields["params"] = {**self.params, **extra}
+        return dataclasses.replace(self, **fields)
+
+
+def steady_state(
+    observable: Observable, rtol: float = 1e-6
+) -> StopCondition:
+    """Stop when ``observable`` changes by less than ``rtol`` (relative)
+    between consecutive monitor points.
+
+    Returns a *factory* so every run gets its own convergence history.
+    """
+
+    def make() -> Callable[[Simulation], bool]:
+        last: list[float] = []
+
+        def predicate(sim: Simulation) -> bool:
+            value = float(observable(sim))
+            converged = bool(
+                last and abs(value - last[0]) <= rtol * max(abs(last[0]), 1e-300)
+            )
+            last[:] = [value]
+            return converged
+
+        return predicate
+
+    return make

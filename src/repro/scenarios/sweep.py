@@ -1,0 +1,154 @@
+"""Parameter sweeps: expand a grid of overrides into case variants.
+
+A :class:`Sweep` takes one registered case and a mapping of parameter
+name -> candidate values, expands the Cartesian product into variant
+:class:`~repro.scenarios.spec.CaseSpec` instances (spec fields like
+``tau``/``lattice``/``steps`` override directly; anything else lands in
+``params`` for the case factories), runs each one, and renders a
+comparison table through :mod:`repro.analysis.tables`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any, Mapping, Sequence
+
+from ..analysis.tables import render_csv, render_table
+from .registry import get_case
+from .runner import CaseResult, CaseRunner
+from .spec import CaseSpec
+
+__all__ = ["Sweep", "SweepResult"]
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """Outcome of one sweep: variant overrides paired with run results."""
+
+    case: str
+    parameters: tuple[str, ...]
+    variants: list[dict[str, Any]]
+    results: list[CaseResult]
+
+    def _columns(self) -> list[str]:
+        metric_names: list[str] = []
+        observable_names: list[str] = []
+        for result in self.results:
+            for name in result.metrics:
+                if name not in metric_names and name not in self.parameters:
+                    metric_names.append(name)
+            for name in result.series:
+                if name != "step" and name not in observable_names:
+                    observable_names.append(name)
+        return metric_names + [f"final_{n}" for n in observable_names]
+
+    def rows(self) -> tuple[list[str], list[list[str]]]:
+        """Comparison-table headers and rows (parameters, then outcomes)."""
+
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:.5g}"
+            if isinstance(value, bool):
+                return "yes" if value else "no"
+            return str(value)
+
+        columns = self._columns()
+        headers = list(self.parameters) + columns + ["checks"]
+        table: list[list[str]] = []
+        for overrides, result in zip(self.variants, self.results):
+            row = [fmt(overrides[p]) for p in self.parameters]
+            for column in columns:
+                if column.startswith("final_") and column[6:] in result.series:
+                    row.append(fmt(result.final(column[6:])))
+                else:
+                    row.append(fmt(result.metrics.get(column, "-")))
+            row.append("PASS" if result.passed else "FAIL")
+            table.append(row)
+        return headers, table
+
+    def to_table(self) -> str:
+        headers, table = self.rows()
+        return render_table(
+            headers,
+            table,
+            title=f"Sweep over {self.case}: " + " x ".join(self.parameters),
+        )
+
+    def to_csv(self) -> str:
+        headers, table = self.rows()
+        return render_csv(headers, table)
+
+    @property
+    def passed(self) -> bool:
+        return all(result.passed for result in self.results)
+
+
+@dataclasses.dataclass
+class Sweep:
+    """Cartesian-product batch runner over one case.
+
+    >>> sweep = Sweep("taylor-green", {"tau": [0.6, 0.8], "lattice":
+    ...               ["D3Q19", "D3Q27"]}, steps=50)
+    >>> print(sweep.run().to_table())
+
+    Parameters
+    ----------
+    case:
+        Registered case name or an explicit spec.
+    parameters:
+        Ordered mapping name -> sequence of values.  Spec fields
+        (``tau``, ``lattice``, ``shape``, ``steps``...) override the
+        spec; other names are case knobs routed into ``spec.params``.
+    steps:
+        Optional step-count override applied to every variant.
+    """
+
+    case: str | CaseSpec
+    parameters: Mapping[str, Sequence[Any]]
+    steps: int | None = None
+
+    def __post_init__(self) -> None:
+        self.parameters = {k: list(v) for k, v in self.parameters.items()}
+        if not self.parameters:
+            raise ValueError("sweep needs at least one parameter")
+        for name, values in self.parameters.items():
+            if not values:
+                raise ValueError(f"sweep parameter {name!r} has no values")
+
+    @property
+    def spec(self) -> CaseSpec:
+        return self.case if isinstance(self.case, CaseSpec) else get_case(self.case)
+
+    def expand(self) -> list[dict[str, Any]]:
+        """All variant override dicts, last parameter varying fastest."""
+        names = list(self.parameters)
+        grid = itertools.product(*(self.parameters[n] for n in names))
+        return [dict(zip(names, values)) for values in grid]
+
+    def specs(self) -> list[CaseSpec]:
+        """The expanded variant specs (validated)."""
+        return [
+            CaseRunner(self.spec, **self._with_steps(overrides)).spec
+            for overrides in self.expand()
+        ]
+
+    def _with_steps(self, overrides: dict[str, Any]) -> dict[str, Any]:
+        if self.steps is not None and "steps" not in overrides:
+            return {**overrides, "steps": self.steps}
+        return overrides
+
+    def run(self, *, analyze: bool = True) -> SweepResult:
+        """Run every variant and collect the comparison."""
+        base = self.spec
+        variants = self.expand()
+        results = [
+            CaseRunner(base, **self._with_steps(overrides)).run(analyze=analyze)
+            for overrides in variants
+        ]
+        return SweepResult(
+            case=base.name,
+            parameters=tuple(self.parameters),
+            variants=variants,
+            results=results,
+        )

@@ -7,6 +7,7 @@ from repro.core import (
     BounceBackWalls,
     DiffuseWallPair,
     GuoForcing,
+    MovingWallBounceBack,
     Simulation,
     equilibrium,
     macroscopic,
@@ -67,6 +68,58 @@ class TestBounceBack:
         assert profile[1] < 0.55 * centre
         # symmetric about the channel centre
         assert profile[2] == pytest.approx(profile[-3], rel=1e-6)
+
+
+class TestMovingWallBounceBack:
+    def test_correction_carries_zero_mass(self, paper_lattice, rng):
+        lat = paper_lattice
+        f = rng.random((lat.q, 4, 4, 4))
+        mask = np.zeros((4, 4, 4), dtype=bool)
+        mask[:, :, -1] = True
+        bc = MovingWallBounceBack(lat, mask, wall_velocity=(0.05, 0.0, 0.0))
+        m0 = total_mass(f)
+        bc.apply(f, f)
+        assert total_mass(f) == pytest.approx(m0, rel=1e-13)
+
+    def test_zero_velocity_reduces_to_bounce_back(self, q19, rng):
+        f = rng.random((19, 4, 4, 4))
+        g = f.copy()
+        mask = np.zeros((4, 4, 4), dtype=bool)
+        mask[0] = True
+        MovingWallBounceBack(q19, mask).apply(f, f)
+        BounceBackWalls(q19, mask).apply(g, g)
+        np.testing.assert_array_equal(f, g)
+
+    def test_wall_velocity_dimension_checked(self, q19):
+        with pytest.raises(LatticeError, match="components"):
+            MovingWallBounceBack(
+                q19, np.zeros((4, 4, 4), dtype=bool), wall_velocity=(0.1, 0.0)
+            )
+
+    def test_moving_lid_drags_fluid(self, q19):
+        """Couette-like box: the translating wall imparts its momentum."""
+        shape = (4, 4, 11)
+        lid = np.zeros(shape, dtype=bool)
+        lid[:, :, -1] = True
+        floor = np.zeros(shape, dtype=bool)
+        floor[:, :, 0] = True
+        sim = Simulation(
+            q19,
+            shape,
+            tau=0.8,
+            boundaries=[
+                BounceBackWalls(q19, floor),
+                MovingWallBounceBack(q19, lid, wall_velocity=(0.02, 0.0, 0.0)),
+            ],
+        )
+        rho, u = uniform_flow(shape)
+        sim.initialize(rho, u)
+        sim.run(300)
+        profile = velocity_profile(q19, sim.f, flow_axis=0, across_axis=2)
+        # fluid under the lid moves with it; speed decays towards the floor
+        assert profile[-2] > 0
+        assert profile[-2] > profile[5] > 0
+        assert abs(profile[1]) < profile[-2]
 
 
 class TestDiffuseWall:

@@ -70,6 +70,25 @@ class TestCheckpoint:
         restored.run(10)
         assert np.allclose(restored.f, sim.f, atol=1e-15)
 
+    def test_extra_metadata_roundtrip(self, sim, tmp_path):
+        from repro.core import load_checkpoint_data
+
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, sim, extra={"case": "taylor-green", "half": 0.5})
+        data = load_checkpoint_data(path)
+        assert data.extra == {"case": "taylor-green", "half": 0.5}
+        assert data.lattice == "D3Q19"
+        assert data.tau == pytest.approx(0.8)
+        assert data.time_step == sim.time_step
+        assert np.array_equal(data.f, sim.f)
+
+    def test_extra_defaults_to_empty(self, sim, tmp_path):
+        from repro.core import load_checkpoint_data
+
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, sim)
+        assert load_checkpoint_data(path).extra == {}
+
     def test_mrt_checkpoint_uses_tau_shear(self, tmp_path):
         from repro.core import HermiteMRTCollision
         from repro.lattice import get_lattice

@@ -1,0 +1,39 @@
+"""Short-run smoke: every registered case steps stably from its spec."""
+
+import numpy as np
+import pytest
+
+from repro.core import total_mass
+from repro.scenarios import CaseRunner, available_cases, get_case
+
+
+@pytest.mark.parametrize("name", available_cases())
+def test_case_runs_a_few_steps(name):
+    """Each case advances 4 steps on its native grid without blowing up."""
+    runner = CaseRunner(name, steps=4, monitor_every=2)
+    result = runner.run(analyze=False)
+    sim = result.simulation
+    assert sim.time_step == 4
+    assert np.isfinite(sim.f).all()
+    # mass is conserved by every registered boundary/forcing combination
+    m0 = result.initial("total_mass") if "total_mass" in result.series else None
+    if m0 is not None:
+        assert total_mass(sim.f) == pytest.approx(m0, rel=1e-10)
+
+
+def test_fast_cases_pass_their_own_checks():
+    """The cheap validation cases run their full analysis green."""
+    for name, overrides in [
+        ("taylor-green", dict(steps=100, shape=(16, 16, 4))),
+        ("deep-halo-tuning", {}),
+    ]:
+        result = CaseRunner(name, **overrides).run()
+        assert result.checks, f"{name} declares no checks"
+        assert result.passed, f"{name} failed: {result.checks}"
+
+
+def test_catalog_covers_multiple_lattices_and_tags():
+    specs = [get_case(name) for name in available_cases()]
+    assert {spec.lattice for spec in specs} >= {"D3Q19", "D3Q39"}
+    tags = {tag for spec in specs for tag in spec.tags}
+    assert {"continuum", "kinetic", "model"} <= tags

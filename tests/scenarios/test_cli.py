@@ -1,0 +1,73 @@
+"""The ``python -m repro`` scenario subcommands."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.errors import ScenarioError
+from repro.scenarios import available_cases
+from repro.scenarios.cli import _parse_assignments, _parse_grid
+
+
+class TestCasesCommand:
+    def test_lists_catalog(self, capsys):
+        assert main(["cases"]) == 0
+        out = capsys.readouterr().out
+        for name in available_cases():
+            assert name in out
+
+
+class TestCaseCommand:
+    def test_runs_case_with_steps_override(self, capsys):
+        code = main(["case", "taylor-green", "--steps", "40",
+                     "--set", "shape=16,16,4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "taylor-green" in out
+        assert "PASS" in out
+
+    def test_checkpoint_then_resume(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "tg.npz")
+        assert main(["case", "taylor-green", "--steps", "10",
+                     "--set", "shape=16,16,4", "--checkpoint", ckpt]) == 0
+        assert main(["case", "taylor-green", "--steps", "20",
+                     "--set", "shape=16,16,4", "--resume", ckpt]) == 0
+        out = capsys.readouterr().out
+        assert "reached step 20" in out
+
+
+class TestSweepCommand:
+    def test_two_parameter_sweep_emits_table(self, capsys, tmp_path):
+        csv = tmp_path / "sweep.csv"
+        code = main([
+            "sweep", "taylor-green",
+            "--param", "tau=0.6,0.8",
+            "--param", "lattice=D3Q19,D3Q27",
+            "--steps", "10",
+            "--csv", str(csv),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Sweep over taylor-green" in out
+        assert "D3Q27" in out
+        assert csv.read_text().startswith("tau,lattice")
+
+
+class TestLegacyCommands:
+    def test_experiment_list_still_works(self, capsys):
+        assert main(["--list"]) == 0
+        assert "fig8a" in capsys.readouterr().out
+
+
+class TestParsing:
+    def test_assignment_scalars_and_tuples(self):
+        parsed = _parse_assignments(["tau=0.9", "shape=8,8,4", "lattice=D3Q19"])
+        assert parsed == {"tau": 0.9, "shape": (8, 8, 4), "lattice": "D3Q19"}
+
+    def test_grid_values(self):
+        assert _parse_grid(["kn=0.05,0.1"]) == {"kn": [0.05, 0.1]}
+
+    def test_malformed_assignment_rejected(self):
+        with pytest.raises(ScenarioError):
+            _parse_assignments(["tau"])
+        with pytest.raises(ScenarioError):
+            _parse_grid(["kn="])

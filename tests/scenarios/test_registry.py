@@ -1,0 +1,121 @@
+"""Registry round-trip: every case builds a valid, runnable spec."""
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import (
+    CaseRunner,
+    CaseSpec,
+    available_cases,
+    catalog_table,
+    get_case,
+    register_case,
+)
+from repro.scenarios.registry import CASES
+
+
+class TestCatalog:
+    def test_at_least_eight_cases(self):
+        assert len(available_cases()) >= 8
+
+    def test_ported_examples_and_new_cases_present(self):
+        names = set(available_cases())
+        assert {
+            "artery-flow",
+            "microchannel-knudsen",
+            "microfluidic-clogging",
+            "deep-halo-tuning",
+            "scaling-study",
+            "taylor-green",
+            "lid-driven-cavity",
+            "porous-darcy",
+        } <= names
+
+    def test_catalog_table_lists_every_case(self):
+        table = catalog_table()
+        for name in available_cases():
+            assert name in table
+
+
+class TestRoundTrip:
+    def test_every_case_validates(self):
+        for name in available_cases():
+            spec = get_case(name)
+            assert spec.name == name
+            spec.validate()  # must not raise
+
+    def test_every_case_builds_a_simulation(self):
+        for name in available_cases():
+            sim, solid = CaseRunner(name).build()
+            assert sim.time_step == 0
+            assert sim.f.shape[1:] == get_case(name).shape
+            if solid is not None:
+                assert solid.shape == get_case(name).shape
+
+
+class TestRegistration:
+    def test_unknown_case_raises_with_hints(self):
+        with pytest.raises(ScenarioError, match="available"):
+            get_case("no-such-case")
+
+    def test_duplicate_name_rejected(self):
+        spec = get_case("taylor-green")
+        clone = CaseSpec(name="taylor-green", title="imposter")
+        with pytest.raises(ScenarioError, match="already registered"):
+            register_case(clone)
+        assert CASES["taylor-green"] is spec
+
+    def test_reregistering_same_spec_is_idempotent(self):
+        spec = get_case("taylor-green")
+        assert register_case(spec) is spec
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ScenarioError, match="lattice"):
+            register_case(CaseSpec(name="bad", title="t", lattice="D3Q999"))
+        with pytest.raises(ScenarioError, match="tau"):
+            register_case(CaseSpec(name="bad", title="t", tau=0.4))
+        with pytest.raises(ScenarioError, match="steps"):
+            register_case(CaseSpec(name="bad", title="t", steps=0))
+        with pytest.raises(ScenarioError, match="shape"):
+            register_case(CaseSpec(name="bad", title="t", shape=(4, 4)))
+        assert "bad" not in CASES
+
+
+class TestOverrides:
+    def test_spec_fields_replace(self):
+        spec = get_case("taylor-green").with_overrides(tau=0.9, steps=10)
+        assert spec.tau == 0.9
+        assert spec.steps == 10
+        assert get_case("taylor-green").tau != 0.9  # original untouched
+
+    def test_unknown_keys_land_in_params(self):
+        spec = get_case("microchannel-knudsen").with_overrides(kn=0.3)
+        assert spec.params["kn"] == 0.3
+        assert spec.params["wall_speed"] == 0.005  # untouched knobs kept
+
+    def test_shape_override_coerced_to_tuple(self):
+        spec = get_case("taylor-green").with_overrides(shape=[8, 8, 4])
+        assert spec.shape == (8, 8, 4)
+
+    def test_forcing_is_overridable(self):
+        spec = get_case("poiseuille-channel").with_overrides(
+            forcing=(2e-5, 0.0, 0.0)
+        )
+        assert spec.forcing == (2e-5, 0.0, 0.0)
+
+    def test_non_overridable_spec_fields_rejected(self):
+        with pytest.raises(ScenarioError, match="cannot be overridden"):
+            get_case("taylor-green").with_overrides(title="imposter")
+        with pytest.raises(ScenarioError, match="cannot be overridden"):
+            get_case("taylor-green").with_overrides(checks=None)
+
+    def test_bad_override_types_raise_scenario_errors(self):
+        spec = get_case("taylor-green")
+        with pytest.raises(ScenarioError, match="shape"):
+            spec.with_overrides(shape=16)
+        with pytest.raises(ScenarioError, match="tau"):
+            spec.with_overrides(tau="abc").validate()
+        with pytest.raises(ScenarioError, match="steps"):
+            spec.with_overrides(steps="abc").validate()
+        with pytest.raises(ScenarioError, match="forcing"):
+            get_case("poiseuille-channel").with_overrides(forcing=1e-5)

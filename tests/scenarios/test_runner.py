@@ -1,0 +1,166 @@
+"""CaseRunner: series recording, stopping criteria, checkpoint/restart."""
+
+import numpy as np
+import pytest
+
+from repro.core import total_mass
+from repro.errors import ScenarioError
+from repro.scenarios import CaseRunner, CaseSpec, run_case, steady_state
+
+FAST_TG = dict(shape=(8, 8, 4), steps=20, monitor_every=5)
+
+
+class TestRun:
+    def test_records_series_rows(self):
+        result = CaseRunner("taylor-green", **FAST_TG).run(analyze=False)
+        # initial row + one per monitor chunk
+        assert result.series["step"] == [0.0, 5.0, 10.0, 15.0, 20.0]
+        for name in ("total_mass", "kinetic_energy", "max_speed"):
+            assert len(result.series[name]) == 5
+        assert result.metrics["steps_run"] == 20
+
+    def test_analysis_and_checks_hooks(self):
+        result = run_case("taylor-green", steps=100, shape=(16, 16, 4))
+        assert "decay_error" in result.metrics
+        assert result.checks["decay_matches_viscous_theory"]
+        assert result.passed
+
+    def test_run_case_shortcut_matches_runner(self):
+        a = run_case("taylor-green", analyze=False, **FAST_TG)
+        b = CaseRunner("taylor-green", **FAST_TG).run(analyze=False)
+        np.testing.assert_array_equal(a.simulation.f, b.simulation.f)
+
+    def test_steady_state_stop(self):
+        spec = CaseSpec(
+            name="rest",
+            title="fluid at rest never changes",
+            shape=(4, 4, 4),
+            steps=1000,
+            monitor_every=5,
+            stop_when=steady_state(lambda sim: total_mass(sim.f)),
+            observables={"total_mass": lambda sim: total_mass(sim.f)},
+        )
+        result = CaseRunner(spec).run(analyze=False)
+        # converged at the second monitor point, far before 1000 steps
+        assert result.simulation.time_step == 10
+
+    def test_stop_condition_state_not_shared_between_runs(self):
+        spec = CaseSpec(
+            name="rest2",
+            title="t",
+            shape=(4, 4, 4),
+            steps=40,
+            monitor_every=5,
+            stop_when=steady_state(lambda sim: total_mass(sim.f)),
+        )
+        first = CaseRunner(spec).run(analyze=False)
+        second = CaseRunner(spec).run(analyze=False)
+        assert first.simulation.time_step == second.simulation.time_step == 10
+
+
+class TestCheckpointRestart:
+    def test_bit_identical_restart(self, tmp_path):
+        path = tmp_path / "tg.npz"
+        ref = CaseRunner("taylor-green", **FAST_TG).run(analyze=False)
+        CaseRunner("taylor-green", shape=(8, 8, 4), steps=10).run(
+            checkpoint=path, analyze=False
+        )
+        resumed = CaseRunner("taylor-green", **FAST_TG).run(
+            resume=path, analyze=False
+        )
+        assert resumed.simulation.time_step == 20
+        np.testing.assert_array_equal(ref.simulation.f, resumed.simulation.f)
+
+    def test_bit_identical_with_boundaries_and_forcing(self, tmp_path):
+        """Restart rebuilds walls/forcing from the spec, bit-exactly."""
+        path = tmp_path / "clog.npz"
+        overrides = dict(shape=(10, 9, 9), steps=16, monitor_every=4)
+        ref = CaseRunner("microfluidic-clogging", **overrides).run(analyze=False)
+        CaseRunner("microfluidic-clogging", shape=(10, 9, 9), steps=8).run(
+            checkpoint=path, analyze=False
+        )
+        resumed = CaseRunner("microfluidic-clogging", **overrides).run(
+            resume=path, analyze=False
+        )
+        np.testing.assert_array_equal(ref.simulation.f, resumed.simulation.f)
+
+    def test_periodic_checkpointing_writes_resumable_state(self, tmp_path):
+        path = tmp_path / "periodic.npz"
+        CaseRunner("taylor-green", shape=(8, 8, 4), steps=13, monitor_every=5).run(
+            checkpoint=path, checkpoint_every=5, analyze=False
+        )
+        resumed = CaseRunner("taylor-green", **FAST_TG).run(
+            resume=path, analyze=False
+        )
+        assert resumed.simulation.time_step == 20
+
+    def test_checkpoint_every_not_aliased_by_monitor_every(
+        self, tmp_path, monkeypatch
+    ):
+        """Periodic saves fire on elapsed steps, not step-count multiples."""
+        saved = []
+        original = CaseRunner.save
+
+        def recording_save(self, path, sim):
+            saved.append(sim.time_step)
+            return original(self, path, sim)
+
+        monkeypatch.setattr(CaseRunner, "save", recording_save)
+        CaseRunner("taylor-green", shape=(8, 8, 4), steps=26, monitor_every=4).run(
+            checkpoint=tmp_path / "c.npz", checkpoint_every=6, analyze=False
+        )
+        # monitor points at 4,8,...,24,26; saves once >=6 steps have
+        # elapsed since the last one, plus the final save
+        assert saved == [8, 16, 24, 26]
+
+    def test_wrong_case_rejected(self, tmp_path):
+        path = tmp_path / "tg.npz"
+        CaseRunner("taylor-green", shape=(8, 8, 4), steps=5).run(
+            checkpoint=path, analyze=False
+        )
+        with pytest.raises(ScenarioError, match="written by case"):
+            CaseRunner("porous-darcy").run(resume=path, analyze=False)
+
+    def test_checkpoint_beyond_case_steps_rejected(self, tmp_path):
+        path = tmp_path / "tg.npz"
+        CaseRunner("taylor-green", shape=(8, 8, 4), steps=30).run(
+            checkpoint=path, analyze=False
+        )
+        with pytest.raises(ScenarioError, match="beyond"):
+            CaseRunner("taylor-green", **FAST_TG).run(resume=path, analyze=False)
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "tg.npz"
+        CaseRunner("taylor-green", shape=(8, 8, 4), steps=5).run(
+            checkpoint=path, analyze=False
+        )
+        with pytest.raises(ScenarioError, match="shape"):
+            CaseRunner("taylor-green", shape=(16, 16, 4), steps=20).run(
+                resume=path, analyze=False
+            )
+
+
+class TestBuild:
+    def test_initializes_from_spec_initial(self):
+        sim, _ = CaseRunner("taylor-green", shape=(8, 8, 4)).build()
+        assert sim.time_step == 0
+        assert np.isfinite(sim.f).all()
+        # Taylor-Green start carries kinetic energy; rest state would not
+        assert np.abs(sim.f - sim.f.mean(axis=(1, 2, 3), keepdims=True)).max() > 0
+
+    def test_default_initial_is_uniform_rest(self):
+        spec = CaseSpec(name="rest3", title="t", shape=(4, 4, 4))
+        sim, _ = CaseRunner(spec).build()
+        rho, u = sim.macroscopic()
+        np.testing.assert_allclose(rho, 1.0)
+        np.testing.assert_allclose(u, 0.0, atol=1e-15)
+
+    def test_geometry_shape_mismatch_raises(self):
+        spec = CaseSpec(
+            name="badgeom",
+            title="t",
+            shape=(4, 4, 4),
+            geometry=lambda spec: np.zeros((3, 3, 3), dtype=bool),
+        )
+        with pytest.raises(ScenarioError, match="geometry"):
+            CaseRunner(spec).build()

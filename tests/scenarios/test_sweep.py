@@ -1,0 +1,58 @@
+"""Sweep expansion and comparison-table rendering."""
+
+import pytest
+
+from repro.scenarios import Sweep, get_case
+
+
+class TestExpansion:
+    def test_two_point_two_axis_grid(self):
+        sweep = Sweep(
+            "taylor-green", {"tau": [0.6, 0.8], "lattice": ["D3Q19", "D3Q27"]}
+        )
+        variants = sweep.expand()
+        assert variants == [
+            {"tau": 0.6, "lattice": "D3Q19"},
+            {"tau": 0.6, "lattice": "D3Q27"},
+            {"tau": 0.8, "lattice": "D3Q19"},
+            {"tau": 0.8, "lattice": "D3Q27"},
+        ]
+
+    def test_specs_carry_field_overrides(self):
+        sweep = Sweep("taylor-green", {"tau": [0.6, 0.8]}, steps=7)
+        specs = sweep.specs()
+        assert [s.tau for s in specs] == [0.6, 0.8]
+        assert all(s.steps == 7 for s in specs)
+        assert get_case("taylor-green").steps != 7  # base spec untouched
+
+    def test_param_knobs_routed_into_params(self):
+        sweep = Sweep("microchannel-knudsen", {"kn": [0.05, 0.1]})
+        specs = sweep.specs()
+        assert [s.params["kn"] for s in specs] == [0.05, 0.1]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            Sweep("taylor-green", {})
+        with pytest.raises(ValueError):
+            Sweep("taylor-green", {"tau": []})
+
+
+class TestRun:
+    def test_comparison_table(self):
+        sweep = Sweep(
+            "taylor-green",
+            {"tau": [0.6, 0.8], "shape": [(8, 8, 4)]},
+            steps=10,
+        )
+        result = sweep.run(analyze=False)
+        assert len(result.results) == 2
+        table = result.to_table()
+        assert "tau" in table and "0.6" in table and "0.8" in table
+        assert "final_kinetic_energy" in table
+        csv = result.to_csv()
+        assert csv.splitlines()[0].startswith("tau,shape")
+
+    def test_analysis_metrics_in_table(self):
+        result = Sweep("taylor-green", {"tau": [0.7]}, steps=40).run()
+        assert "decay_error" in result.to_table()
+        assert result.passed

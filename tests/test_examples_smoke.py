@@ -1,20 +1,27 @@
-"""Smoke tests: the fast example scripts run end-to-end and PASS."""
+"""Smoke tests: the fast example wrappers run end-to-end and PASS."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO / "examples"
 
 
 def _run(script: str, *args: str, timeout: int = 180) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
     return subprocess.run(
         [sys.executable, str(EXAMPLES / script), *args],
         capture_output=True,
         text=True,
         timeout=timeout,
+        env=env,
     )
 
 
