@@ -13,6 +13,10 @@ Usage::
     python -m repro case artery-flow --resume state.npz
     python -m repro sweep taylor-green --param tau=0.6,0.8 \
         --param lattice=D3Q19,D3Q27 --steps 50
+    python -m repro sweep taylor-green --param tau=0.6,0.7,0.8 \
+        --jobs 4 --cache-dir sweep-cache          # parallel + cached
+    python -m repro sweep taylor-green --param tau=0.6,0.7,0.8 \
+        --jobs 4 --cache-dir sweep-cache --resume # finish what's missing
 """
 
 from __future__ import annotations

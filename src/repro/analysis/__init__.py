@@ -2,6 +2,12 @@
 
 from . import paper_reference
 from .ascii_plot import bar_chart
-from .tables import render_csv, render_table
+from .tables import append_column, render_csv, render_table
 
-__all__ = ["bar_chart", "paper_reference", "render_csv", "render_table"]
+__all__ = [
+    "append_column",
+    "bar_chart",
+    "paper_reference",
+    "render_csv",
+    "render_table",
+]

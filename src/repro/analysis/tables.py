@@ -4,7 +4,31 @@ from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["render_table", "render_csv"]
+__all__ = ["render_table", "render_csv", "append_column"]
+
+
+def append_column(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    name: str,
+    values: Sequence[object],
+) -> "tuple[list[str], list[list[object]]]":
+    """Merge one trailing column into tabular data.
+
+    Used e.g. to stitch the sweep executor's per-variant provenance
+    (``run`` vs ``cached``) onto a comparison table.
+
+    >>> append_column(["a"], [[1], [2]], "src", ["run", "cached"])
+    (['a', 'src'], [[1, 'run'], [2, 'cached']])
+    """
+    if len(values) != len(rows):
+        raise ValueError(
+            f"column {name!r} has {len(values)} values for {len(rows)} rows"
+        )
+    return (
+        list(headers) + [name],
+        [list(row) + [value] for row, value in zip(rows, values)],
+    )
 
 
 def render_table(

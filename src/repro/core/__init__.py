@@ -18,9 +18,13 @@ from .forcing import GuoForcing
 from .io import (
     CheckpointData,
     TimeSeriesLogger,
+    canonical_json,
+    deserialize_result_data,
+    jsonable,
     load_checkpoint,
     load_checkpoint_data,
     save_checkpoint,
+    serialize_result_data,
     write_vtk,
 )
 from .initial_conditions import (
@@ -73,9 +77,13 @@ from .units import (
 
 __all__ = [
     "BGKCollision",
+    "canonical_json",
     "channel_walls_mask",
     "CheckpointData",
+    "deserialize_result_data",
+    "jsonable",
     "load_checkpoint_data",
+    "serialize_result_data",
     "cylinder_mask",
     "HermiteMRTCollision",
     "load_checkpoint",

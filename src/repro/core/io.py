@@ -6,8 +6,13 @@ restart; this module provides the minimum a downstream user needs:
 * :func:`write_vtk` — legacy-ASCII VTK ``STRUCTURED_POINTS`` files of
   the macroscopic fields, loadable by ParaView/VisIt;
 * :func:`save_checkpoint` / :func:`load_checkpoint` — lossless restart
-  files (numpy ``.npz``) carrying populations + run metadata, with a
-  round-trip that is bit-exact (unit-tested);
+  files (numpy ``.npz``) carrying populations + run metadata + the
+  observable series recorded so far, with a round-trip that is
+  bit-exact (unit-tested);
+* :func:`canonical_json` / :func:`serialize_result_data` — stable,
+  order-independent serialization of scalar run outcomes (the basis of
+  the scenario sweep result cache, whose keys and payloads must be
+  bit-identical across processes and runs);
 * :class:`TimeSeriesLogger` — CSV logging of scalar observables during
   a run (plugs into ``Simulation.run(monitor=...)``).
 """
@@ -33,8 +38,67 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "load_checkpoint_data",
+    "jsonable",
+    "canonical_json",
+    "serialize_result_data",
+    "deserialize_result_data",
     "TimeSeriesLogger",
 ]
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively convert ``value`` into plain JSON-representable types.
+
+    Numpy scalars/arrays become Python scalars/lists, tuples become
+    lists, mapping keys become strings.  Floats survive bit-exactly:
+    JSON text uses the shortest round-tripping ``repr``.
+    """
+    if isinstance(value, np.generic):
+        value = value.item()
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.ndarray):
+        return jsonable(value.tolist())
+    if isinstance(value, Mapping):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value) if isinstance(value, (set, frozenset)) else value
+        return [jsonable(v) for v in items]
+    raise TypeError(f"cannot serialise {type(value).__name__}: {value!r}")
+
+
+def canonical_json(value: Any) -> str:
+    """Serialise to a canonical JSON string: sorted keys, no whitespace.
+
+    Two structurally equal values produce byte-identical text no matter
+    the insertion order of their mappings or the process that built
+    them — the property content-addressed caches need.
+    """
+    return json.dumps(jsonable(value), sort_keys=True, separators=(",", ":"))
+
+
+def serialize_result_data(
+    metrics: Mapping[str, Any],
+    series: Mapping[str, Sequence[float]],
+    checks: Mapping[str, bool],
+) -> str:
+    """Canonical text form of one run's scalar outcomes.
+
+    The triple is what a comparison table needs from a finished case
+    run (see :class:`repro.scenarios.runner.CaseResult`); serialising
+    through canonical JSON keeps the round-trip bit-exact for floats.
+    """
+    return canonical_json(
+        {"metrics": metrics, "series": series, "checks": checks}
+    )
+
+
+def deserialize_result_data(
+    text: str,
+) -> "tuple[dict[str, Any], dict[str, list[float]], dict[str, bool]]":
+    """Inverse of :func:`serialize_result_data`."""
+    data = json.loads(text)
+    return dict(data["metrics"]), dict(data["series"]), dict(data["checks"])
 
 
 def write_vtk(
@@ -103,12 +167,14 @@ class CheckpointData:
     order: int
     time_step: int
     extra: dict[str, Any] = dataclasses.field(default_factory=dict)
+    series: dict[str, list[float]] = dataclasses.field(default_factory=dict)
 
 
 def save_checkpoint(
     path: str | Path,
     simulation: Simulation,
     extra: Mapping[str, Any] | None = None,
+    series: Mapping[str, Sequence[float]] | None = None,
 ) -> Path:
     """Serialise a simulation's full state for exact restart.
 
@@ -117,6 +183,10 @@ def save_checkpoint(
     extra:
         Optional JSON-serialisable metadata stored alongside the state
         (e.g. the scenario case name that produced the checkpoint).
+    series:
+        Optional observable time series recorded up to this point; a
+        resumed run restores it so the full history survives restarts
+        instead of restarting from the checkpoint step.
     """
     path = Path(path)
     tau = getattr(simulation.collision, "tau", None)
@@ -134,6 +204,7 @@ def save_checkpoint(
         order=int(simulation.collision.order),
         time_step=int(simulation.time_step),
         extra_json=json.dumps(dict(extra or {})),
+        series_json=canonical_json(dict(series or {})),
     )
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
@@ -142,6 +213,7 @@ def load_checkpoint_data(path: str | Path) -> CheckpointData:
     """Read a checkpoint back as raw state without building a driver."""
     with np.load(Path(path), allow_pickle=False) as data:
         extra_json = str(data["extra_json"]) if "extra_json" in data else "{}"
+        series_json = str(data["series_json"]) if "series_json" in data else "{}"
         return CheckpointData(
             f=np.array(data["f"]),
             lattice=str(data["lattice"]),
@@ -149,6 +221,7 @@ def load_checkpoint_data(path: str | Path) -> CheckpointData:
             order=int(data["order"]),
             time_step=int(data["time_step"]),
             extra=json.loads(extra_json),
+            series=json.loads(series_json),
         )
 
 

@@ -4,7 +4,10 @@ Turn workloads into data: a :class:`CaseSpec` declares lattice, domain,
 geometry, boundary conditions, forcing, stopping criteria and
 observables; :func:`register_case` puts it in the catalog;
 :class:`CaseRunner` executes it with checkpoint/restart; :class:`Sweep`
-expands parameter grids into comparison tables.
+expands parameter grids into comparison tables; :class:`SweepExecutor`
+shards the variants across worker processes behind a content-addressed
+:class:`ResultCache`, so interrupted sweeps resume and identical sweeps
+replay for free.
 
 >>> from repro.scenarios import run_case
 >>> result = run_case("taylor-green", steps=100)
@@ -14,6 +17,8 @@ True
 CLI: ``python -m repro cases`` / ``case <name>`` / ``sweep <name>``.
 """
 
+from .cache import ResultCache, SweepManifest
+from .executor import SweepExecutor
 from .registry import available_cases, catalog_table, get_case, register_case
 from .runner import CaseResult, CaseRunner, run_case
 from .spec import CaseSpec, steady_state
@@ -27,8 +32,11 @@ __all__ = [
     "catalog_table",
     "get_case",
     "register_case",
+    "ResultCache",
     "run_case",
     "steady_state",
     "Sweep",
+    "SweepExecutor",
+    "SweepManifest",
     "SweepResult",
 ]

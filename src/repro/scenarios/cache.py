@@ -1,0 +1,219 @@
+"""Per-variant result cache and sweep progress manifest.
+
+The sweep executor keys each variant by its spec's content hash
+(:meth:`~repro.scenarios.spec.CaseSpec.fingerprint`) and stores the
+variant's scalar outcomes — metrics, observable series, checks — as a
+checksummed JSON entry.  Entries are content-addressed: a warm cache
+makes re-running an identical sweep (or a superset sweep sharing some
+variants) free, and the checksum catches truncated or hand-edited
+entries so they are transparently re-run instead of poisoning tables.
+
+A :class:`SweepManifest` sits next to the entries and records which
+variants of one particular sweep have completed, so an interrupted
+``python -m repro sweep --cache-dir ... --resume`` can prove it is
+continuing the same sweep and report what remains.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from ..core.io import canonical_json
+from ..errors import ScenarioError
+
+__all__ = ["ResultCache", "SweepManifest", "sweep_key"]
+
+_ENTRY_VERSION = 1
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    """Write via a sibling temp file + rename so readers never see a
+    half-written entry (a crashed sweep must not leave corrupt state
+    that a resume would trust)."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def _checksum(data: Any) -> str:
+    return hashlib.sha256(canonical_json(data).encode("utf-8")).hexdigest()
+
+
+def sweep_key(case: str, fingerprints: Sequence[str]) -> str:
+    """Identity of one sweep: the case plus its ordered variant hashes."""
+    return _checksum({"case": case, "fingerprints": list(fingerprints)})
+
+
+class ResultCache:
+    """Content-addressed store of per-variant sweep results.
+
+    Each entry lives at ``<root>/<fingerprint>.json`` as::
+
+        {"version": 1, "fingerprint": ..., "checksum": ..., "data": {...}}
+
+    where ``data`` holds the serialisable outcome payload and
+    ``checksum`` is the SHA-256 of its canonical JSON.  :meth:`get`
+    returns ``None`` for missing, truncated, tampered or mismatched
+    entries — the caller simply re-runs those variants.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def entry_path(self, fingerprint: str) -> Path:
+        return self.root / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> dict[str, Any] | None:
+        """The cached payload for one variant, or ``None`` if unusable."""
+        path = self.entry_path(fingerprint)
+        try:
+            envelope = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(envelope, dict):
+            return None
+        data = envelope.get("data")
+        if (
+            envelope.get("version") != _ENTRY_VERSION
+            or envelope.get("fingerprint") != fingerprint
+            or not isinstance(data, dict)
+            or envelope.get("checksum") != _checksum(data)
+        ):
+            return None
+        return data
+
+    def put(self, fingerprint: str, data: Mapping[str, Any]) -> Path:
+        """Store one variant's payload (atomically; overwrites)."""
+        text = canonical_json(data)  # canonicalise once: checksum + data
+        envelope = {
+            "version": _ENTRY_VERSION,
+            "fingerprint": fingerprint,
+            "checksum": hashlib.sha256(text.encode("utf-8")).hexdigest(),
+            "data": json.loads(text),
+        }
+        path = self.entry_path(fingerprint)
+        _atomic_write(path, json.dumps(envelope, sort_keys=True, indent=1))
+        return path
+
+    def keys(self) -> tuple[str, ...]:
+        """Fingerprints of every readable-looking entry on disk."""
+        return tuple(
+            sorted(p.stem for p in self.root.glob("*.json") if p.name != "manifest.json")
+        )
+
+
+@dataclasses.dataclass
+class SweepManifest:
+    """Progress record of one sweep over one cache directory.
+
+    ``completed`` lists variant fingerprints in completion order; the
+    executor updates it after every variant so a crash loses at most
+    the in-flight runs.
+    """
+
+    path: Path
+    case: str
+    parameters: list[str]
+    fingerprints: list[str]
+    completed: list[str] = dataclasses.field(default_factory=list)
+
+    FILENAME = "manifest.json"
+
+    @property
+    def key(self) -> str:
+        return sweep_key(self.case, self.fingerprints)
+
+    def missing(self) -> list[str]:
+        done = set(self.completed)
+        return [fp for fp in self.fingerprints if fp not in done]
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing()
+
+    def mark_complete(self, fingerprint: str) -> None:
+        if fingerprint not in self.completed:
+            self.completed.append(fingerprint)
+        self.save()
+
+    def save(self) -> Path:
+        _atomic_write(
+            self.path,
+            json.dumps(
+                {
+                    "key": self.key,
+                    "case": self.case,
+                    "parameters": self.parameters,
+                    "fingerprints": self.fingerprints,
+                    "completed": self.completed,
+                },
+                indent=1,
+            ),
+        )
+        return self.path
+
+    @classmethod
+    def create(
+        cls,
+        root: str | Path,
+        case: str,
+        parameters: Sequence[str],
+        fingerprints: Sequence[str],
+    ) -> "SweepManifest":
+        manifest = cls(
+            path=Path(root) / cls.FILENAME,
+            case=case,
+            parameters=list(parameters),
+            fingerprints=list(fingerprints),
+        )
+        manifest.save()
+        return manifest
+
+    @classmethod
+    def load(cls, root: str | Path) -> "SweepManifest | None":
+        """Read the manifest under ``root``; ``None`` if absent/corrupt."""
+        path = Path(root) / cls.FILENAME
+        try:
+            raw = json.loads(path.read_text())
+            manifest = cls(
+                path=path,
+                case=str(raw["case"]),
+                parameters=[str(p) for p in raw["parameters"]],
+                fingerprints=[str(f) for f in raw["fingerprints"]],
+                completed=[str(f) for f in raw["completed"]],
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        return manifest
+
+    @classmethod
+    def resume(
+        cls,
+        root: str | Path,
+        case: str,
+        parameters: Sequence[str],
+        fingerprints: Sequence[str],
+    ) -> "SweepManifest":
+        """The manifest of an interrupted run of *this* sweep.
+
+        Raises :class:`ScenarioError` when there is nothing to resume
+        or the on-disk manifest belongs to a different sweep.
+        """
+        manifest = cls.load(root)
+        if manifest is None:
+            raise ScenarioError(
+                f"nothing to resume: no sweep manifest under {root}"
+            )
+        if manifest.key != sweep_key(case, fingerprints):
+            raise ScenarioError(
+                f"cannot resume: manifest under {root} records a different "
+                f"sweep (case {manifest.case!r} over "
+                f"{', '.join(manifest.parameters)})"
+            )
+        return manifest

@@ -12,6 +12,7 @@ import sys
 from typing import Any, Sequence
 
 from ..errors import ScenarioError
+from .executor import SweepExecutor
 from .registry import catalog_table
 from .runner import CaseRunner
 from .sweep import Sweep
@@ -87,11 +88,31 @@ def run_sweep_cli(
     *,
     steps: int | None = None,
     csv: str | None = None,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    resume: bool = False,
 ) -> int:
-    """Run a sweep, print the comparison table, return an exit code."""
+    """Run a sweep, print the comparison table, return an exit code.
+
+    ``jobs`` shards variants across a process pool; ``cache_dir``
+    enables per-variant result caching (warm re-runs execute nothing);
+    ``resume`` continues an interrupted sweep from its manifest.
+
+    Always executes through :class:`SweepExecutor` — even plain serial
+    sweeps — so the CLI's data columns are deterministic (wall-clock
+    metrics never appear) and byte-identical across ``--jobs`` settings
+    and cache states.
+    """
     sweep = Sweep(name, grid, steps=steps)
-    result = sweep.run()
-    print(result.to_table())
+    executor = SweepExecutor(sweep, jobs=jobs, cache_dir=cache_dir, resume=resume)
+    result = executor.run()
+    print(result.to_table(provenance=True))
+    if result.provenance is not None:
+        cached = len(result.results) - result.runs_executed
+        print(
+            f"{len(result.results)} variants: {result.runs_executed} run, "
+            f"{cached} cached"
+        )
     if csv is not None:
         with open(csv, "w") as handle:
             handle.write(result.to_csv())
@@ -142,6 +163,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--steps", type=int, default=None, help="override steps")
     sweep.add_argument("--csv", default=None, help="also write the table as CSV")
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run variants across N worker processes (default: serial)",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache per-variant results under DIR keyed by spec fingerprint",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted sweep recorded in DIR's manifest "
+        "(requires --cache-dir)",
+    )
     return parser
 
 
@@ -162,7 +202,13 @@ def main(argv: Sequence[str]) -> int:
                 resume=args.resume,
             )
         return run_sweep_cli(
-            args.name, _parse_grid(args.params), steps=args.steps, csv=args.csv
+            args.name,
+            _parse_grid(args.params),
+            steps=args.steps,
+            csv=args.csv,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            resume=args.resume,
         )
     except (ScenarioError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -1,0 +1,257 @@
+"""Parallel sweep execution with per-variant caching and resume.
+
+:class:`SweepExecutor` shards the expanded variants of one
+:class:`~repro.scenarios.sweep.Sweep` across a
+:class:`concurrent.futures.ProcessPoolExecutor` (``jobs=1`` keeps the
+serial in-process path, which runs the *same* worker function so the
+two paths are bit-identical), reuses any variant whose content hash
+already has a valid cache entry, and records progress in a
+:class:`~repro.scenarios.cache.SweepManifest` so an interrupted sweep
+resumes with only the missing variants.
+
+Results are reduced to their scalar outcomes (metrics, observable
+series, checks) before crossing process or disk boundaries; wall-clock
+metrics such as ``mflups`` are stripped because they can never be
+deterministic, and everything else round-trips through canonical JSON
+so a sweep run under ``jobs=4`` emits tables byte-identical to
+``jobs=1`` and to a warm-cache replay.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pickle
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..core.io import serialize_result_data
+from ..errors import ScenarioError
+from .cache import ResultCache, SweepManifest
+from .registry import get_case
+from .runner import CaseResult, CaseRunner
+from .spec import CaseSpec
+from .sweep import Sweep, SweepResult
+
+__all__ = ["SweepExecutor", "NONDETERMINISTIC_METRICS"]
+
+#: Metrics derived from wall-clock timing: meaningless to cache, fatal
+#: to determinism, so the executor drops them from every payload.
+NONDETERMINISTIC_METRICS = frozenset({"mflups"})
+
+
+@dataclasses.dataclass(frozen=True)
+class _VariantTask:
+    """One variant's work order, picklable for pool workers."""
+
+    case: CaseSpec | str
+    overrides: tuple[tuple[str, Any], ...]
+    analyze: bool
+    fingerprint: str
+
+
+def _execute_variant(task: _VariantTask) -> dict[str, Any]:
+    """Run one variant and reduce it to a canonical payload.
+
+    Module-level so process pools can pickle it; recomputing the
+    fingerprint in the worker doubles as a cross-process stability
+    check on :meth:`CaseSpec.fingerprint`.
+    """
+    runner = CaseRunner(task.case, **dict(task.overrides))
+    fingerprint = runner.spec.fingerprint()
+    if fingerprint != task.fingerprint:
+        raise ScenarioError(
+            f"variant fingerprint mismatch for case {runner.spec.name!r}: "
+            f"scheduler saw {task.fingerprint[:12]}, worker computed "
+            f"{fingerprint[:12]} — CaseSpec.fingerprint is not process-stable"
+        )
+    result = runner.run(analyze=task.analyze)
+    metrics = {
+        k: v for k, v in result.metrics.items()
+        if k not in NONDETERMINISTIC_METRICS
+    }
+    payload = json.loads(
+        serialize_result_data(metrics, result.series, result.checks)
+    )
+    payload["case"] = result.spec.name
+    # Recorded so a cached analyze=False payload (no analysis metrics,
+    # vacuous checks) is never served to an analyze=True sweep.
+    payload["analyze"] = task.analyze
+    return payload
+
+
+@dataclasses.dataclass
+class SweepExecutor:
+    """Run a sweep's variants in parallel, through a result cache.
+
+    >>> sweep = Sweep("taylor-green", {"tau": [0.6, 0.8]}, steps=50)
+    >>> result = SweepExecutor(sweep, jobs=4, cache_dir="cache").run()
+    >>> result.runs_executed  # second invocation: 0 (warm cache)
+
+    Parameters
+    ----------
+    sweep:
+        The sweep whose expanded variants to execute.
+    jobs:
+        Process-pool width; ``1`` executes serially in-process.
+    cache_dir:
+        Directory of per-variant entries + the sweep manifest; ``None``
+        disables caching (every variant runs).
+    resume:
+        Require a manifest from an earlier interrupted run of this
+        same sweep (a safety latch: resuming a *different* sweep over
+        the same directory is an error, not a silent cache mixup).
+    """
+
+    sweep: Sweep
+    jobs: int = 1
+    cache_dir: str | Path | None = None
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ScenarioError(f"jobs must be >= 1, got {self.jobs}")
+        if self.resume and self.cache_dir is None:
+            raise ScenarioError("resume requires a cache directory")
+
+    # -- orchestration -----------------------------------------------------
+
+    def run(self, *, analyze: bool = True) -> SweepResult:
+        """Execute missing variants, reuse cached ones, keep grid order."""
+        sweep = self.sweep
+        base = sweep.spec
+        # One expansion; overrides/specs/fingerprints are derived views
+        # of it and must stay index-aligned.
+        variants = sweep.expand()
+        overrides = [sweep._with_steps(v) for v in variants]
+        specs = [CaseRunner(base, **o).spec for o in overrides]
+        fingerprints = [spec.fingerprint() for spec in specs]
+        case_ref = self._portable_case_ref(base)
+
+        cache, manifest = self._open_cache(base.name, fingerprints)
+        payloads: list[dict[str, Any] | None] = [None] * len(variants)
+        provenance = ["run"] * len(variants)
+        if cache is not None:
+            for index, fingerprint in enumerate(fingerprints):
+                entry = cache.get(fingerprint)
+                if entry is not None and entry.get("analyze") == analyze:
+                    payloads[index] = entry
+                    provenance[index] = "cached"
+            if manifest is not None:
+                for fingerprint, payload in zip(fingerprints, payloads):
+                    if payload is not None and fingerprint not in manifest.completed:
+                        manifest.completed.append(fingerprint)
+                manifest.save()
+
+        pending = [i for i, payload in enumerate(payloads) if payload is None]
+        tasks = {
+            i: _VariantTask(
+                case=case_ref,
+                overrides=tuple(sorted(overrides[i].items())),
+                analyze=analyze,
+                fingerprint=fingerprints[i],
+            )
+            for i in pending
+        }
+        if self._use_pool(tasks):
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {pool.submit(_execute_variant, tasks[i]): i for i in pending}
+                for future in as_completed(futures):
+                    index = futures[future]
+                    payload = future.result()
+                    payloads[index] = payload
+                    self._commit(cache, manifest, fingerprints[index], payload)
+        else:
+            for index in pending:
+                payload = _execute_variant(tasks[index])
+                payloads[index] = payload
+                self._commit(cache, manifest, fingerprints[index], payload)
+
+        results = [
+            self._result_from_payload(spec, payload)
+            for spec, payload in zip(specs, payloads)
+        ]
+        return SweepResult(
+            case=base.name,
+            parameters=tuple(sweep.parameters),
+            variants=variants,
+            results=results,
+            provenance=provenance,
+            fingerprints=fingerprints,
+        )
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _portable_case_ref(base: CaseSpec) -> CaseSpec | str:
+        """What workers rebuild the case from: the registry name when it
+        resolves back to this very spec (always picklable), else the
+        spec object itself."""
+        try:
+            if get_case(base.name) is base:
+                return base.name
+        except ScenarioError:
+            pass
+        return base
+
+    def _use_pool(self, tasks: Mapping[int, _VariantTask]) -> bool:
+        """Pool only when it helps *and* the work orders can cross a
+        process boundary — unregistered specs holding closures (e.g. a
+        ``steady_state`` stop condition) or closure-valued override
+        values silently fall back to the serial path, which produces
+        identical output."""
+        if self.jobs <= 1 or len(tasks) <= 1:
+            return False
+        try:
+            pickle.dumps(list(tasks.values()))
+        except Exception:
+            return False
+        return True
+
+    def _open_cache(
+        self, case: str, fingerprints: list[str]
+    ) -> tuple[ResultCache | None, SweepManifest | None]:
+        if self.cache_dir is None:
+            return None, None
+        cache = ResultCache(self.cache_dir)
+        parameters = list(self.sweep.parameters)
+        if self.resume:
+            manifest = SweepManifest.resume(
+                cache.root, case, parameters, fingerprints
+            )
+        else:
+            manifest = SweepManifest.load(cache.root)
+            if manifest is None or manifest.fingerprints != fingerprints:
+                manifest = SweepManifest.create(
+                    cache.root, case, parameters, fingerprints
+                )
+        return cache, manifest
+
+    @staticmethod
+    def _commit(
+        cache: ResultCache | None,
+        manifest: SweepManifest | None,
+        fingerprint: str,
+        payload: Mapping[str, Any],
+    ) -> None:
+        """Persist one finished variant immediately — a crash after this
+        point costs nothing on resume."""
+        if cache is not None:
+            cache.put(fingerprint, payload)
+        if manifest is not None:
+            manifest.mark_complete(fingerprint)
+
+    @staticmethod
+    def _result_from_payload(
+        spec: CaseSpec, payload: Mapping[str, Any]
+    ) -> CaseResult:
+        """Rehydrate a lean :class:`CaseResult` (no simulation attached)."""
+        return CaseResult(
+            spec=spec,
+            simulation=None,
+            series={str(k): [float(v) for v in vs] for k, vs in payload["series"].items()},
+            metrics=dict(payload["metrics"]),
+            checks={str(k): bool(v) for k, v in payload["checks"].items()},
+        )

@@ -37,7 +37,9 @@ class CaseResult:
     spec:
         The (possibly overridden) spec that ran.
     simulation:
-        The driver in its final state (populations, timings).
+        The driver in its final state (populations, timings), or
+        ``None`` for a *lean* result rehydrated from the sweep cache
+        (scalar outcomes survive the round-trip; fields do not).
     solid:
         The geometry mask the spec built, if any.
     series:
@@ -51,7 +53,7 @@ class CaseResult:
     """
 
     spec: CaseSpec
-    simulation: Simulation
+    simulation: Simulation | None
     solid: np.ndarray | None = None
     series: dict[str, list[float]] = dataclasses.field(default_factory=dict)
     metrics: dict[str, Any] = dataclasses.field(default_factory=dict)
@@ -79,11 +81,16 @@ class CaseResult:
                 return f"{value:.6g}"
             return str(value)
 
+        reached = (
+            self.simulation.time_step
+            if self.simulation is not None
+            else self.metrics.get("steps_run", "?")
+        )
         lines = [
             f"case {self.spec.name}: {self.spec.title}",
             f"  lattice {self.spec.lattice}, grid "
             + "x".join(str(s) for s in self.spec.shape)
-            + f", reached step {self.simulation.time_step}",
+            + f", reached step {reached}",
         ]
         if self.metrics:
             rows = [[k, fmt(v)] for k, v in self.metrics.items()]
@@ -164,6 +171,9 @@ class CaseRunner:
             driver itself is rebuilt from the spec, so boundary
             conditions, forcing and collision model are preserved and
             the continuation is bit-identical to an uninterrupted run.
+            The observable series recorded before the checkpoint is
+            restored too, so the resumed result carries the full
+            history, not just the post-restart tail.
         checkpoint:
             Where to save restart state — at the end of the run, or
             every ``checkpoint_every`` steps when that is positive.
@@ -173,10 +183,16 @@ class CaseRunner:
         """
         spec = self.spec
         sim, solid = self.build()
+        restored_series: dict[str, list[float]] = {}
         if resume is not None:
-            self._restore(sim, resume)
+            restored_series = self._restore(sim, resume)
         result = CaseResult(spec, sim, solid)
-        self._record(result)
+        result.series = {k: list(v) for k, v in restored_series.items()}
+        steps_seen = result.series.get("step")
+        if not steps_seen or steps_seen[-1] != float(sim.time_step):
+            # Fresh run, or a pre-series checkpoint: record the state we
+            # are starting from (a restored series already ends here).
+            self._record(result)
 
         stop = spec.stop_when() if spec.stop_when is not None else None
         last_saved = sim.time_step
@@ -195,13 +211,13 @@ class CaseRunner:
                 and sim.time_step - last_saved >= checkpoint_every
                 and sim.time_step < spec.steps
             ):
-                self.save(checkpoint, sim)
+                self.save(checkpoint, sim, series=result.series)
                 last_saved = sim.time_step
             if stop is not None and stop(sim):
                 break
 
         if checkpoint is not None:
-            self.save(checkpoint, sim)
+            self.save(checkpoint, sim, series=result.series)
         result.metrics["steps_run"] = sim.time_step
         result.metrics["mflups"] = sim.mflups()
         if analyze:
@@ -213,11 +229,22 @@ class CaseRunner:
 
     # -- checkpointing -----------------------------------------------------
 
-    def save(self, path: str | Path, sim: Simulation) -> Path:
-        """Write a restart file stamped with the case name."""
-        return save_checkpoint(path, sim, extra={"case": self.spec.name})
+    def save(
+        self,
+        path: str | Path,
+        sim: Simulation,
+        series: dict[str, list[float]] | None = None,
+    ) -> Path:
+        """Write a restart file stamped with the case name.
 
-    def _restore(self, sim: Simulation, path: str | Path) -> None:
+        ``series`` carries the observable history recorded so far, so a
+        resume continues the time series instead of restarting it.
+        """
+        return save_checkpoint(
+            path, sim, extra={"case": self.spec.name}, series=series
+        )
+
+    def _restore(self, sim: Simulation, path: str | Path) -> dict[str, list[float]]:
         data = load_checkpoint_data(path)
         stamped = data.extra.get("case")
         if stamped is not None and stamped != self.spec.name:
@@ -242,6 +269,7 @@ class CaseRunner:
             )
         sim.field.data[...] = data.f
         sim.time_step = data.time_step
+        return {k: [float(v) for v in vs] for k, vs in data.series.items()}
 
     # -- recording ---------------------------------------------------------
 

@@ -17,6 +17,9 @@ key (e.g. the Knudsen number of the microchannel case) through
 from __future__ import annotations
 
 import dataclasses
+import functools
+import hashlib
+import types
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 import numpy as np
@@ -30,6 +33,114 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .runner import CaseResult
 
 __all__ = ["CaseSpec", "steady_state"]
+
+
+def _const_token(const: Any) -> Any:
+    """Canonical token of one code constant.  ``frozenset`` literals
+    (set-membership tests) iterate in hash order, which varies with
+    ``PYTHONHASHSEED`` — sort them so the token doesn't."""
+    if hasattr(const, "co_code"):
+        return _code_token(const)
+    if isinstance(const, frozenset):
+        return ["frozenset"] + sorted(repr(c) for c in const)
+    if isinstance(const, tuple):
+        return [_const_token(c) for c in const]
+    return repr(const)
+
+
+def _code_token(code: Any) -> list:
+    """Identity of a function body: bytecode + names + consts.
+
+    Line numbers are excluded, so two textually identical lambdas
+    defined in different places agree; two same-qualname lambdas with
+    *different* bodies (the classic ``<lambda>`` collision) do not.
+    Nested code objects (inner functions, comprehensions) recurse.
+    """
+    consts = [_const_token(const) for const in code.co_consts]
+    return [code.co_code.hex(), list(code.co_names), consts]
+
+
+def _instance_token(obj: Any, _seen: frozenset = frozenset()) -> Any:
+    """Identity of a configured object: its class plus attribute state
+    (modules just contribute their name — their dict is the world)."""
+    if isinstance(obj, types.ModuleType):
+        return f"module:{obj.__name__}"
+    if id(obj) in _seen:  # cyclic object graph
+        return "recursive-instance"
+    _seen = _seen | {id(obj)}
+    cls = type(obj)
+    state = getattr(obj, "__dict__", {})
+    return [
+        f"{cls.__module__}:{cls.__qualname__}",
+        {str(k): _fingerprint_token(v, _seen) for k, v in sorted(state.items())},
+    ]
+
+
+def _fingerprint_token(value: Any, _seen: frozenset = frozenset()) -> Any:
+    """Reduce one spec field to a canonical, process-stable token.
+
+    Callables (geometry builders, observables, hooks) are identified by
+    their qualified name plus their body's bytecode, so the same source
+    yields the same token in every interpreter — the property that lets
+    sweep workers in different processes agree on cache keys — while
+    distinct same-qualname callables (two ``<lambda>``s in one scope)
+    cannot collide.  Closures additionally contribute their captured
+    cell values and defaults: ``steady_state(obs, rtol=1e-6)`` and
+    ``rtol=1e-8`` return functions with identical qualnames and bodies
+    but must not collide either.
+    """
+    if isinstance(value, np.generic):
+        value = value.item()
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, functools.partial):
+        return [
+            "partial",
+            _fingerprint_token(value.func, _seen),
+            [_fingerprint_token(a, _seen) for a in value.args],
+            {str(k): _fingerprint_token(v, _seen) for k, v in value.keywords.items()},
+        ]
+    if callable(value):
+        if id(value) in _seen:  # self-referential closure
+            return "recursive-callable"
+        _seen = _seen | {id(value)}
+        module = getattr(value, "__module__", None)
+        qualname = getattr(value, "__qualname__", None)
+        if module is not None and qualname is not None:
+            token: list[Any] = [f"{module}:{qualname}"]
+            func = getattr(value, "__func__", value)  # bound method -> function
+            code = getattr(func, "__code__", None)
+            if code is not None:
+                token.append(_code_token(code))
+            defaults = getattr(func, "__defaults__", None) or ()
+            if defaults:
+                token.append([_fingerprint_token(d, _seen) for d in defaults])
+            owner = getattr(value, "__self__", None)
+            if owner is not None:  # bound method: instance config matters
+                token.append(_instance_token(owner, _seen))
+            cells = getattr(func, "__closure__", None) or ()
+            captured = []
+            for cell in cells:
+                try:
+                    captured.append(_fingerprint_token(cell.cell_contents, _seen))
+                except ValueError:  # empty cell
+                    captured.append("empty-cell")
+            if captured:
+                token.append(captured)
+            return token[0] if len(token) == 1 else token
+        return _instance_token(value, _seen)
+    if isinstance(value, np.ndarray):
+        return _fingerprint_token(value.tolist(), _seen)
+    if isinstance(value, Mapping):
+        return {str(k): _fingerprint_token(v, _seen) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_fingerprint_token(v, _seen) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return ["set"] + sorted(repr(_fingerprint_token(v, _seen)) for v in value)
+    text = repr(value)
+    if " at 0x" in text:  # default repr embeds a memory address:
+        return _instance_token(value, _seen)  # hash state, not identity
+    return f"{type(value).__module__}:{type(value).__qualname__}:{text}"
 
 # Factory signatures (all receive the spec so they can read spec.params):
 GeometryBuilder = Callable[["CaseSpec"], np.ndarray]
@@ -178,6 +289,27 @@ class CaseSpec:
             raise ScenarioError(
                 f"case {self.name!r}: forcing must have {len(self.shape)} components"
             )
+
+    # -- identity ----------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Canonical content hash of this spec (sweep-cache key).
+
+        Covers every field: two specs share a fingerprint iff they
+        declare the same workload, regardless of the order their
+        overrides/params were applied in and of the process computing
+        it.  Factory callables contribute their qualified names, so
+        editing which factory a case uses invalidates its cache entries
+        while re-running an identical sweep hits them.
+        """
+        from ..core.io import canonical_json
+
+        token = {
+            field.name: _fingerprint_token(getattr(self, field.name))
+            for field in dataclasses.fields(self)
+        }
+        digest = hashlib.sha256(canonical_json(token).encode("utf-8"))
+        return digest.hexdigest()
 
     # -- derivation --------------------------------------------------------
 

@@ -12,39 +12,73 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
+from pathlib import Path
 from typing import Any, Mapping, Sequence
 
-from ..analysis.tables import render_csv, render_table
+from ..analysis.tables import append_column, render_csv, render_table
 from .registry import get_case
 from .runner import CaseResult, CaseRunner
 from .spec import CaseSpec
 
 __all__ = ["Sweep", "SweepResult"]
 
+#: Metrics every run records, pinned to the front of comparison tables.
+_LEADING_METRICS = ("steps_run", "mflups")
+
 
 @dataclasses.dataclass
 class SweepResult:
-    """Outcome of one sweep: variant overrides paired with run results."""
+    """Outcome of one sweep: variant overrides paired with run results.
+
+    ``provenance`` (when the sweep ran through an executor) records per
+    variant whether it was freshly ``"run"`` or served ``"cached"``;
+    ``fingerprints`` carries the matching cache keys.
+    """
 
     case: str
     parameters: tuple[str, ...]
     variants: list[dict[str, Any]]
     results: list[CaseResult]
+    provenance: list[str] | None = None
+    fingerprints: list[str] | None = None
 
     def _columns(self) -> list[str]:
-        metric_names: list[str] = []
-        observable_names: list[str] = []
+        # Collect over a *sorted* union of names so the column order is
+        # a function of what the results contain, never of the order
+        # they arrived in (cache hits complete out of order).
+        metric_names: set[str] = set()
+        observable_names: set[str] = set()
         for result in self.results:
-            for name in result.metrics:
-                if name not in metric_names and name not in self.parameters:
-                    metric_names.append(name)
-            for name in result.series:
-                if name != "step" and name not in observable_names:
-                    observable_names.append(name)
-        return metric_names + [f"final_{n}" for n in observable_names]
+            metric_names.update(
+                name for name in result.metrics if name not in self.parameters
+            )
+            observable_names.update(
+                name for name in result.series if name != "step"
+            )
+        leading = [n for n in _LEADING_METRICS if n in metric_names]
+        trailing = sorted(metric_names.difference(_LEADING_METRICS))
+        return leading + trailing + [
+            f"final_{n}" for n in sorted(observable_names)
+        ]
 
-    def rows(self) -> tuple[list[str], list[list[str]]]:
-        """Comparison-table headers and rows (parameters, then outcomes)."""
+    @property
+    def runs_executed(self) -> int:
+        """How many variants actually ran (vs served from cache)."""
+        if self.provenance is None:
+            return len(self.results)
+        return sum(1 for source in self.provenance if source == "run")
+
+    def rows(
+        self, *, provenance: bool = False
+    ) -> tuple[list[str], list[list[str]]]:
+        """Comparison-table headers and rows (parameters, then outcomes).
+
+        ``provenance=True`` merges the per-variant ``source`` column
+        (``run``/``cached``).  It is opt-in because the *data* columns
+        are deterministic — byte-identical between a cold serial run, a
+        parallel run and a warm-cache replay — while provenance
+        necessarily reflects how this particular invocation executed.
+        """
 
         def fmt(value: Any) -> str:
             if isinstance(value, float):
@@ -65,18 +99,20 @@ class SweepResult:
                     row.append(fmt(result.metrics.get(column, "-")))
             row.append("PASS" if result.passed else "FAIL")
             table.append(row)
+        if provenance and self.provenance is not None:
+            headers, table = append_column(headers, table, "source", self.provenance)
         return headers, table
 
-    def to_table(self) -> str:
-        headers, table = self.rows()
+    def to_table(self, *, provenance: bool = False) -> str:
+        headers, table = self.rows(provenance=provenance)
         return render_table(
             headers,
             table,
             title=f"Sweep over {self.case}: " + " x ".join(self.parameters),
         )
 
-    def to_csv(self) -> str:
-        headers, table = self.rows()
+    def to_csv(self, *, provenance: bool = False) -> str:
+        headers, table = self.rows(provenance=provenance)
         return render_csv(headers, table)
 
     @property
@@ -129,17 +165,50 @@ class Sweep:
     def specs(self) -> list[CaseSpec]:
         """The expanded variant specs (validated)."""
         return [
-            CaseRunner(self.spec, **self._with_steps(overrides)).spec
-            for overrides in self.expand()
+            CaseRunner(self.spec, **overrides).spec
+            for overrides in self.variant_overrides()
         ]
+
+    def variant_overrides(self) -> list[dict[str, Any]]:
+        """Per-variant override dicts with the sweep-level steps merged."""
+        return [self._with_steps(overrides) for overrides in self.expand()]
+
+    def fingerprints(self) -> list[str]:
+        """Content hashes of every variant spec (the sweep cache keys)."""
+        return [spec.fingerprint() for spec in self.specs()]
 
     def _with_steps(self, overrides: dict[str, Any]) -> dict[str, Any]:
         if self.steps is not None and "steps" not in overrides:
             return {**overrides, "steps": self.steps}
         return overrides
 
-    def run(self, *, analyze: bool = True) -> SweepResult:
-        """Run every variant and collect the comparison."""
+    def run(
+        self,
+        *,
+        analyze: bool = True,
+        jobs: int = 1,
+        cache_dir: str | Path | None = None,
+        resume: bool = False,
+    ) -> SweepResult:
+        """Run every variant and collect the comparison.
+
+        With ``jobs > 1``, a ``cache_dir`` or ``resume``, delegates to
+        :class:`~repro.scenarios.executor.SweepExecutor`: variants are
+        sharded across a process pool, per-variant results are cached
+        by spec fingerprint, and results come back *lean* (scalar
+        outcomes only, no simulation attached, timing metrics
+        stripped).  The default in-process path keeps the full
+        simulations and timing metrics on each :class:`CaseResult`
+        (so its tables include the nondeterministic ``mflups`` column;
+        the CLI always goes through the executor instead).
+        """
+        if jobs != 1 or cache_dir is not None or resume:
+            from .executor import SweepExecutor
+
+            executor = SweepExecutor(
+                self, jobs=jobs, cache_dir=cache_dir, resume=resume
+            )
+            return executor.run(analyze=analyze)
         base = self.spec
         variants = self.expand()
         results = [

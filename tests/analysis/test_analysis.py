@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis import bar_chart, render_table
+from repro.analysis import append_column, bar_chart, render_table
 from repro.analysis.paper_reference import FIG8_ENDPOINTS, TABLE2
 
 
@@ -18,6 +18,19 @@ class TestRenderTable:
     def test_title(self):
         out = render_table(["a"], [[1]], title="T")
         assert out.splitlines()[0] == "T"
+
+
+class TestAppendColumn:
+    def test_merges_trailing_column(self):
+        headers, rows = append_column(
+            ["a"], [[1], [2]], "src", ["run", "cached"]
+        )
+        assert headers == ["a", "src"]
+        assert rows == [[1, "run"], [2, "cached"]]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="src"):
+            append_column(["a"], [[1]], "src", ["run", "cached"])
 
 
 class TestBarChart:

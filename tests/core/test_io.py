@@ -89,6 +89,23 @@ class TestCheckpoint:
         save_checkpoint(path, sim)
         assert load_checkpoint_data(path).extra == {}
 
+    def test_series_roundtrip_bit_exact(self, sim, tmp_path):
+        from repro.core import load_checkpoint_data
+
+        series = {"step": [0.0, 5.0], "mass": [1.0, 0.1 + 0.2]}
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, sim, series=series)
+        restored = load_checkpoint_data(path).series
+        assert restored == series
+        assert restored["mass"][1] == 0.1 + 0.2  # exact bits, not approx
+
+    def test_series_defaults_to_empty(self, sim, tmp_path):
+        from repro.core import load_checkpoint_data
+
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, sim)
+        assert load_checkpoint_data(path).series == {}
+
     def test_mrt_checkpoint_uses_tau_shear(self, tmp_path):
         from repro.core import HermiteMRTCollision
         from repro.lattice import get_lattice
@@ -129,3 +146,46 @@ class TestTimeSeriesLogger:
     def test_empty_logger(self):
         logger = TimeSeriesLogger({"x": lambda s: 0.0})
         assert logger.as_array().shape == (0, 2)
+
+
+class TestCanonicalSerialization:
+    def test_canonical_json_is_insertion_order_independent(self):
+        from repro.core import canonical_json
+
+        assert canonical_json({"b": 1, "a": [1, 2]}) == canonical_json(
+            {"a": [1, 2], "b": 1}
+        )
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_jsonable_converts_numpy_and_tuples(self):
+        from repro.core import jsonable
+
+        value = {"a": np.float64(0.5), "b": (np.int64(3), [np.bool_(True)])}
+        assert jsonable(value) == {"a": 0.5, "b": [3, [True]]}
+
+    def test_jsonable_rejects_unserialisable(self):
+        from repro.core import jsonable
+
+        with pytest.raises(TypeError, match="cannot serialise"):
+            jsonable(object())
+
+    def test_result_data_roundtrip_bit_exact(self):
+        from repro.core import deserialize_result_data, serialize_result_data
+
+        metrics = {"steps_run": 10, "err": 0.1 + 0.2, "tiny": 4.9e-324}
+        series = {"step": [0.0, 5.0], "ke": [np.float64(1e-17), 2.0]}
+        checks = {"ok": True}
+        text = serialize_result_data(metrics, series, checks)
+        m, s, c = deserialize_result_data(text)
+        assert m["steps_run"] == 10 and isinstance(m["steps_run"], int)
+        assert m["err"] == 0.1 + 0.2  # exact float bits survive
+        assert m["tiny"] == 4.9e-324  # denormal min survives
+        assert s == {"step": [0.0, 5.0], "ke": [1e-17, 2.0]}
+        assert c == {"ok": True}
+
+    def test_serialization_is_canonical_text(self):
+        from repro.core import serialize_result_data
+
+        a = serialize_result_data({"x": 1, "y": 2}, {"step": [0.0]}, {})
+        b = serialize_result_data({"y": 2, "x": 1}, {"step": [0.0]}, {})
+        assert a == b

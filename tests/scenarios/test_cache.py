@@ -1,0 +1,143 @@
+"""ResultCache/SweepManifest units + warm/corrupt/partial cache behavior."""
+
+import json
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import ResultCache, Sweep, SweepExecutor, SweepManifest
+from repro.scenarios import executor as executor_module
+from repro.scenarios.cache import sweep_key
+
+PAYLOAD = {
+    "case": "x",
+    "metrics": {"steps_run": 10, "err": 0.125},
+    "series": {"step": [0.0, 5.0], "mass": [1.0, 1.0]},
+    "checks": {"ok": True},
+}
+
+
+def make_sweep():
+    return Sweep(
+        "taylor-green", {"tau": [0.6, 0.8], "shape": [(8, 8, 4)]}, steps=10
+    )
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("abc123", PAYLOAD)
+        assert cache.get("abc123") == PAYLOAD
+        assert cache.keys() == ("abc123",)
+
+    def test_missing_entry_is_none(self, tmp_path):
+        assert ResultCache(tmp_path).get("nope") is None
+
+    def test_truncated_entry_detected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put("abc123", PAYLOAD)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert cache.get("abc123") is None
+
+    def test_tampered_entry_detected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put("abc123", PAYLOAD)
+        envelope = json.loads(path.read_text())
+        envelope["data"]["metrics"]["err"] = 99.0  # checksum now stale
+        path.write_text(json.dumps(envelope))
+        assert cache.get("abc123") is None
+
+    def test_entry_under_wrong_key_detected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put("abc123", PAYLOAD)
+        path.rename(tmp_path / "def456.json")
+        assert cache.get("def456") is None
+
+    def test_manifest_not_listed_as_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        SweepManifest.create(tmp_path, "x", ["tau"], ["abc123"])
+        cache.put("abc123", PAYLOAD)
+        assert cache.keys() == ("abc123",)
+
+
+class TestSweepManifest:
+    def test_create_load_round_trip(self, tmp_path):
+        created = SweepManifest.create(tmp_path, "x", ["tau"], ["f1", "f2"])
+        created.mark_complete("f1")
+        loaded = SweepManifest.load(tmp_path)
+        assert loaded.case == "x"
+        assert loaded.completed == ["f1"]
+        assert loaded.missing() == ["f2"]
+        assert not loaded.complete
+        assert loaded.key == sweep_key("x", ["f1", "f2"])
+
+    def test_load_absent_or_corrupt_is_none(self, tmp_path):
+        assert SweepManifest.load(tmp_path) is None
+        (tmp_path / SweepManifest.FILENAME).write_text("{not json")
+        assert SweepManifest.load(tmp_path) is None
+
+    def test_resume_rejects_mismatched_sweep(self, tmp_path):
+        SweepManifest.create(tmp_path, "x", ["tau"], ["f1"])
+        with pytest.raises(ScenarioError, match="different"):
+            SweepManifest.resume(tmp_path, "y", ["tau"], ["f1"])
+
+
+class TestWarmCacheSweeps:
+    def test_warm_cache_executes_zero_runs_same_table(
+        self, tmp_path, monkeypatch
+    ):
+        cold = SweepExecutor(make_sweep(), jobs=1, cache_dir=tmp_path).run(
+            analyze=False
+        )
+        assert cold.runs_executed == 2
+
+        def forbidden(task):  # any execution attempt is a failure
+            raise AssertionError("warm cache must not run variants")
+
+        monkeypatch.setattr(executor_module, "_execute_variant", forbidden)
+        warm = SweepExecutor(make_sweep(), jobs=1, cache_dir=tmp_path).run(
+            analyze=False
+        )
+        assert warm.runs_executed == 0
+        assert warm.provenance == ["cached", "cached"]
+        assert warm.to_table() == cold.to_table()
+        assert warm.to_csv() == cold.to_csv()
+
+    def test_corrupted_entry_is_rerun(self, tmp_path):
+        cold = SweepExecutor(make_sweep(), jobs=1, cache_dir=tmp_path).run(
+            analyze=False
+        )
+        cache = ResultCache(tmp_path)
+        victim = cache.keys()[0]
+        cache.entry_path(victim).write_text("garbage{{{")
+        repaired = SweepExecutor(make_sweep(), jobs=1, cache_dir=tmp_path).run(
+            analyze=False
+        )
+        assert repaired.runs_executed == 1
+        assert sorted(repaired.provenance) == ["cached", "run"]
+        assert repaired.to_table() == cold.to_table()
+        # the re-run rewrote a valid entry
+        assert cache.get(victim) is not None
+
+    def test_partial_entry_is_rerun(self, tmp_path):
+        cold = SweepExecutor(make_sweep(), jobs=1, cache_dir=tmp_path).run(
+            analyze=False
+        )
+        cache = ResultCache(tmp_path)
+        victim = cache.keys()[1]
+        path = cache.entry_path(victim)
+        path.write_text(path.read_text()[:40])  # simulated torn write
+        repaired = SweepExecutor(make_sweep(), jobs=1, cache_dir=tmp_path).run(
+            analyze=False
+        )
+        assert repaired.runs_executed == 1
+        assert repaired.to_table() == cold.to_table()
+
+    def test_cache_shared_across_jobs_settings(self, tmp_path):
+        SweepExecutor(make_sweep(), jobs=2, cache_dir=tmp_path).run(
+            analyze=False
+        )
+        warm = SweepExecutor(make_sweep(), jobs=1, cache_dir=tmp_path).run(
+            analyze=False
+        )
+        assert warm.runs_executed == 0

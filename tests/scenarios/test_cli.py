@@ -52,6 +52,49 @@ class TestSweepCommand:
         assert csv.read_text().startswith("tau,lattice")
 
 
+class TestSweepExecutorFlags:
+    def test_jobs_and_cache_dir_then_warm_resume(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        argv = [
+            "sweep", "taylor-green",
+            "--param", "tau=0.6,0.8",
+            "--steps", "10",
+            "--jobs", "2",
+            "--cache-dir", cache,
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 variants: 2 run, 0 cached" in out
+        assert "source" in out  # provenance column in the CLI table
+
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "2 variants: 0 run, 2 cached" in out
+
+    def test_plain_sweep_is_deterministic_no_timing_column(self, capsys):
+        """The CLI always executes through SweepExecutor, so wall-clock
+        metrics never appear and --jobs N output is byte-identical."""
+        argv = ["sweep", "taylor-green", "--param", "tau=0.6,0.8",
+                "--steps", "10"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert "mflups" not in serial
+        assert "2 variants: 2 run, 0 cached" in serial
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_resume_without_cache_dir_is_an_error(self, capsys):
+        code = main([
+            "sweep", "taylor-green",
+            "--param", "tau=0.6",
+            "--steps", "10",
+            "--resume",
+        ])
+        assert code == 2
+        assert "cache directory" in capsys.readouterr().err
+
+
 class TestLegacyCommands:
     def test_experiment_list_still_works(self, capsys):
         assert main(["--list"]) == 0

@@ -1,0 +1,229 @@
+"""SweepExecutor: parallel determinism, interruption, exact run counts."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import (
+    ResultCache,
+    Sweep,
+    SweepExecutor,
+    SweepManifest,
+    get_case,
+    steady_state,
+)
+from repro.scenarios import executor as executor_module
+
+TAUS = [0.55, 0.7, 0.8, 0.95]
+
+
+def make_sweep(taus=TAUS):
+    return Sweep(
+        "taylor-green", {"tau": list(taus), "shape": [(8, 8, 4)]}, steps=10
+    )
+
+
+class TestDeterminism:
+    def test_jobs1_and_jobs4_bit_identical(self, tmp_path):
+        """The headline guarantee: sharding across 4 processes changes
+        nothing — same tables, same cache keys, same cache bytes."""
+        serial = SweepExecutor(
+            make_sweep(), jobs=1, cache_dir=tmp_path / "serial"
+        ).run(analyze=False)
+        parallel = SweepExecutor(
+            make_sweep(), jobs=4, cache_dir=tmp_path / "parallel"
+        ).run(analyze=False)
+
+        assert serial.to_table() == parallel.to_table()
+        assert serial.to_csv() == parallel.to_csv()
+        assert serial.fingerprints == parallel.fingerprints
+
+        serial_keys = ResultCache(tmp_path / "serial").keys()
+        assert serial_keys == ResultCache(tmp_path / "parallel").keys()
+        assert len(serial_keys) == len(TAUS)
+        for key in serial_keys:
+            assert (tmp_path / "serial" / f"{key}.json").read_bytes() == (
+                tmp_path / "parallel" / f"{key}.json"
+            ).read_bytes()
+
+    def test_uncached_parallel_matches_serial(self, tmp_path):
+        serial = SweepExecutor(make_sweep(TAUS[:2]), jobs=1).run(analyze=False)
+        parallel = SweepExecutor(make_sweep(TAUS[:2]), jobs=2).run(analyze=False)
+        assert serial.to_table() == parallel.to_table()
+        for a, b in zip(serial.results, parallel.results):
+            assert a.series == b.series
+            assert a.metrics == b.metrics
+
+    def test_timing_metrics_stripped_from_payloads(self, tmp_path):
+        result = SweepExecutor(
+            make_sweep(TAUS[:2]), jobs=1, cache_dir=tmp_path
+        ).run(analyze=False)
+        for case_result in result.results:
+            assert "mflups" not in case_result.metrics
+            assert case_result.metrics["steps_run"] == 10
+
+
+class TestInterruptionAndResume:
+    def test_interrupted_after_2_resumes_with_exactly_2_runs(
+        self, tmp_path, monkeypatch
+    ):
+        """The acceptance scenario: a 4-variant sweep dies after 2
+        variants; the resumed sweep executes exactly the missing 2."""
+        real = executor_module._execute_variant
+        calls = []
+
+        def crashing(task):
+            if len(calls) == 2:
+                raise RuntimeError("simulated crash")
+            calls.append(task.fingerprint)
+            return real(task)
+
+        monkeypatch.setattr(executor_module, "_execute_variant", crashing)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            SweepExecutor(make_sweep(), jobs=1, cache_dir=tmp_path).run(
+                analyze=False
+            )
+        assert len(ResultCache(tmp_path).keys()) == 2
+        manifest = SweepManifest.load(tmp_path)
+        assert sorted(manifest.completed) == sorted(calls)
+        assert len(manifest.missing()) == 2
+
+        executed = []
+
+        def counting(task):
+            executed.append(task.fingerprint)
+            return real(task)
+
+        monkeypatch.setattr(executor_module, "_execute_variant", counting)
+        result = SweepExecutor(
+            make_sweep(), jobs=1, cache_dir=tmp_path, resume=True
+        ).run(analyze=False)
+        assert len(executed) == 2
+        assert sorted(executed) == sorted(manifest.missing())
+        assert result.provenance.count("cached") == 2
+        assert result.provenance.count("run") == 2
+        assert result.runs_executed == 2
+        assert SweepManifest.load(tmp_path).complete
+
+    def test_resumed_table_matches_uninterrupted_run(self, tmp_path):
+        uninterrupted = SweepExecutor(make_sweep(), jobs=1).run(analyze=False)
+        # "Interrupt" by completing only the first two variants.
+        SweepExecutor(make_sweep(TAUS[:2]), jobs=1, cache_dir=tmp_path).run(
+            analyze=False
+        )
+        resumed = SweepExecutor(make_sweep(), jobs=2, cache_dir=tmp_path).run(
+            analyze=False
+        )
+        assert resumed.runs_executed == 2
+        assert resumed.provenance == ["cached", "cached", "run", "run"]
+        assert resumed.to_table() == uninterrupted.to_table()
+
+    def test_resume_without_manifest_errors(self, tmp_path):
+        with pytest.raises(ScenarioError, match="nothing to resume"):
+            SweepExecutor(
+                make_sweep(), jobs=1, cache_dir=tmp_path, resume=True
+            ).run(analyze=False)
+
+    def test_resume_different_sweep_errors(self, tmp_path):
+        SweepExecutor(make_sweep(TAUS[:2]), jobs=1, cache_dir=tmp_path).run(
+            analyze=False
+        )
+        other = Sweep(
+            "taylor-green", {"tau": [0.66], "shape": [(8, 8, 4)]}, steps=10
+        )
+        with pytest.raises(ScenarioError, match="different"):
+            SweepExecutor(other, jobs=1, cache_dir=tmp_path, resume=True).run(
+                analyze=False
+            )
+
+    def test_resume_requires_cache_dir(self):
+        with pytest.raises(ScenarioError, match="cache directory"):
+            SweepExecutor(make_sweep(), resume=True)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ScenarioError, match="jobs"):
+            SweepExecutor(make_sweep(), jobs=0)
+
+
+class TestCaseRefPortability:
+    def test_registered_spec_object_pools_fine(self):
+        """A registered spec object resolves to its registry name, so
+        closure-valued fields (steady_state stops) don't hit pickle."""
+        spec = get_case("poiseuille-channel")
+        assert spec.stop_when is not None  # the hazardous field
+        sweep = Sweep(spec, {"tau": [0.9, 1.0]}, steps=10)
+        result = SweepExecutor(sweep, jobs=2).run(analyze=False)
+        assert result.runs_executed == 2
+        assert [r.metrics["steps_run"] for r in result.results] == [10, 10]
+
+    def test_unpicklable_spec_falls_back_to_serial(self):
+        """An unregistered spec holding a closure can't cross a process
+        boundary; jobs>1 silently degrades to the serial path."""
+        spec = dataclasses.replace(
+            get_case("taylor-green"),
+            name="tg-unregistered",
+            stop_when=steady_state(lambda sim: 0.0),
+        )
+        sweep = Sweep(spec, {"tau": [0.6, 0.8], "shape": [(8, 8, 4)]}, steps=10)
+        executor = SweepExecutor(sweep, jobs=2)
+        tasks = {
+            0: executor_module._VariantTask(spec, (("tau", 0.6),), False, "f0"),
+            1: executor_module._VariantTask(spec, (("tau", 0.8),), False, "f1"),
+        }
+        assert not executor._use_pool(tasks)
+        result = executor.run(analyze=False)
+        assert result.runs_executed == 2
+
+    def test_unpicklable_override_value_falls_back_to_serial(self):
+        """Closure-valued sweep *parameters* must not crash the pool
+        path; they degrade to serial just like closure-bearing specs."""
+        sweep = Sweep(
+            "taylor-green",
+            {
+                "profile": [lambda x: x, lambda x: 2 * x],
+                "shape": [(8, 8, 4)],
+            },
+            steps=10,
+        )
+        result = SweepExecutor(sweep, jobs=4).run(analyze=False)
+        assert result.runs_executed == 2
+        assert [r.metrics["steps_run"] for r in result.results] == [10, 10]
+
+
+class TestAnalyzeFlagCaching:
+    def test_analyze_false_entries_not_served_to_analyze_true(self, tmp_path):
+        """Regression: a smoke sweep (analyze=False) must not poison
+        the cache with vacuously-passing, metric-less payloads."""
+        sweep = Sweep("taylor-green", {"tau": [0.7]}, steps=40)
+        smoke = SweepExecutor(sweep, jobs=1, cache_dir=tmp_path).run(
+            analyze=False
+        )
+        assert smoke.results[0].checks == {}
+        full = SweepExecutor(sweep, jobs=1, cache_dir=tmp_path).run(
+            analyze=True
+        )
+        assert full.runs_executed == 1  # cache miss: analyze differs
+        assert "decay_error" in full.results[0].metrics
+        assert full.results[0].checks  # real verdicts, not vacuous PASS
+        # and the analyze=True entry now serves analyze=True warm runs
+        warm = SweepExecutor(sweep, jobs=1, cache_dir=tmp_path).run(
+            analyze=True
+        )
+        assert warm.runs_executed == 0
+
+
+class TestSweepRunDelegation:
+    def test_sweep_run_routes_to_executor(self, tmp_path):
+        result = make_sweep(TAUS[:2]).run(
+            analyze=False, jobs=2, cache_dir=tmp_path
+        )
+        assert result.provenance == ["run", "run"]
+        assert result.runs_executed == 2
+        # Lean results: scalar outcomes only, no simulation attached.
+        assert all(r.simulation is None for r in result.results)
+
+    def test_default_run_keeps_simulations(self):
+        result = make_sweep(TAUS[:2]).run(analyze=False)
+        assert result.provenance is None
+        assert all(r.simulation is not None for r in result.results)

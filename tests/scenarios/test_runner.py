@@ -101,9 +101,9 @@ class TestCheckpointRestart:
         saved = []
         original = CaseRunner.save
 
-        def recording_save(self, path, sim):
+        def recording_save(self, path, sim, series=None):
             saved.append(sim.time_step)
-            return original(self, path, sim)
+            return original(self, path, sim, series=series)
 
         monkeypatch.setattr(CaseRunner, "save", recording_save)
         CaseRunner("taylor-green", shape=(8, 8, 4), steps=26, monitor_every=4).run(
@@ -112,6 +112,50 @@ class TestCheckpointRestart:
         # monitor points at 4,8,...,24,26; saves once >=6 steps have
         # elapsed since the last one, plus the final save
         assert saved == [8, 16, 24, 26]
+
+    def test_resume_restores_series_history(self, tmp_path):
+        """A resumed run carries the pre-checkpoint observable rows, so
+        its full series is bit-identical to an uninterrupted run's."""
+        path = tmp_path / "tg.npz"
+        ref = CaseRunner("taylor-green", **FAST_TG).run(analyze=False)
+        CaseRunner("taylor-green", shape=(8, 8, 4), steps=10, monitor_every=5).run(
+            checkpoint=path, analyze=False
+        )
+        resumed = CaseRunner("taylor-green", **FAST_TG).run(
+            resume=path, analyze=False
+        )
+        assert resumed.series == ref.series
+
+    def test_resume_from_periodic_checkpoint_keeps_history(self, tmp_path):
+        path = tmp_path / "periodic.npz"
+        ref = CaseRunner("taylor-green", **FAST_TG).run(analyze=False)
+        # Periodic saves at 5 and 10, final save at 13.
+        CaseRunner("taylor-green", shape=(8, 8, 4), steps=13, monitor_every=5).run(
+            checkpoint=path, checkpoint_every=5, analyze=False
+        )
+        from repro.core.io import load_checkpoint_data
+
+        assert load_checkpoint_data(path).time_step == 13
+        resumed = CaseRunner("taylor-green", **FAST_TG).run(
+            resume=path, analyze=False
+        )
+        assert resumed.series["step"] == [0.0, 5.0, 10.0, 13.0, 18.0, 20.0]
+        for name, values in ref.series.items():
+            assert values[:3] == resumed.series[name][:3]
+
+    def test_resume_from_pre_series_checkpoint_still_works(self, tmp_path):
+        """Checkpoints written before series support resume fine; the
+        series just starts at the checkpoint step."""
+        from repro.core.io import save_checkpoint
+
+        path = tmp_path / "old.npz"
+        runner = CaseRunner("taylor-green", shape=(8, 8, 4), steps=10)
+        result = runner.run(analyze=False)
+        save_checkpoint(path, result.simulation, extra={"case": "taylor-green"})
+        resumed = CaseRunner("taylor-green", **FAST_TG).run(
+            resume=path, analyze=False
+        )
+        assert resumed.series["step"] == [10.0, 15.0, 20.0]
 
     def test_wrong_case_rejected(self, tmp_path):
         path = tmp_path / "tg.npz"

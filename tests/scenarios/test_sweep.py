@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.scenarios import Sweep, get_case
+from repro.scenarios import CaseResult, CaseSpec, Sweep, SweepResult, get_case
 
 
 class TestExpansion:
@@ -56,3 +56,55 @@ class TestRun:
         result = Sweep("taylor-green", {"tau": [0.7]}, steps=40).run()
         assert "decay_error" in result.to_table()
         assert result.passed
+
+
+class TestColumnOrdering:
+    """Regression: column order must not depend on result iteration
+    order — cached results can arrive in any order."""
+
+    @staticmethod
+    def _lean_result(metrics, series):
+        spec = CaseSpec(name="colorder", title="t", shape=(4, 4, 4))
+        return CaseResult(spec, None, metrics=metrics, series=series)
+
+    def _sweep_result(self, results, variants):
+        return SweepResult(
+            case="colorder",
+            parameters=("tau",),
+            variants=variants,
+            results=results,
+        )
+
+    def test_columns_independent_of_result_order(self):
+        a = self._lean_result(
+            {"steps_run": 5, "alpha": 1.0},
+            {"step": [0.0], "kinetic_energy": [1.0]},
+        )
+        b = self._lean_result(
+            {"steps_run": 5, "beta": 2.0, "alpha": 3.0, "mflups": 1.0},
+            {"step": [0.0], "mass": [1.0], "kinetic_energy": [2.0]},
+        )
+        variants = [{"tau": 0.6}, {"tau": 0.7}]
+        forward = self._sweep_result([a, b], variants)
+        backward = self._sweep_result([b, a], list(reversed(variants)))
+        assert forward._columns() == backward._columns()
+        # always-present metrics lead; the rest is sorted, then finals
+        assert forward._columns() == [
+            "steps_run",
+            "mflups",
+            "alpha",
+            "beta",
+            "final_kinetic_energy",
+            "final_mass",
+        ]
+
+    def test_rows_follow_each_results_own_values(self):
+        a = self._lean_result({"steps_run": 5, "alpha": 1.0}, {"step": [0.0]})
+        b = self._lean_result({"steps_run": 5, "beta": 2.0}, {"step": [0.0]})
+        headers, rows = self._sweep_result(
+            [a, b], [{"tau": 0.6}, {"tau": 0.7}]
+        ).rows()
+        alpha_col = headers.index("alpha")
+        beta_col = headers.index("beta")
+        assert rows[0][alpha_col] == "1" and rows[0][beta_col] == "-"
+        assert rows[1][alpha_col] == "-" and rows[1][beta_col] == "2"
