@@ -1,0 +1,69 @@
+"""Reduce a pytest-benchmark JSON report to a compact perf record.
+
+CI runs ``benchmarks/bench_kernels_real.py`` in smoke mode with
+``--benchmark-json=report.json``, then::
+
+    python benchmarks/export_bench.py report.json BENCH_PR3.json
+
+to distil the per-kernel numbers — MFLUP/s and mean step time — into a
+small stable-schema JSON artifact.  Uploading it per commit gives the
+repo a measured performance trajectory (the executable analogue of the
+paper's single-node tables) without archiving the full pytest report.
+
+Stdlib-only on purpose: the exporter must run in any CI job that can
+run the benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = 1
+
+
+def export(report: dict) -> dict:
+    """The compact perf record for one pytest-benchmark ``report``."""
+    kernels = {}
+    for bench in report.get("benchmarks", []):
+        extra = dict(bench.get("extra_info", {}))
+        entry = {"mean_s": float(bench["stats"]["mean"]), **extra}
+        kernels[str(bench["name"])] = entry
+    machine = report.get("machine_info", {})
+    return {
+        "schema": SCHEMA,
+        "suite": "bench_kernels_real",
+        "python": machine.get("python_version"),
+        "cpu": (machine.get("cpu") or {}).get("brand_raw"),
+        "kernels": kernels,
+    }
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(
+            "usage: python benchmarks/export_bench.py "
+            "<pytest-benchmark-report.json> <out.json>",
+            file=sys.stderr,
+        )
+        return 2
+    report_path, out_path = Path(argv[0]), Path(argv[1])
+    record = export(json.loads(report_path.read_text()))
+    if not record["kernels"]:
+        print(f"error: no benchmarks in {report_path}", file=sys.stderr)
+        return 1
+    out_path.write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
+    mflups = {
+        name: entry.get("mflups")
+        for name, entry in record["kernels"].items()
+        if "mflups" in entry
+    }
+    print(f"wrote {out_path}: {len(record['kernels'])} benchmark(s)")
+    for name in sorted(mflups):
+        print(f"  {name}: {mflups[name]:.2f} MFLUP/s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -17,6 +17,15 @@ Usage::
         --jobs 4 --cache-dir sweep-cache          # parallel + cached
     python -m repro sweep taylor-green --param tau=0.6,0.7,0.8 \
         --jobs 4 --cache-dir sweep-cache --resume # finish what's missing
+
+    python -m repro sweep taylor-green --param tau=0.6,0.7,0.8 \
+        --workers 4 --cache-dir shared            # distributed: 4 workers
+    python -m repro sweep taylor-green --param tau=0.6,0.7,0.8 \
+        --cache-dir shared --publish              # publish work order only
+    python -m repro sweep-worker --cache-dir shared   # run one worker
+                                                      # (any host, any time)
+    python -m repro sweep taylor-green --param tau=0.55,0.6,0.7,0.8,0.95 \
+        --adaptive final_kinetic_energy           # sample, don't enumerate
 """
 
 from __future__ import annotations
@@ -25,7 +34,7 @@ import sys
 
 from .experiments import available_experiments, run_experiment
 
-SCENARIO_COMMANDS = ("case", "cases", "sweep")
+SCENARIO_COMMANDS = ("case", "cases", "sweep", "sweep-worker")
 
 
 def main(argv: list[str] | None = None) -> int:

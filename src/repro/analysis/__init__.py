@@ -2,11 +2,12 @@
 
 from . import paper_reference
 from .ascii_plot import bar_chart
-from .tables import append_column, render_csv, render_table
+from .tables import append_column, diff_rows, render_csv, render_table
 
 __all__ = [
     "append_column",
     "bar_chart",
+    "diff_rows",
     "paper_reference",
     "render_csv",
     "render_table",

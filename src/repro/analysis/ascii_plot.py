@@ -23,7 +23,7 @@ def bar_chart(
         return (title or "") + "\n(no feasible data)"
     peak = max(finite)
     lines = [title] if title else []
-    label_w = max(len(str(l)) for l in labels)
+    label_w = max(len(str(lab)) for lab in labels)
     for label, value in zip(labels, values):
         if value is None:
             lines.append(f"{str(label).rjust(label_w)} | (infeasible)")

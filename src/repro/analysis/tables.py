@@ -1,10 +1,10 @@
-"""Plain-text table rendering for benchmark output."""
+"""Plain-text table rendering and comparison for benchmark output."""
 
 from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["render_table", "render_csv", "append_column"]
+__all__ = ["render_table", "render_csv", "append_column", "diff_rows"]
 
 
 def append_column(
@@ -29,6 +29,59 @@ def append_column(
         list(headers) + [name],
         [list(row) + [value] for row, value in zip(rows, values)],
     )
+
+
+def diff_rows(
+    headers: Sequence[str],
+    rows_a: Sequence[Sequence[object]],
+    rows_b: Sequence[Sequence[object]],
+    key_columns: int = 1,
+) -> "tuple[list[str], list[list[str]]]":
+    """Row-level diff of two tables sharing ``headers``.
+
+    Rows are matched on their first ``key_columns`` cells (for sweep
+    tables: the parameter columns).  The result keeps only differing
+    rows, with a trailing ``change`` column: ``removed`` (key only in
+    ``rows_a``), ``added`` (key only in ``rows_b``) or ``changed``
+    (same key, some cell differs — rendered ``old -> new``).  An empty
+    row list means the tables agree; this is the cache-diff primitive
+    for comparing two sweep runs.
+
+    >>> diff_rows(["tau", "err"], [["0.6", "1e-3"]], [["0.6", "2e-3"]])
+    (['tau', 'err', 'change'], [['0.6', '1e-3 -> 2e-3', 'changed']])
+    """
+    if key_columns < 1 or key_columns > len(headers):
+        raise ValueError(
+            f"key_columns must be in 1..{len(headers)}, got {key_columns}"
+        )
+
+    def index(rows: Sequence[Sequence[object]]) -> dict:
+        table = {}
+        for row in rows:
+            if len(row) != len(headers):
+                raise ValueError(
+                    f"row has {len(row)} cells for {len(headers)} headers"
+                )
+            table[tuple(str(c) for c in row[:key_columns])] = [
+                str(c) for c in row
+            ]
+        return table
+
+    old, new = index(rows_a), index(rows_b)
+    diff: list[list[str]] = []
+    for key, row in old.items():
+        if key not in new:
+            diff.append(row + ["removed"])
+        elif new[key] != row:
+            merged = [
+                cell_a if cell_a == cell_b else f"{cell_a} -> {cell_b}"
+                for cell_a, cell_b in zip(row, new[key])
+            ]
+            diff.append(merged + ["changed"])
+    for key, row in new.items():
+        if key not in old:
+            diff.append(row + ["added"])
+    return list(headers) + ["change"], diff
 
 
 def render_table(

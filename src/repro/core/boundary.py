@@ -204,7 +204,7 @@ class DiffuseWallPair(BoundaryCondition):
         wrapped around from the opposite wall).
         """
         n = f_new.shape[1 + self.axis]
-        layers = [n - 1 - l for l in range(self._k)] if flip else list(range(self._k))
+        layers = [n - 1 - j for j in range(self._k)] if flip else list(range(self._k))
         new_views = [self._layer_view(f_new, layer) for layer in layers]
         old_views = [self._layer_view(f_old, layer) for layer in layers]
         wall_shape = new_views[0].shape[1:]

@@ -13,6 +13,10 @@ restart; this module provides the minimum a downstream user needs:
   order-independent serialization of scalar run outcomes (the basis of
   the scenario sweep result cache, whose keys and payloads must be
   bit-identical across processes and runs);
+* :class:`ClaimRecord` and the claim-file primitives — atomic,
+  filesystem-level exclusive claims on shared resources (the lease
+  files that let distributed sweep workers divide work without a
+  coordinator);
 * :class:`TimeSeriesLogger` — CSV logging of scalar observables during
   a run (plugs into ``Simulation.run(monitor=...)``).
 """
@@ -22,6 +26,8 @@ from __future__ import annotations
 import dataclasses
 import io as _io
 import json
+import os
+import uuid
 from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
 
@@ -29,7 +35,6 @@ import numpy as np
 
 from ..errors import LatticeError
 from ..lattice import get_lattice
-from .moments import macroscopic
 from .simulation import Simulation
 
 __all__ = [
@@ -42,6 +47,12 @@ __all__ = [
     "canonical_json",
     "serialize_result_data",
     "deserialize_result_data",
+    "ClaimRecord",
+    "write_claim",
+    "read_claim",
+    "refresh_claim",
+    "release_claim",
+    "break_claim",
     "TimeSeriesLogger",
 ]
 
@@ -99,6 +110,128 @@ def deserialize_result_data(
     """Inverse of :func:`serialize_result_data`."""
     data = json.loads(text)
     return dict(data["metrics"]), dict(data["series"]), dict(data["checks"])
+
+
+# -- claim records ----------------------------------------------------------
+#
+# A claim file is a filesystem-level mutual-exclusion token: whoever
+# creates it (atomically, O_EXCL) owns the named resource until the
+# file is removed or the claim expires.  Distributed sweep workers use
+# them as per-variant lease files over a shared cache directory; the
+# primitives below are deliberately generic (any "resource" string,
+# any directory) and make no assumption about clocks beyond "loosely
+# synchronised within a TTL".
+#
+# Claims are advisory: the sweep cache commits are content-addressed
+# and idempotent, so a lost race costs a duplicated run, never a wrong
+# result.
+
+
+@dataclasses.dataclass
+class ClaimRecord:
+    """One owner's exclusive claim on a shared resource.
+
+    Attributes
+    ----------
+    owner:
+        Opaque owner token (workers use ``host:pid:nonce``).
+    resource:
+        What is claimed (sweep workers use the variant fingerprint).
+    host / pid:
+        Where the owner runs — lets same-host observers detect a dead
+        owner immediately instead of waiting for the TTL.
+    acquired_at / expires_at:
+        POSIX timestamps; a claim past ``expires_at`` is stale and may
+        be broken by anyone.
+    """
+
+    owner: str
+    resource: str
+    host: str
+    pid: int
+    acquired_at: float
+    expires_at: float
+
+    def to_json(self) -> str:
+        return json.dumps(dataclasses.asdict(self), sort_keys=True)
+
+
+def write_claim(path: str | Path, record: ClaimRecord) -> bool:
+    """Atomically create the claim file; ``False`` if already claimed.
+
+    Uses ``O_CREAT | O_EXCL``, so of any number of concurrent callers
+    exactly one succeeds — including across NFS-style shared mounts.
+    """
+    path = Path(path)
+    try:
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+    except FileExistsError:
+        return False
+    with os.fdopen(fd, "w") as handle:
+        handle.write(record.to_json())
+    return True
+
+
+def read_claim(path: str | Path) -> ClaimRecord | None:
+    """The claim currently on file, or ``None`` if absent/corrupt."""
+    try:
+        raw = json.loads(Path(path).read_text())
+        return ClaimRecord(
+            owner=str(raw["owner"]),
+            resource=str(raw["resource"]),
+            host=str(raw["host"]),
+            pid=int(raw["pid"]),
+            acquired_at=float(raw["acquired_at"]),
+            expires_at=float(raw["expires_at"]),
+        )
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def refresh_claim(path: str | Path, record: ClaimRecord) -> None:
+    """Atomically rewrite a claim (heartbeat / extended expiry).
+
+    Only the owner should refresh; the write goes through a uniquely
+    named temp file + rename so readers never see a torn record.
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.{uuid.uuid4().hex[:8]}.tmp")
+    tmp.write_text(record.to_json())
+    os.replace(tmp, path)
+
+
+def release_claim(path: str | Path, owner: str) -> bool:
+    """Remove the claim if ``owner`` still holds it; ``True`` if removed."""
+    path = Path(path)
+    record = read_claim(path)
+    if record is None or record.owner != owner:
+        return False
+    try:
+        path.unlink()
+    except OSError:
+        return False
+    return True
+
+
+def break_claim(path: str | Path) -> bool:
+    """Forcibly remove a (stale) claim; ``True`` iff *we* removed it.
+
+    Rename-to-unique-then-unlink, so when several observers race to
+    break the same stale claim exactly one of them wins and the claim
+    file disappears exactly once — the winner may then re-acquire with
+    :func:`write_claim` without a window where two fresh claims exist.
+    """
+    path = Path(path)
+    trash = path.with_name(f"{path.name}.broken-{uuid.uuid4().hex[:8]}")
+    try:
+        os.rename(path, trash)
+    except OSError:
+        return False
+    try:
+        trash.unlink()
+    except OSError:  # pragma: no cover - cleanup only
+        pass
+    return True
 
 
 def write_vtk(

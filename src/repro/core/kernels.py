@@ -27,7 +27,6 @@ import numpy as np
 
 from ..lattice import VelocitySet
 from .collision import BGKCollision
-from .equilibrium import equilibrium
 from .streaming import stream_periodic
 
 __all__ = ["LBMKernel", "NaiveKernel", "RollKernel", "FusedGatherKernel"]

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..lattice import VelocitySet
 from .kernels import LBMKernel
 
 __all__ = ["SpaceMajorKernel"]

@@ -21,8 +21,8 @@ from __future__ import annotations
 
 import dataclasses
 
-from ..lattice import VelocitySet, get_lattice
-from ..machine import BLUE_GENE_P, BLUE_GENE_Q
+from ..lattice import get_lattice
+from ..machine import BLUE_GENE_P
 from ..machine.spec import MachineSpec
 from ..parallel.schedules import ExchangeSchedule
 from .cost_model import CostModel, Placement, Workload

@@ -12,7 +12,6 @@ to the addition of the fourth ghost cell".
 from __future__ import annotations
 
 import dataclasses
-import math
 
 from ..errors import OutOfMemoryModelError
 from ..lattice import VelocitySet

@@ -7,36 +7,52 @@ observables; :func:`register_case` puts it in the catalog;
 expands parameter grids into comparison tables; :class:`SweepExecutor`
 shards the variants across worker processes behind a content-addressed
 :class:`ResultCache`, so interrupted sweeps resume and identical sweeps
-replay for free.
+replay for free.  :class:`SweepScheduler` distributes the same variants
+across independent worker processes — on any hosts sharing the cache
+directory — through atomic lease files, and :class:`AdaptiveSampler`
+replaces full Cartesian expansion of large grids with a coarse pass
+plus refinement where a chosen observable changes fastest.
 
 >>> from repro.scenarios import run_case
 >>> result = run_case("taylor-green", steps=100)
 >>> result.passed
 True
 
-CLI: ``python -m repro cases`` / ``case <name>`` / ``sweep <name>``.
+CLI: ``python -m repro cases`` / ``case <name>`` / ``sweep <name>`` /
+``sweep-worker --cache-dir DIR``.
 """
 
-from .cache import ResultCache, SweepManifest
-from .executor import SweepExecutor
+from .cache import CacheDiff, ResultCache, SweepManifest
+from .executor import SweepExecutor, SweepPlan
 from .registry import available_cases, catalog_table, get_case, register_case
 from .runner import CaseResult, CaseRunner, run_case
+from .sampling import AdaptiveSampler
+from .scheduler import LeaseBoard, SweepScheduler, WorkQueue
 from .spec import CaseSpec, steady_state
 from .sweep import Sweep, SweepResult
+from .workers import WorkerReport, run_worker
 
 __all__ = [
+    "AdaptiveSampler",
     "available_cases",
+    "CacheDiff",
     "CaseResult",
     "CaseRunner",
     "CaseSpec",
     "catalog_table",
     "get_case",
+    "LeaseBoard",
     "register_case",
     "ResultCache",
     "run_case",
+    "run_worker",
     "steady_state",
     "Sweep",
     "SweepExecutor",
     "SweepManifest",
+    "SweepPlan",
     "SweepResult",
+    "SweepScheduler",
+    "WorkerReport",
+    "WorkQueue",
 ]

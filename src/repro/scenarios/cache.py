@@ -26,9 +26,14 @@ from typing import Any, Mapping, Sequence
 from ..core.io import canonical_json
 from ..errors import ScenarioError
 
-__all__ = ["ResultCache", "SweepManifest", "sweep_key"]
+__all__ = ["CacheDiff", "ResultCache", "SweepManifest", "sweep_key"]
 
 _ENTRY_VERSION = 1
+
+#: Name of the distributed work order file (written by
+#: :class:`repro.scenarios.scheduler.WorkQueue`); reserved alongside the
+#: manifest so cache key listings never mistake it for an entry.
+QUEUE_FILENAME = "queue.json"
 
 
 def _atomic_write(path: Path, text: str) -> None:
@@ -103,8 +108,61 @@ class ResultCache:
 
     def keys(self) -> tuple[str, ...]:
         """Fingerprints of every readable-looking entry on disk."""
+        reserved = {SweepManifest.FILENAME, QUEUE_FILENAME}
         return tuple(
-            sorted(p.stem for p in self.root.glob("*.json") if p.name != "manifest.json")
+            sorted(p.stem for p in self.root.glob("*.json") if p.name not in reserved)
+        )
+
+    def checksum(self, fingerprint: str) -> str | None:
+        """The payload checksum of one valid entry, else ``None``.
+
+        Validity is exactly :meth:`get`'s — one validator, two views."""
+        data = self.get(fingerprint)
+        return None if data is None else _checksum(data)
+
+    def diff(self, other: "ResultCache") -> "CacheDiff":
+        """Compare two sweep caches entry-by-entry.
+
+        Entries are matched by fingerprint and compared by payload
+        checksum, so two caches populated by different hosts/processes
+        from the same sweep diff as identical — the cache-aware
+        analysis primitive behind "what changed between these two sweep
+        runs?".  Invalid entries count as missing.
+        """
+        mine = {fp: self.checksum(fp) for fp in self.keys()}
+        theirs = {fp: other.checksum(fp) for fp in other.keys()}
+        mine = {fp: c for fp, c in mine.items() if c is not None}
+        theirs = {fp: c for fp, c in theirs.items() if c is not None}
+        shared = set(mine) & set(theirs)
+        return CacheDiff(
+            only_self=tuple(sorted(set(mine) - set(theirs))),
+            only_other=tuple(sorted(set(theirs) - set(mine))),
+            differing=tuple(
+                sorted(fp for fp in shared if mine[fp] != theirs[fp])
+            ),
+            matching=tuple(
+                sorted(fp for fp in shared if mine[fp] == theirs[fp])
+            ),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheDiff:
+    """Outcome of :meth:`ResultCache.diff`, as sorted fingerprint sets."""
+
+    only_self: tuple[str, ...]
+    only_other: tuple[str, ...]
+    differing: tuple[str, ...]
+    matching: tuple[str, ...]
+
+    @property
+    def identical(self) -> bool:
+        return not (self.only_self or self.only_other or self.differing)
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.matching)} matching, {len(self.differing)} differing, "
+            f"{len(self.only_self)} only-left, {len(self.only_other)} only-right"
         )
 
 
@@ -114,7 +172,9 @@ class SweepManifest:
 
     ``completed`` lists variant fingerprints in completion order; the
     executor updates it after every variant so a crash loses at most
-    the in-flight runs.
+    the in-flight runs.  ``workers`` attributes each completion to the
+    worker that ran it (distributed sweeps only; the in-process
+    executor leaves it empty).
     """
 
     path: Path
@@ -122,6 +182,7 @@ class SweepManifest:
     parameters: list[str]
     fingerprints: list[str]
     completed: list[str] = dataclasses.field(default_factory=list)
+    workers: dict[str, str] = dataclasses.field(default_factory=dict)
 
     FILENAME = "manifest.json"
 
@@ -142,6 +203,30 @@ class SweepManifest:
             self.completed.append(fingerprint)
         self.save()
 
+    def record_completion(self, fingerprint: str, worker: str | None = None) -> None:
+        """Merge-save one completion from a possibly concurrent writer.
+
+        Distributed workers share one manifest file; a plain
+        read-modify-write would let two workers erase each other's
+        completions.  Re-reading the on-disk state and unioning before
+        the atomic save narrows the lost-update window to near zero —
+        and a lost update is *only* cosmetic anyway, because completion
+        is always recomputable from the content-addressed cache
+        entries, which each worker writes before recording here.
+        """
+        latest = SweepManifest.load(self.path.parent)
+        if latest is not None and latest.key == self.key:
+            for done in latest.completed:
+                if done not in self.completed:
+                    self.completed.append(done)
+            for done, owner in latest.workers.items():
+                self.workers.setdefault(done, owner)
+        if fingerprint not in self.completed:
+            self.completed.append(fingerprint)
+        if worker is not None:
+            self.workers[fingerprint] = worker
+        self.save()
+
     def save(self) -> Path:
         _atomic_write(
             self.path,
@@ -152,6 +237,7 @@ class SweepManifest:
                     "parameters": self.parameters,
                     "fingerprints": self.fingerprints,
                     "completed": self.completed,
+                    "workers": self.workers,
                 },
                 indent=1,
             ),
@@ -187,6 +273,9 @@ class SweepManifest:
                 parameters=[str(p) for p in raw["parameters"]],
                 fingerprints=[str(f) for f in raw["fingerprints"]],
                 completed=[str(f) for f in raw["completed"]],
+                workers={
+                    str(k): str(v) for k, v in raw.get("workers", {}).items()
+                },
             )
         except (OSError, ValueError, KeyError, TypeError):
             return None

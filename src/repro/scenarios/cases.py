@@ -17,7 +17,7 @@ import numpy as np
 
 from ..core.boundary import BounceBackWalls, DiffuseWallPair, MovingWallBounceBack
 from ..core.collision import RegularizedBGKCollision
-from ..core.initial_conditions import shear_wave, taylor_green, uniform_flow
+from ..core.initial_conditions import shear_wave, taylor_green
 from ..core.moments import macroscopic
 from ..core.observables import (
     enstrophy,

@@ -1,7 +1,7 @@
 """Command-line front end for the scenario subsystem.
 
-Wired into ``python -m repro`` as the ``cases``/``case``/``sweep``
-subcommands; the thin ``examples/*.py`` wrappers call
+Wired into ``python -m repro`` as the ``cases``/``case``/``sweep``/
+``sweep-worker`` subcommands; the thin ``examples/*.py`` wrappers call
 :func:`run_case_cli` / :func:`run_sweep_cli` directly.
 """
 
@@ -15,9 +15,12 @@ from ..errors import ScenarioError
 from .executor import SweepExecutor
 from .registry import catalog_table
 from .runner import CaseRunner
+from .sampling import AdaptiveSampler
+from .scheduler import DEFAULT_LEASE_TTL, SweepScheduler
 from .sweep import Sweep
+from .workers import run_worker
 
-__all__ = ["main", "run_case_cli", "run_sweep_cli"]
+__all__ = ["main", "run_case_cli", "run_sweep_cli", "run_worker_cli"]
 
 
 def _parse_value(text: str) -> Any:
@@ -91,21 +94,87 @@ def run_sweep_cli(
     jobs: int = 1,
     cache_dir: str | None = None,
     resume: bool = False,
+    workers: int | None = None,
+    publish: bool = False,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    adaptive: str | None = None,
+    coarse_stride: int = 2,
+    refine_fraction: float = 0.5,
 ) -> int:
     """Run a sweep, print the comparison table, return an exit code.
 
     ``jobs`` shards variants across a process pool; ``cache_dir``
     enables per-variant result caching (warm re-runs execute nothing);
     ``resume`` continues an interrupted sweep from its manifest.
+    ``workers`` distributes the variants across that many independent
+    worker processes over the shared ``cache_dir`` (the multi-host
+    path: ``publish`` writes the work order and exits so remote
+    ``sweep-worker`` processes can do the running).  ``adaptive``
+    samples the grid — coarse pass, then refinement where the named
+    observable changes fastest — instead of exhaustive expansion.
 
-    Always executes through :class:`SweepExecutor` — even plain serial
+    Always executes through the executor machinery — even plain serial
     sweeps — so the CLI's data columns are deterministic (wall-clock
-    metrics never appear) and byte-identical across ``--jobs`` settings
-    and cache states.
+    metrics never appear) and byte-identical across ``--jobs``,
+    ``--workers`` and cache states.
     """
     sweep = Sweep(name, grid, steps=steps)
-    executor = SweepExecutor(sweep, jobs=jobs, cache_dir=cache_dir, resume=resume)
-    result = executor.run()
+    if (workers is not None or publish) and cache_dir is None:
+        raise ScenarioError(
+            "--workers/--publish need --cache-dir: distributed workers "
+            "coordinate through the shared cache directory"
+        )
+    if workers is not None and jobs != 1:
+        raise ScenarioError(
+            "--workers and --jobs are alternatives: workers are "
+            "independent processes over a shared cache, jobs is one "
+            "process pool (pick one)"
+        )
+    if adaptive is not None and (workers is not None or publish or resume):
+        raise ScenarioError(
+            "--adaptive picks variants from intermediate results, so it "
+            "cannot be combined with --workers/--publish/--resume"
+        )
+
+    if publish:
+        scheduler = SweepScheduler(
+            sweep, cache_dir, workers=0, lease_ttl=lease_ttl, resume=resume
+        )
+        plan, queue = scheduler.publish()
+        print(
+            f"published {len(plan)} variant(s) of {plan.case} to {cache_dir}"
+        )
+        print(
+            f"run workers with: python -m repro sweep-worker "
+            f"--cache-dir {cache_dir}"
+        )
+        return 0
+
+    if adaptive is not None:
+        sampler = AdaptiveSampler(
+            sweep,
+            observable=adaptive,
+            coarse_stride=coarse_stride,
+            refine_fraction=refine_fraction,
+            jobs=jobs,
+            cache_dir=cache_dir,
+        )
+        result = sampler.run()
+    elif workers is not None:
+        scheduler = SweepScheduler(
+            sweep,
+            cache_dir,
+            workers=workers,
+            lease_ttl=lease_ttl,
+            resume=resume,
+        )
+        result = scheduler.run()
+    else:
+        executor = SweepExecutor(
+            sweep, jobs=jobs, cache_dir=cache_dir, resume=resume
+        )
+        result = executor.run()
+
     print(result.to_table(provenance=True))
     if result.provenance is not None:
         cached = len(result.results) - result.runs_executed
@@ -113,11 +182,40 @@ def run_sweep_cli(
             f"{len(result.results)} variants: {result.runs_executed} run, "
             f"{cached} cached"
         )
+    if result.grid_total is not None and result.stages is not None:
+        coarse = sum(1 for stage in result.stages if stage == "coarse")
+        refined = len(result.stages) - coarse
+        print(
+            f"sampled {len(result.results)}/{result.grid_total} grid "
+            f"points ({coarse} coarse + {refined} refined)"
+        )
     if csv is not None:
         with open(csv, "w") as handle:
             handle.write(result.to_csv())
         print(f"wrote {csv}")
     return 0 if result.passed else 1
+
+
+def run_worker_cli(
+    cache_dir: str,
+    *,
+    worker_id: str | None = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    poll: float = 0.5,
+    max_variants: int | None = None,
+    wait: bool = False,
+) -> int:
+    """Run one sweep worker against a published sweep; print its report."""
+    report = run_worker(
+        cache_dir,
+        worker_id=worker_id,
+        lease_ttl=lease_ttl,
+        poll=poll,
+        max_variants=max_variants,
+        wait=wait,
+    )
+    print(report.summary())
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -182,6 +280,101 @@ def build_parser() -> argparse.ArgumentParser:
         help="continue an interrupted sweep recorded in DIR's manifest "
         "(requires --cache-dir)",
     )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="distribute variants across N independent worker processes "
+        "coordinating through --cache-dir lease files (alternative to "
+        "--jobs; the same table, bit for bit)",
+    )
+    sweep.add_argument(
+        "--publish",
+        action="store_true",
+        help="write the work order (queue + manifest) under --cache-dir "
+        "and exit; run the variants with `sweep-worker` processes, "
+        "possibly on other hosts",
+    )
+    sweep.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=DEFAULT_LEASE_TTL,
+        metavar="SECONDS",
+        help="worker lease lifetime; must exceed the longest variant "
+        f"(default: {DEFAULT_LEASE_TTL:g})",
+    )
+    sweep.add_argument(
+        "--adaptive",
+        default=None,
+        metavar="OBSERVABLE",
+        help="sample the grid adaptively instead of exhaustively: coarse "
+        "pass, then refine where OBSERVABLE (a metric name or "
+        "final_<series>) changes fastest",
+    )
+    sweep.add_argument(
+        "--coarse-stride",
+        type=int,
+        default=2,
+        metavar="K",
+        help="adaptive coarse pass keeps every K-th value per axis "
+        "(default: 2)",
+    )
+    sweep.add_argument(
+        "--refine-fraction",
+        type=float,
+        default=0.5,
+        metavar="F",
+        help="fraction of refinable segments, fastest-changing first, "
+        "to fill in (default: 0.5)",
+    )
+
+    worker = sub.add_parser(
+        "sweep-worker",
+        help="claim and run variants of a sweep published with "
+        "`sweep --publish` (launchable on any host sharing the cache dir)",
+    )
+    worker.add_argument(
+        "--cache-dir",
+        required=True,
+        metavar="DIR",
+        help="the shared cache directory the sweep was published to",
+    )
+    worker.add_argument(
+        "--worker-id",
+        default=None,
+        help="label recorded in leases and the manifest "
+        "(default: host:pid:nonce)",
+    )
+    worker.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=DEFAULT_LEASE_TTL,
+        metavar="SECONDS",
+        help="seconds before this worker's unreleased leases count as "
+        "stale and peers may reclaim them",
+    )
+    worker.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="sleep between passes while waiting on peer-held work "
+        "(with --wait)",
+    )
+    worker.add_argument(
+        "--max-variants",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after running N variants (default: no limit)",
+    )
+    worker.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the sweep completes instead of exiting when only "
+        "peer-held work remains (also reclaims stale leases of dead peers)",
+    )
     return parser
 
 
@@ -201,6 +394,15 @@ def main(argv: Sequence[str]) -> int:
                 checkpoint_every=args.checkpoint_every,
                 resume=args.resume,
             )
+        if args.command == "sweep-worker":
+            return run_worker_cli(
+                args.cache_dir,
+                worker_id=args.worker_id,
+                lease_ttl=args.lease_ttl,
+                poll=args.poll,
+                max_variants=args.max_variants,
+                wait=args.wait,
+            )
         return run_sweep_cli(
             args.name,
             _parse_grid(args.params),
@@ -209,6 +411,12 @@ def main(argv: Sequence[str]) -> int:
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             resume=args.resume,
+            workers=args.workers,
+            publish=args.publish,
+            lease_ttl=args.lease_ttl,
+            adaptive=args.adaptive,
+            coarse_stride=args.coarse_stride,
+            refine_fraction=args.refine_fraction,
         )
     except (ScenarioError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

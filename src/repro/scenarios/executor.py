@@ -15,6 +15,14 @@ metrics such as ``mflups`` are stripped because they can never be
 deterministic, and everything else round-trips through canonical JSON
 so a sweep run under ``jobs=4`` emits tables byte-identical to
 ``jobs=1`` and to a warm-cache replay.
+
+The building blocks live at module level so other drivers can reuse
+them: :class:`SweepPlan` is the index-aligned expansion of one sweep
+(variants, overrides, specs, fingerprints), and
+:func:`execute_pending` runs any subset of its tasks through the same
+pool-or-serial machinery.  The distributed scheduler
+(:mod:`repro.scenarios.scheduler`) and the adaptive sampler
+(:mod:`repro.scenarios.sampling`) are both thin layers over these.
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ import json
 import pickle
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
 from ..core.io import serialize_result_data
 from ..errors import ScenarioError
@@ -34,7 +42,14 @@ from .runner import CaseResult, CaseRunner
 from .spec import CaseSpec
 from .sweep import Sweep, SweepResult
 
-__all__ = ["SweepExecutor", "NONDETERMINISTIC_METRICS"]
+__all__ = [
+    "SweepExecutor",
+    "SweepPlan",
+    "execute_pending",
+    "open_cache",
+    "result_from_payload",
+    "NONDETERMINISTIC_METRICS",
+]
 
 #: Metrics derived from wall-clock timing: meaningless to cache, fatal
 #: to determinism, so the executor drops them from every payload.
@@ -81,6 +96,196 @@ def _execute_variant(task: _VariantTask) -> dict[str, Any]:
     return payload
 
 
+def _portable_case_ref(base: CaseSpec) -> CaseSpec | str:
+    """What workers rebuild the case from: the registry name when it
+    resolves back to this very spec (always picklable, and resolvable
+    on *other hosts*), else the spec object itself."""
+    try:
+        if get_case(base.name) is base:
+            return base.name
+    except ScenarioError:
+        pass
+    return base
+
+
+def result_from_payload(
+    spec: CaseSpec, payload: Mapping[str, Any]
+) -> CaseResult:
+    """Rehydrate a lean :class:`CaseResult` (no simulation attached)."""
+    return CaseResult(
+        spec=spec,
+        simulation=None,
+        series={
+            str(k): [float(v) for v in vs]
+            for k, vs in payload["series"].items()
+        },
+        metrics=dict(payload["metrics"]),
+        checks={str(k): bool(v) for k, v in payload["checks"].items()},
+    )
+
+
+def usable_entry(
+    cache: ResultCache | None, fingerprint: str, analyze: bool
+) -> dict[str, Any] | None:
+    """The cached payload for one variant iff it matches this sweep's
+    ``analyze`` mode (an analyze=False smoke payload has no analysis
+    metrics and vacuous checks, so it must never satisfy a full run)."""
+    if cache is None:
+        return None
+    entry = cache.get(fingerprint)
+    if entry is not None and entry.get("analyze") == analyze:
+        return entry
+    return None
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPlan:
+    """Index-aligned expansion of one sweep, in grid order.
+
+    ``variants`` are the raw grid points, ``overrides`` merge the
+    sweep-level step count, ``specs`` are the validated variant specs
+    and ``fingerprints`` their content hashes (the cache keys).  All
+    four lists share indices; every consumer — executor, distributed
+    scheduler, adaptive sampler — derives its work from one plan so
+    their outputs are bit-identical over any subset.
+    """
+
+    case: str
+    parameters: tuple[str, ...]
+    variants: list[dict[str, Any]]
+    overrides: list[dict[str, Any]]
+    specs: list[CaseSpec]
+    fingerprints: list[str]
+    case_ref: CaseSpec | str
+
+    @classmethod
+    def of(cls, sweep: Sweep) -> "SweepPlan":
+        base = sweep.spec
+        # One expansion; overrides/specs/fingerprints are derived views
+        # of it and must stay index-aligned.
+        variants = sweep.expand()
+        overrides = [sweep._with_steps(v) for v in variants]
+        specs = [CaseRunner(base, **o).spec for o in overrides]
+        return cls(
+            case=base.name,
+            parameters=tuple(sweep.parameters),
+            variants=variants,
+            overrides=overrides,
+            specs=specs,
+            fingerprints=[spec.fingerprint() for spec in specs],
+            case_ref=_portable_case_ref(base),
+        )
+
+    def __len__(self) -> int:
+        return len(self.variants)
+
+    def task(self, index: int, analyze: bool) -> _VariantTask:
+        """The picklable work order for one variant."""
+        return _VariantTask(
+            case=self.case_ref,
+            overrides=tuple(sorted(self.overrides[index].items())),
+            analyze=analyze,
+            fingerprint=self.fingerprints[index],
+        )
+
+    def result(
+        self, indices: Iterable[int], payloads: Mapping[int, Mapping[str, Any]],
+        provenance: Mapping[int, str], **extra: Any,
+    ) -> SweepResult:
+        """Assemble a :class:`SweepResult` over ``indices`` (grid order)."""
+        order = sorted(indices)
+        return SweepResult(
+            case=self.case,
+            parameters=self.parameters,
+            variants=[self.variants[i] for i in order],
+            results=[
+                result_from_payload(self.specs[i], payloads[i]) for i in order
+            ],
+            provenance=[provenance[i] for i in order],
+            fingerprints=[self.fingerprints[i] for i in order],
+            **extra,
+        )
+
+
+def _pool_usable(jobs: int, tasks: Mapping[int, _VariantTask]) -> bool:
+    """Pool only when it helps *and* the work orders can cross a
+    process boundary — unregistered specs holding closures (e.g. a
+    ``steady_state`` stop condition) or closure-valued override values
+    silently fall back to the serial path, which produces identical
+    output."""
+    if jobs <= 1 or len(tasks) <= 1:
+        return False
+    try:
+        pickle.dumps(list(tasks.values()))
+    except Exception:
+        return False
+    return True
+
+
+def execute_pending(
+    tasks: Mapping[int, _VariantTask],
+    jobs: int,
+    on_done: Callable[[int, dict[str, Any]], None] | None = None,
+) -> dict[int, dict[str, Any]]:
+    """Run every task, pooled or serial, committing each as it lands.
+
+    ``on_done(index, payload)`` fires immediately after each variant
+    finishes (the cache/manifest commit hook), so a crash mid-batch
+    loses only the in-flight runs.  Both paths run the same
+    :func:`_execute_variant`, so their payloads are bit-identical.
+    """
+    payloads: dict[int, dict[str, Any]] = {}
+    pending = list(tasks)
+    if _pool_usable(jobs, tasks):
+        workers = min(jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute_variant, tasks[i]): i for i in pending
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                payload = future.result()
+                payloads[index] = payload
+                if on_done is not None:
+                    on_done(index, payload)
+    else:
+        for index in pending:
+            payload = _execute_variant(tasks[index])
+            payloads[index] = payload
+            if on_done is not None:
+                on_done(index, payload)
+    return payloads
+
+
+def open_cache(
+    cache_dir: str | Path | None,
+    case: str,
+    parameters: Iterable[str],
+    fingerprints: list[str],
+    resume: bool = False,
+) -> tuple[ResultCache | None, SweepManifest | None]:
+    """The (cache, manifest) pair for one sweep over one directory.
+
+    ``resume=True`` requires a manifest from an earlier interrupted run
+    of this same sweep (a safety latch: resuming a *different* sweep
+    over the same directory is an error, not a silent cache mixup);
+    otherwise a fresh manifest is created unless a matching one exists.
+    """
+    if cache_dir is None:
+        return None, None
+    cache = ResultCache(cache_dir)
+    parameters = list(parameters)
+    if resume:
+        manifest = SweepManifest.resume(cache.root, case, parameters, fingerprints)
+    else:
+        manifest = SweepManifest.load(cache.root)
+        if manifest is None or manifest.fingerprints != fingerprints:
+            manifest = SweepManifest.create(
+                cache.root, case, parameters, fingerprints
+            )
+    return cache, manifest
+
+
 @dataclasses.dataclass
 class SweepExecutor:
     """Run a sweep's variants in parallel, through a result cache.
@@ -119,115 +324,54 @@ class SweepExecutor:
 
     def run(self, *, analyze: bool = True) -> SweepResult:
         """Execute missing variants, reuse cached ones, keep grid order."""
-        sweep = self.sweep
-        base = sweep.spec
-        # One expansion; overrides/specs/fingerprints are derived views
-        # of it and must stay index-aligned.
-        variants = sweep.expand()
-        overrides = [sweep._with_steps(v) for v in variants]
-        specs = [CaseRunner(base, **o).spec for o in overrides]
-        fingerprints = [spec.fingerprint() for spec in specs]
-        case_ref = self._portable_case_ref(base)
-
-        cache, manifest = self._open_cache(base.name, fingerprints)
-        payloads: list[dict[str, Any] | None] = [None] * len(variants)
-        provenance = ["run"] * len(variants)
+        plan = SweepPlan.of(self.sweep)
+        cache, manifest = open_cache(
+            self.cache_dir,
+            plan.case,
+            plan.parameters,
+            plan.fingerprints,
+            resume=self.resume,
+        )
+        payloads: list[dict[str, Any] | None] = [None] * len(plan)
+        provenance = ["run"] * len(plan)
         if cache is not None:
-            for index, fingerprint in enumerate(fingerprints):
-                entry = cache.get(fingerprint)
-                if entry is not None and entry.get("analyze") == analyze:
+            for index, fingerprint in enumerate(plan.fingerprints):
+                entry = usable_entry(cache, fingerprint, analyze)
+                if entry is not None:
                     payloads[index] = entry
                     provenance[index] = "cached"
             if manifest is not None:
-                for fingerprint, payload in zip(fingerprints, payloads):
+                for fingerprint, payload in zip(plan.fingerprints, payloads):
                     if payload is not None and fingerprint not in manifest.completed:
                         manifest.completed.append(fingerprint)
                 manifest.save()
 
         pending = [i for i, payload in enumerate(payloads) if payload is None]
-        tasks = {
-            i: _VariantTask(
-                case=case_ref,
-                overrides=tuple(sorted(overrides[i].items())),
-                analyze=analyze,
-                fingerprint=fingerprints[i],
-            )
-            for i in pending
-        }
-        if self._use_pool(tasks):
-            workers = min(self.jobs, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {pool.submit(_execute_variant, tasks[i]): i for i in pending}
-                for future in as_completed(futures):
-                    index = futures[future]
-                    payload = future.result()
-                    payloads[index] = payload
-                    self._commit(cache, manifest, fingerprints[index], payload)
-        else:
-            for index in pending:
-                payload = _execute_variant(tasks[index])
-                payloads[index] = payload
-                self._commit(cache, manifest, fingerprints[index], payload)
+        tasks = {i: plan.task(i, analyze) for i in pending}
+
+        def commit(index: int, payload: dict[str, Any]) -> None:
+            self._commit(cache, manifest, plan.fingerprints[index], payload)
+
+        for index, payload in execute_pending(tasks, self.jobs, commit).items():
+            payloads[index] = payload
 
         results = [
-            self._result_from_payload(spec, payload)
-            for spec, payload in zip(specs, payloads)
+            result_from_payload(spec, payload)
+            for spec, payload in zip(plan.specs, payloads)
         ]
         return SweepResult(
-            case=base.name,
-            parameters=tuple(sweep.parameters),
-            variants=variants,
+            case=plan.case,
+            parameters=plan.parameters,
+            variants=plan.variants,
             results=results,
             provenance=provenance,
-            fingerprints=fingerprints,
+            fingerprints=plan.fingerprints,
         )
 
     # -- helpers -----------------------------------------------------------
 
-    @staticmethod
-    def _portable_case_ref(base: CaseSpec) -> CaseSpec | str:
-        """What workers rebuild the case from: the registry name when it
-        resolves back to this very spec (always picklable), else the
-        spec object itself."""
-        try:
-            if get_case(base.name) is base:
-                return base.name
-        except ScenarioError:
-            pass
-        return base
-
     def _use_pool(self, tasks: Mapping[int, _VariantTask]) -> bool:
-        """Pool only when it helps *and* the work orders can cross a
-        process boundary — unregistered specs holding closures (e.g. a
-        ``steady_state`` stop condition) or closure-valued override
-        values silently fall back to the serial path, which produces
-        identical output."""
-        if self.jobs <= 1 or len(tasks) <= 1:
-            return False
-        try:
-            pickle.dumps(list(tasks.values()))
-        except Exception:
-            return False
-        return True
-
-    def _open_cache(
-        self, case: str, fingerprints: list[str]
-    ) -> tuple[ResultCache | None, SweepManifest | None]:
-        if self.cache_dir is None:
-            return None, None
-        cache = ResultCache(self.cache_dir)
-        parameters = list(self.sweep.parameters)
-        if self.resume:
-            manifest = SweepManifest.resume(
-                cache.root, case, parameters, fingerprints
-            )
-        else:
-            manifest = SweepManifest.load(cache.root)
-            if manifest is None or manifest.fingerprints != fingerprints:
-                manifest = SweepManifest.create(
-                    cache.root, case, parameters, fingerprints
-                )
-        return cache, manifest
+        return _pool_usable(self.jobs, tasks)
 
     @staticmethod
     def _commit(
@@ -242,16 +386,3 @@ class SweepExecutor:
             cache.put(fingerprint, payload)
         if manifest is not None:
             manifest.mark_complete(fingerprint)
-
-    @staticmethod
-    def _result_from_payload(
-        spec: CaseSpec, payload: Mapping[str, Any]
-    ) -> CaseResult:
-        """Rehydrate a lean :class:`CaseResult` (no simulation attached)."""
-        return CaseResult(
-            spec=spec,
-            simulation=None,
-            series={str(k): [float(v) for v in vs] for k, vs in payload["series"].items()},
-            metrics=dict(payload["metrics"]),
-            checks={str(k): bool(v) for k, v in payload["checks"].items()},
-        )

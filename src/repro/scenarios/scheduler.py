@@ -1,0 +1,436 @@
+"""Distributed sweep scheduling over a shared cache directory.
+
+The paper's strong-scaling study ran the lattice Boltzmann model across
+hundreds of thousands of ranks; this module gives the sweep engine the
+same shape at the campaign level: N independent worker processes —
+launchable on different hosts — divide one sweep's variants between
+them with nothing but a shared directory for coordination.
+
+The coordination substrate is the PR 2 cache layout, extended with two
+artifacts:
+
+``queue.json``
+    The published work order: case name, per-variant overrides and
+    fingerprints, and the analyze mode.  Host-agnostic — a worker needs
+    only this file and the case registry to rebuild each variant.
+``leases/<fingerprint>.lease``
+    Atomic claim files (:class:`~repro.core.io.ClaimRecord`): a worker
+    that creates one owns that variant until it commits or the lease
+    expires.  Stale leases — expired TTL, or a same-host owner whose
+    pid is gone — are reclaimed by any other worker, so a worker killed
+    mid-variant costs one re-run, never a hung sweep.
+
+Correctness never depends on the leases: cache commits are
+content-addressed and idempotent (two workers racing on one variant
+write byte-identical entries), so leases are purely a
+don't-duplicate-work optimisation.  That is what makes the scheduler
+deterministic: ``workers=1``, ``workers=N`` and a warm-cache replay all
+assemble the same payloads in grid order, so their tables are
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import os
+import socket
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..core.io import (
+    ClaimRecord,
+    break_claim,
+    read_claim,
+    refresh_claim,
+    release_claim,
+    write_claim,
+)
+from ..errors import ScenarioError
+from .cache import QUEUE_FILENAME, ResultCache, sweep_key
+from .executor import (
+    SweepPlan,
+    _execute_variant,
+    _VariantTask,
+    open_cache,
+    usable_entry,
+)
+from .sweep import Sweep, SweepResult
+
+__all__ = [
+    "DEFAULT_LEASE_TTL",
+    "LeaseBoard",
+    "SweepScheduler",
+    "WorkItem",
+    "WorkQueue",
+]
+
+#: Default lease lifetime.  Live workers heartbeat their lease every
+#: TTL/4 while a variant runs, so this bounds how long a *killed*
+#: worker's variant stays unclaimable — not how slow a variant may be.
+DEFAULT_LEASE_TTL = 300.0
+
+_QUEUE_VERSION = 1
+LEASE_DIRNAME = "leases"
+
+
+def _retuple(value: Any) -> Any:
+    """Undo JSON's tuple->list coercion on override values.
+
+    The CLI and ``CaseSpec`` use tuples for fixed-arity values
+    (``shape``, ``forcing``); round-tripping through ``queue.json``
+    must hand workers the same types the scheduler fingerprinted."""
+    if isinstance(value, list):
+        return tuple(_retuple(v) for v in value)
+    if isinstance(value, dict):
+        return {str(k): _retuple(v) for k, v in value.items()}
+    return value
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkItem:
+    """One variant of a published sweep, as a worker sees it."""
+
+    index: int
+    overrides: dict[str, Any]
+    fingerprint: str
+
+    def task(self, case: str, analyze: bool) -> _VariantTask:
+        return _VariantTask(
+            case=case,
+            overrides=tuple(sorted(self.overrides.items())),
+            analyze=analyze,
+            fingerprint=self.fingerprint,
+        )
+
+
+@dataclasses.dataclass
+class WorkQueue:
+    """The published work order one sweep exposes to its workers.
+
+    Publishing requires a *registered* case (workers on other hosts
+    rebuild variants from the registry by name) and JSON-serialisable
+    overrides — closures cannot cross hosts.  The queue's ``key`` ties
+    it to the manifest of the same sweep.
+    """
+
+    path: Path
+    case: str
+    parameters: list[str]
+    analyze: bool
+    items: list[WorkItem]
+
+    @property
+    def key(self) -> str:
+        return sweep_key(self.case, [item.fingerprint for item in self.items])
+
+    @classmethod
+    def publish(cls, root: str | Path, plan: SweepPlan, analyze: bool) -> "WorkQueue":
+        """Atomically write the work order for ``plan`` under ``root``."""
+        if not isinstance(plan.case_ref, str):
+            raise ScenarioError(
+                f"distributed sweeps need a registered case; "
+                f"{plan.case!r} does not resolve through the registry"
+            )
+        try:
+            items_json = [
+                {"overrides": overrides, "fingerprint": fingerprint}
+                for overrides, fingerprint in zip(plan.overrides, plan.fingerprints)
+            ]
+            text = json.dumps(
+                {
+                    "version": _QUEUE_VERSION,
+                    "case": plan.case,
+                    "parameters": list(plan.parameters),
+                    "analyze": analyze,
+                    "items": items_json,
+                },
+                indent=1,
+                sort_keys=True,
+            )
+        except (TypeError, ValueError) as exc:
+            raise ScenarioError(
+                "distributed sweeps need JSON-serialisable overrides "
+                f"(case {plan.case!r}): {exc}"
+            ) from exc
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        path = root / QUEUE_FILENAME
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(text)
+        os.replace(tmp, path)
+        return cls.load(root)
+
+    @classmethod
+    def load(cls, root: str | Path) -> "WorkQueue":
+        """Read the work order under ``root``; error if absent/corrupt."""
+        path = Path(root) / QUEUE_FILENAME
+        try:
+            raw = json.loads(path.read_text())
+            if raw["version"] != _QUEUE_VERSION:
+                raise ScenarioError(
+                    f"work queue {path} has version {raw['version']}, "
+                    f"expected {_QUEUE_VERSION}"
+                )
+            items = [
+                WorkItem(
+                    index=index,
+                    overrides={
+                        str(k): _retuple(v)
+                        for k, v in item["overrides"].items()
+                    },
+                    fingerprint=str(item["fingerprint"]),
+                )
+                for index, item in enumerate(raw["items"])
+            ]
+            return cls(
+                path=path,
+                case=str(raw["case"]),
+                parameters=[str(p) for p in raw["parameters"]],
+                analyze=bool(raw["analyze"]),
+                items=items,
+            )
+        except OSError as exc:
+            raise ScenarioError(
+                f"no published sweep under {Path(root)}: {exc} — run "
+                "`repro sweep ... --cache-dir DIR --publish` first"
+            ) from exc
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ScenarioError(f"corrupt work queue {path}: {exc}") from exc
+
+
+class LeaseBoard:
+    """Per-variant lease files under ``<cache root>/leases/``.
+
+    A lease is an advisory, TTL-bounded exclusive claim: acquiring
+    creates ``<fingerprint>.lease`` atomically; releasing removes it;
+    a stale lease (expired, or same-host owner dead) may be reclaimed
+    by anyone.  Because sweep commits are idempotent, every race here
+    degrades to duplicated work, not corruption.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        owner: str | None = None,
+        ttl: float = DEFAULT_LEASE_TTL,
+    ) -> None:
+        if ttl <= 0:
+            raise ScenarioError(f"lease ttl must be positive, got {ttl}")
+        self.dir = Path(root) / LEASE_DIRNAME
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.host = socket.gethostname()
+        self.pid = os.getpid()
+        self.owner = owner or f"{self.host}:{self.pid}:{uuid.uuid4().hex[:8]}"
+        self.ttl = float(ttl)
+
+    def path(self, fingerprint: str) -> Path:
+        return self.dir / f"{fingerprint}.lease"
+
+    def acquire(self, fingerprint: str) -> bool:
+        """Claim one variant; ``False`` if someone else holds it."""
+        now = time.time()
+        record = ClaimRecord(
+            owner=self.owner,
+            resource=fingerprint,
+            host=self.host,
+            pid=self.pid,
+            acquired_at=now,
+            expires_at=now + self.ttl,
+        )
+        return write_claim(self.path(fingerprint), record)
+
+    def holder(self, fingerprint: str) -> ClaimRecord | None:
+        return read_claim(self.path(fingerprint))
+
+    def renew(self, fingerprint: str) -> bool:
+        """Extend our own lease's expiry; ``False`` if we lost it."""
+        record = self.holder(fingerprint)
+        if record is None or record.owner != self.owner:
+            return False
+        record.expires_at = time.time() + self.ttl
+        refresh_claim(self.path(fingerprint), record)
+        return True
+
+    def release(self, fingerprint: str) -> bool:
+        """Drop our own lease (no-op on a lease we no longer hold)."""
+        return release_claim(self.path(fingerprint), self.owner)
+
+    def stale(self, record: ClaimRecord) -> bool:
+        """Expired TTL, or a same-host owner whose process is gone."""
+        if time.time() >= record.expires_at:
+            return True
+        return record.host == self.host and not _pid_alive(record.pid)
+
+    def reclaim(self, fingerprint: str) -> bool:
+        """Break a *stale* lease; ``True`` iff we broke it.
+
+        Staleness is the only criterion — deliberately including leases
+        whose owner string matches ours, so a worker restarted with the
+        same explicit ``--worker-id`` can recover its crashed
+        predecessor's lease (a *live* own lease is never stale).  The
+        caller still has to :meth:`acquire` afterwards — of many
+        concurrent reclaimers exactly one succeeds in breaking, and the
+        subsequent acquire is the usual atomic race.
+        """
+        record = self.holder(fingerprint)
+        if record is None or not self.stale(record):
+            return False
+        return break_claim(self.path(fingerprint))
+
+    def active(self) -> dict[str, ClaimRecord]:
+        """All live (non-stale) leases on the board right now."""
+        leases: dict[str, ClaimRecord] = {}
+        for path in sorted(self.dir.glob("*.lease")):
+            record = read_claim(path)
+            if record is not None and not self.stale(record):
+                leases[record.resource] = record
+        return leases
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):  # exists but not ours
+        return True
+    return True
+
+
+@dataclasses.dataclass
+class SweepScheduler:
+    """Publish a sweep to a shared cache dir and drive N workers over it.
+
+    >>> sweep = Sweep("taylor-green", {"tau": [0.6, 0.7, 0.8]}, steps=50)
+    >>> result = SweepScheduler(sweep, "shared-cache", workers=4).run()
+
+    ``run()`` publishes the work order, launches ``workers`` local
+    worker processes (the same loop ``repro sweep-worker`` runs on a
+    remote host), waits for them, then merges: every variant's payload
+    is read back from the cache in grid order, and any variant no
+    worker completed — all of them crashed, say — is executed inline,
+    so ``run()`` always returns the full sweep.
+
+    Parameters
+    ----------
+    sweep:
+        The sweep to distribute (its case must be registered).
+    cache_dir:
+        The shared coordination directory (cache + manifest + queue +
+        leases).  Required — a distributed sweep without a shared
+        directory is a contradiction.
+    workers:
+        How many local worker processes ``run()`` launches.  ``0``
+        publishes and merges but launches none (useful when every
+        worker runs on another host).
+    analyze:
+        Run analysis/checks hooks in workers (the payload records the
+        mode; mismatched cache entries are re-run, not served).
+    lease_ttl:
+        Lease lifetime handed to launched workers.
+    resume:
+        Require the manifest of an earlier interrupted run of this
+        same sweep.
+    """
+
+    sweep: Sweep
+    cache_dir: str | Path
+    workers: int = 1
+    analyze: bool = True
+    lease_ttl: float = DEFAULT_LEASE_TTL
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ScenarioError(f"workers must be >= 0, got {self.workers}")
+        if self.cache_dir is None:
+            raise ScenarioError("a distributed sweep requires a cache directory")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def publish(self) -> tuple[SweepPlan, WorkQueue]:
+        """Expand the sweep and write queue + manifest under the cache dir."""
+        plan = SweepPlan.of(self.sweep)
+        cache, manifest = open_cache(
+            self.cache_dir,
+            plan.case,
+            plan.parameters,
+            plan.fingerprints,
+            resume=self.resume,
+        )
+        assert cache is not None and manifest is not None
+        queue = WorkQueue.publish(cache.root, plan, self.analyze)
+        return plan, queue
+
+    def run(self) -> SweepResult:
+        """Publish, drive the worker fleet, and merge the full sweep."""
+        from .workers import worker_entry  # cycle: workers run queue items
+
+        plan, _queue = self.publish()
+        cache = ResultCache(self.cache_dir)
+        cached_before = {
+            fingerprint
+            for fingerprint in plan.fingerprints
+            if usable_entry(cache, fingerprint, self.analyze) is not None
+        }
+        if self.workers and len(cached_before) < len(plan):
+            processes = [
+                multiprocessing.Process(
+                    target=worker_entry,
+                    args=(str(cache.root),),
+                    kwargs={
+                        "worker_id": f"w{rank + 1}",
+                        "lease_ttl": self.lease_ttl,
+                    },
+                    daemon=False,
+                )
+                for rank in range(self.workers)
+            ]
+            for process in processes:
+                process.start()
+            for process in processes:
+                process.join()
+        return self.collect(plan, cached_before=cached_before)
+
+    def collect(
+        self,
+        plan: SweepPlan | None = None,
+        cached_before: set[str] = frozenset(),
+    ) -> SweepResult:
+        """Merge the sweep from the shared cache, in grid order.
+
+        Variants the workers completed are attributed to them in the
+        provenance column (``worker:<id>``); variants nobody completed
+        are executed inline (``run``) — leases are ignored at this
+        point because merging happens after the launched fleet exited,
+        and an inline duplicate of some foreign straggler's variant is
+        idempotent anyway.
+        """
+        from .cache import SweepManifest
+
+        if plan is None:
+            plan = SweepPlan.of(self.sweep)
+        cache = ResultCache(self.cache_dir)
+        manifest = SweepManifest.load(cache.root)
+        payloads: dict[int, Mapping[str, Any]] = {}
+        provenance: dict[int, str] = {}
+        for index, fingerprint in enumerate(plan.fingerprints):
+            entry = usable_entry(cache, fingerprint, self.analyze)
+            if entry is None:
+                task = plan.task(index, self.analyze)
+                entry = _execute_variant(task)
+                cache.put(fingerprint, entry)
+                if manifest is not None and manifest.fingerprints == plan.fingerprints:
+                    manifest.record_completion(fingerprint)
+                provenance[index] = "run"
+            elif fingerprint in cached_before:
+                provenance[index] = "cached"
+            else:
+                worker = (manifest.workers if manifest else {}).get(fingerprint)
+                provenance[index] = f"worker:{worker}" if worker else "run"
+            payloads[index] = entry
+        return plan.result(range(len(plan)), payloads, provenance)

@@ -31,8 +31,12 @@ class SweepResult:
     """Outcome of one sweep: variant overrides paired with run results.
 
     ``provenance`` (when the sweep ran through an executor) records per
-    variant whether it was freshly ``"run"`` or served ``"cached"``;
-    ``fingerprints`` carries the matching cache keys.
+    variant whether it was freshly ``"run"``, served ``"cached"``, or
+    completed by a distributed worker (``"worker:<id>"``);
+    ``fingerprints`` carries the matching cache keys.  Adaptively
+    sampled sweeps additionally record the full grid size in
+    ``grid_total`` (the rows cover only the sampled subset) and each
+    row's sampling ``stages`` entry (``"coarse"``/``"refined"``).
     """
 
     case: str
@@ -41,6 +45,8 @@ class SweepResult:
     results: list[CaseResult]
     provenance: list[str] | None = None
     fingerprints: list[str] | None = None
+    grid_total: int | None = None
+    stages: list[str] | None = None
 
     def _columns(self) -> list[str]:
         # Collect over a *sorted* union of names so the column order is
@@ -63,10 +69,11 @@ class SweepResult:
 
     @property
     def runs_executed(self) -> int:
-        """How many variants actually ran (vs served from cache)."""
+        """How many variants actually ran (vs served from cache) —
+        whether by this process (``"run"``) or a worker it launched."""
         if self.provenance is None:
             return len(self.results)
-        return sum(1 for source in self.provenance if source == "run")
+        return sum(1 for source in self.provenance if source != "cached")
 
     def rows(
         self, *, provenance: bool = False
@@ -101,6 +108,8 @@ class SweepResult:
             table.append(row)
         if provenance and self.provenance is not None:
             headers, table = append_column(headers, table, "source", self.provenance)
+        if provenance and self.stages is not None:
+            headers, table = append_column(headers, table, "stage", self.stages)
         return headers, table
 
     def to_table(self, *, provenance: bool = False) -> str:

@@ -1,0 +1,197 @@
+"""Sweep worker processes: claim variants, run them, commit results.
+
+A worker is the unit of distribution: point any number of them — on
+any hosts sharing the cache directory — at a published sweep
+(:class:`~repro.scenarios.scheduler.WorkQueue`) and they divide the
+variants between themselves through atomic lease files, with no
+coordinator in the loop.  ``python -m repro sweep-worker --cache-dir
+DIR`` runs exactly this; ``repro sweep --workers N`` launches N of
+them locally.
+
+The loop per pass, in the queue's grid order:
+
+1. skip variants with a usable cache entry (someone finished them);
+2. try to acquire the variant's lease; if held by someone else, check
+   staleness (expired TTL, or a dead same-host pid) and reclaim;
+3. run the variant, commit the payload to the content-addressed cache,
+   record completion in the shared manifest, release the lease.
+
+A worker exits when every variant has a usable cache entry, or — by
+default — when it can make no progress because live peers hold all
+remaining leases (``wait=True`` polls instead, which also lets a
+waiting worker pick up the leases of peers that die).  Crash recovery
+follows from the commit order: the cache entry is written *before* the
+lease is released, so a worker that dies mid-variant leaves a lease
+that goes stale and a variant that simply re-runs elsewhere.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import threading
+import time
+from pathlib import Path
+from typing import Iterator
+
+from ..errors import ScenarioError
+from . import executor as _executor
+from .cache import ResultCache, SweepManifest
+from .scheduler import DEFAULT_LEASE_TTL, LeaseBoard, WorkQueue
+
+__all__ = ["WorkerReport", "lease_heartbeat", "run_worker", "worker_entry"]
+
+
+@contextlib.contextmanager
+def lease_heartbeat(board: LeaseBoard, fingerprint: str) -> Iterator[None]:
+    """Renew one held lease periodically while the body runs.
+
+    A variant that outlives the lease TTL would otherwise go stale
+    mid-run and get duplicated by every waiting peer; the heartbeat
+    (every TTL/4) keeps a *live* worker's lease live however slow the
+    variant is, while a killed worker's heartbeat dies with it and the
+    lease expires on schedule.  If the lease is lost anyway (stolen
+    after a pause longer than the TTL), the heartbeat just stops — the
+    commit is idempotent, so finishing the run stays correct.
+    """
+    stop = threading.Event()
+    interval = max(board.ttl / 4.0, 0.05)
+
+    def beat() -> None:
+        while not stop.wait(interval):
+            if not board.renew(fingerprint):
+                return  # lease lost: stop heartbeating, keep computing
+
+    thread = threading.Thread(target=beat, daemon=True)
+    thread.start()
+    try:
+        yield
+    finally:
+        stop.set()
+        thread.join()
+
+
+@dataclasses.dataclass
+class WorkerReport:
+    """What one worker did before exiting."""
+
+    worker_id: str
+    completed: list[str] = dataclasses.field(default_factory=list)
+    reclaimed: list[str] = dataclasses.field(default_factory=list)
+    already_cached: int = 0
+
+    def summary(self) -> str:
+        reclaim = (
+            f", {len(self.reclaimed)} reclaimed from stale leases"
+            if self.reclaimed
+            else ""
+        )
+        return (
+            f"worker {self.worker_id}: ran {len(self.completed)} variant(s)"
+            f"{reclaim}, {self.already_cached} already cached"
+        )
+
+
+def run_worker(
+    cache_dir: str | Path,
+    *,
+    worker_id: str | None = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    poll: float = 0.5,
+    max_variants: int | None = None,
+    wait: bool = False,
+) -> WorkerReport:
+    """Claim and run variants of the sweep published under ``cache_dir``.
+
+    Parameters
+    ----------
+    worker_id:
+        Label recorded in leases and the manifest (default: a unique
+        ``host:pid:nonce`` token).
+    lease_ttl:
+        Seconds before an unreleased lease counts as stale.  A live
+        worker heartbeats its lease every TTL/4 while a variant runs
+        (:func:`lease_heartbeat`), so the TTL bounds how long a *dead*
+        worker's variant stays blocked, not how slow a variant may be.
+    poll:
+        Sleep between passes when ``wait=True`` and peers hold all
+        remaining leases.
+    max_variants:
+        Stop after running this many variants (``None`` = no limit).
+    wait:
+        Keep polling until the sweep completes instead of exiting when
+        only peer-held work remains.
+    """
+    root = Path(cache_dir)
+    queue = WorkQueue.load(root)
+    cache = ResultCache(root)
+    manifest = SweepManifest.load(root)
+    board = LeaseBoard(root, owner=worker_id, ttl=lease_ttl)
+    report = WorkerReport(worker_id=board.owner)
+
+    def count_cached() -> int:
+        cached = 0
+        for item in queue.items:
+            if _executor.usable_entry(cache, item.fingerprint, queue.analyze):
+                cached += 1
+        return cached - len(report.completed)
+
+    while True:
+        ran_this_pass = 0
+        blocked = 0
+        for item in queue.items:
+            if max_variants is not None and len(report.completed) >= max_variants:
+                report.already_cached = count_cached()
+                return report
+            if _executor.usable_entry(cache, item.fingerprint, queue.analyze):
+                continue
+            if not board.acquire(item.fingerprint):
+                if board.reclaim(item.fingerprint):
+                    report.reclaimed.append(item.fingerprint)
+                if not board.acquire(item.fingerprint):
+                    blocked += 1
+                    continue
+            try:
+                # Re-check under the lease: a peer may have committed
+                # between our cache probe and the acquire.
+                if _executor.usable_entry(cache, item.fingerprint, queue.analyze):
+                    continue
+                task = item.task(queue.case, queue.analyze)
+                with lease_heartbeat(board, item.fingerprint):
+                    payload = _executor._execute_variant(task)
+                cache.put(item.fingerprint, payload)
+                if manifest is not None and manifest.key == queue.key:
+                    manifest.record_completion(item.fingerprint, worker=board.owner)
+                report.completed.append(item.fingerprint)
+                ran_this_pass += 1
+            finally:
+                board.release(item.fingerprint)
+
+        report.already_cached = count_cached()
+        if blocked == 0 and ran_this_pass == 0:
+            return report  # every variant has a usable entry
+        if blocked and ran_this_pass == 0:
+            if not wait:
+                return report  # live peers hold the rest; let them finish
+            time.sleep(poll)
+        # made progress (or reclaimed): scan again immediately
+
+
+def worker_entry(
+    cache_dir: str,
+    worker_id: str | None = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    wait: bool = False,
+) -> None:
+    """Process entry point for scheduler-launched local workers."""
+    try:
+        report = run_worker(
+            cache_dir,
+            worker_id=worker_id,
+            lease_ttl=lease_ttl,
+            wait=wait,
+        )
+    except ScenarioError as exc:  # pragma: no cover - defensive
+        print(f"worker error: {exc}")
+        raise SystemExit(2)
+    print(report.summary())

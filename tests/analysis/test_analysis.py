@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis import append_column, bar_chart, render_table
+from repro.analysis import append_column, bar_chart, diff_rows, render_table
 from repro.analysis.paper_reference import FIG8_ENDPOINTS, TABLE2
 
 
@@ -11,7 +11,7 @@ class TestRenderTable:
         out = render_table(["col", "x"], [["a", 1], ["bbbb", 22]])
         lines = out.splitlines()
         assert lines[0].startswith("col")
-        assert all("|" in l for l in (lines[0], lines[2], lines[3]))
+        assert all("|" in line for line in (lines[0], lines[2], lines[3]))
         # columns aligned: separator positions identical
         assert lines[2].index("|") == lines[3].index("|")
 
@@ -31,6 +31,45 @@ class TestAppendColumn:
     def test_length_mismatch_rejected(self):
         with pytest.raises(ValueError, match="src"):
             append_column(["a"], [[1]], "src", ["run", "cached"])
+
+
+class TestDiffRows:
+    HEADERS = ["tau", "err", "check"]
+    OLD = [["0.6", "1e-3", "PASS"], ["0.8", "2e-3", "PASS"]]
+
+    def test_identical_tables_diff_empty(self):
+        headers, rows = diff_rows(self.HEADERS, self.OLD, self.OLD)
+        assert headers == self.HEADERS + ["change"]
+        assert rows == []
+
+    def test_changed_cells_render_old_arrow_new(self):
+        new = [["0.6", "1e-3", "PASS"], ["0.8", "5e-3", "FAIL"]]
+        _, rows = diff_rows(self.HEADERS, self.OLD, new)
+        assert rows == [
+            ["0.8", "2e-3 -> 5e-3", "PASS -> FAIL", "changed"]
+        ]
+
+    def test_added_and_removed_keys(self):
+        new = [["0.6", "1e-3", "PASS"], ["0.9", "9e-3", "PASS"]]
+        _, rows = diff_rows(self.HEADERS, self.OLD, new)
+        assert ["0.8", "2e-3", "PASS", "removed"] in rows
+        assert ["0.9", "9e-3", "PASS", "added"] in rows
+        assert len(rows) == 2
+
+    def test_multi_column_keys(self):
+        headers = ["tau", "lattice", "err"]
+        old = [["0.6", "D3Q19", "1"], ["0.6", "D3Q27", "2"]]
+        new = [["0.6", "D3Q19", "1"], ["0.6", "D3Q27", "3"]]
+        _, rows = diff_rows(headers, old, new, key_columns=2)
+        assert rows == [["0.6", "D3Q27", "2 -> 3", "changed"]]
+
+    def test_bad_key_columns_rejected(self):
+        with pytest.raises(ValueError, match="key_columns"):
+            diff_rows(self.HEADERS, self.OLD, self.OLD, key_columns=0)
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            diff_rows(self.HEADERS, [["only-one"]], self.OLD)
 
 
 class TestBarChart:

@@ -9,9 +9,7 @@ from repro.core import (
     GuoForcing,
     MovingWallBounceBack,
     Simulation,
-    equilibrium,
     macroscopic,
-    stream_periodic,
     total_mass,
     uniform_flow,
     velocity_profile,

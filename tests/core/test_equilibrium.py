@@ -5,7 +5,6 @@ import pytest
 
 from repro.core import equilibrium, equilibrium_order_for
 from repro.errors import LatticeError
-from repro.lattice import get_lattice
 
 
 class TestOrderResolution:

@@ -14,7 +14,6 @@ from repro.core import (
     total_momentum,
     uniform_flow,
 )
-from repro.lattice import get_lattice
 
 
 class TestMasks:

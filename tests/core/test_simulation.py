@@ -5,7 +5,6 @@ import pytest
 
 from repro.core import (
     Simulation,
-    density_pulse,
     kinetic_energy,
     macroscopic,
     shear_wave,

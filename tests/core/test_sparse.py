@@ -6,7 +6,6 @@ import pytest
 from repro.core import Simulation, shear_wave
 from repro.core.sparse import SparseDomain, SparseSimulation
 from repro.errors import LatticeError
-from repro.lattice import get_lattice
 
 
 class TestSparseDomain:

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import stream_padded, stream_periodic
-from repro.lattice import get_lattice
 
 
 class TestPeriodicStreaming:

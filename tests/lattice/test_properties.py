@@ -3,7 +3,6 @@
 from fractions import Fraction
 
 import hypothesis.strategies as st
-import numpy as np
 from hypothesis import given, settings
 
 from repro.lattice import (

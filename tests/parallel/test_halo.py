@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import HaloValidityError
-from repro.lattice import get_lattice
 from repro.parallel import HaloSlab, HaloSpec
 
 

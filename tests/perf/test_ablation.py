@@ -1,6 +1,5 @@
 """Tests for the cost-model ablations."""
 
-import pytest
 
 from repro.perf import (
     ablate_depth_consolidation,

@@ -1,7 +1,6 @@
 """Tests for the jitter model and the comm-time event simulator."""
 
 import numpy as np
-import pytest
 
 from repro.parallel.schedules import ExchangeSchedule
 from repro.perf import JitterModel, simulate_comm_times

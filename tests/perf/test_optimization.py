@@ -10,7 +10,7 @@ from repro.perf import LADDER, OptimizationLevel, base_params, effect_note, ladd
 
 class TestLadderStructure:
     def test_order_matches_fig8_axis(self):
-        assert [l.value for l in LADDER] == [
+        assert [level.value for level in LADDER] == [
             "Orig",
             "GC",
             "DH",

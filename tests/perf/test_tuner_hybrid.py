@@ -8,7 +8,6 @@ from repro.machine import BLUE_GENE_P, BLUE_GENE_Q
 from repro.perf import (
     Placement,
     Workload,
-    base_params,
     best_point,
     depth_table,
     ladder_states,

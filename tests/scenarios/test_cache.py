@@ -141,3 +141,73 @@ class TestWarmCacheSweeps:
             analyze=False
         )
         assert warm.runs_executed == 0
+
+
+class TestConcurrentManifest:
+    def make_manifest(self, root):
+        return SweepManifest.create(root, "case", ["tau"], ["f1", "f2", "f3"])
+
+    def test_record_completion_merges_concurrent_writers(self, tmp_path):
+        """Two in-memory manifests (two workers) over one file: neither
+        erases the other's completions."""
+        a = self.make_manifest(tmp_path)
+        b = SweepManifest.load(tmp_path)
+        a.record_completion("f1", worker="wa")
+        b.record_completion("f2", worker="wb")
+        merged = SweepManifest.load(tmp_path)
+        assert sorted(merged.completed) == ["f1", "f2"]
+        assert merged.workers == {"f1": "wa", "f2": "wb"}
+
+    def test_record_completion_ignores_foreign_manifest(self, tmp_path):
+        mine = self.make_manifest(tmp_path)
+        SweepManifest.create(tmp_path, "other-case", ["kn"], ["g1"]).save()
+        mine.record_completion("f1")
+        assert mine.completed == ["f1"]  # no union with the foreign sweep
+
+    def test_workers_map_roundtrips(self, tmp_path):
+        manifest = self.make_manifest(tmp_path)
+        manifest.record_completion("f3", worker="w9")
+        assert SweepManifest.load(tmp_path).workers == {"f3": "w9"}
+
+    def test_legacy_manifest_without_workers_loads(self, tmp_path):
+        manifest = self.make_manifest(tmp_path)
+        raw = json.loads(manifest.path.read_text())
+        del raw["workers"]
+        manifest.path.write_text(json.dumps(raw))
+        assert SweepManifest.load(tmp_path).workers == {}
+
+
+class TestCacheDiff:
+    def test_identical_caches(self, tmp_path):
+        a = ResultCache(tmp_path / "a")
+        b = ResultCache(tmp_path / "b")
+        a.put("f1", PAYLOAD)
+        b.put("f1", PAYLOAD)
+        diff = a.diff(b)
+        assert diff.identical
+        assert diff.matching == ("f1",)
+        assert "1 matching" in diff.summary()
+
+    def test_differing_and_one_sided_entries(self, tmp_path):
+        a = ResultCache(tmp_path / "a")
+        b = ResultCache(tmp_path / "b")
+        a.put("shared", PAYLOAD)
+        b.put("shared", {**PAYLOAD, "metrics": {"steps_run": 99}})
+        a.put("only-a", PAYLOAD)
+        b.put("only-b", PAYLOAD)
+        diff = a.diff(b)
+        assert not diff.identical
+        assert diff.differing == ("shared",)
+        assert diff.only_self == ("only-a",)
+        assert diff.only_other == ("only-b",)
+
+    def test_invalid_entries_count_as_missing(self, tmp_path):
+        a = ResultCache(tmp_path / "a")
+        b = ResultCache(tmp_path / "b")
+        a.put("f1", PAYLOAD)
+        b.put("f1", PAYLOAD)
+        (b.root / "f1.json").write_text("{torn")
+        diff = a.diff(b)
+        assert diff.only_self == ("f1",)
+        assert a.checksum("f1") is not None
+        assert b.checksum("f1") is None

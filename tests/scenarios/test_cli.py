@@ -95,6 +95,122 @@ class TestSweepExecutorFlags:
         assert "cache directory" in capsys.readouterr().err
 
 
+class TestErrorPaths:
+    """Every malformed invocation exits 2 with a message on stderr."""
+
+    def test_unknown_case_name(self, capsys):
+        code = main(["case", "no-such-case", "--steps", "10"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown case" in err
+        assert "taylor-green" in err  # lists what *is* available
+
+    def test_unknown_sweep_case_name(self, capsys):
+        code = main(["sweep", "no-such-case", "--param", "tau=0.6"])
+        assert code == 2
+        assert "unknown case" in capsys.readouterr().err
+
+    def test_malformed_param_no_equals(self, capsys):
+        code = main(["sweep", "taylor-green", "--param", "tau"])
+        assert code == 2
+        assert "expected key=v1,v2" in capsys.readouterr().err
+
+    def test_malformed_param_empty_values(self, capsys):
+        code = main(["sweep", "taylor-green", "--param", "tau="])
+        assert code == 2
+        assert "expected key=v1,v2" in capsys.readouterr().err
+
+    def test_malformed_set_assignment(self, capsys):
+        code = main(["case", "taylor-green", "--set", "tau"])
+        assert code == 2
+        assert "expected key=value" in capsys.readouterr().err
+
+    def test_workers_without_cache_dir(self, capsys):
+        code = main(["sweep", "taylor-green", "--param", "tau=0.6",
+                     "--steps", "10", "--workers", "2"])
+        assert code == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_publish_without_cache_dir(self, capsys):
+        code = main(["sweep", "taylor-green", "--param", "tau=0.6",
+                     "--steps", "10", "--publish"])
+        assert code == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_workers_and_jobs_conflict(self, tmp_path, capsys):
+        code = main(["sweep", "taylor-green", "--param", "tau=0.6",
+                     "--steps", "10", "--workers", "2", "--jobs", "2",
+                     "--cache-dir", str(tmp_path)])
+        assert code == 2
+        assert "alternatives" in capsys.readouterr().err
+
+    def test_adaptive_conflicts_with_workers(self, tmp_path, capsys):
+        code = main(["sweep", "taylor-green", "--param", "tau=0.6,0.7,0.8",
+                     "--steps", "10", "--adaptive", "steps_run",
+                     "--workers", "2", "--cache-dir", str(tmp_path)])
+        assert code == 2
+        assert "--adaptive" in capsys.readouterr().err
+
+    def test_worker_against_unpublished_dir(self, tmp_path, capsys):
+        code = main(["sweep-worker", "--cache-dir", str(tmp_path)])
+        assert code == 2
+        assert "no published sweep" in capsys.readouterr().err
+
+    def test_adaptive_unknown_observable(self, tmp_path, capsys):
+        code = main(["sweep", "taylor-green",
+                     "--param", "tau=0.6,0.7,0.8", "--steps", "10",
+                     "--adaptive", "bogus"])
+        assert code == 2
+        assert "unknown observable" in capsys.readouterr().err
+
+
+class TestDistributedCommands:
+    ARGS = ["--param", "tau=0.6,0.8", "--steps", "10"]
+
+    def test_publish_then_worker_then_merge(self, tmp_path, capsys):
+        cache = str(tmp_path / "shared")
+        assert main(["sweep", "taylor-green", *self.ARGS,
+                     "--cache-dir", cache, "--publish"]) == 0
+        out = capsys.readouterr().out
+        assert "published 2 variant(s)" in out
+        assert "sweep-worker" in out  # launch recipe printed
+
+        assert main(["sweep-worker", "--cache-dir", cache,
+                     "--worker-id", "t1"]) == 0
+        out = capsys.readouterr().out
+        assert "worker t1: ran 2 variant(s)" in out
+
+        assert main(["sweep", "taylor-green", *self.ARGS,
+                     "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "2 variants: 0 run, 2 cached" in out
+
+    def test_workers_flag_matches_serial_output(self, tmp_path, capsys):
+        serial_csv = tmp_path / "serial.csv"
+        dist_csv = tmp_path / "dist.csv"
+        assert main(["sweep", "taylor-green", *self.ARGS,
+                     "--csv", str(serial_csv)]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "taylor-green", *self.ARGS,
+                     "--workers", "2", "--cache-dir", str(tmp_path / "c"),
+                     "--csv", str(dist_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "2 variants: 2 run, 0 cached" in out
+        assert serial_csv.read_bytes() == dist_csv.read_bytes()
+
+
+class TestAdaptiveCommand:
+    def test_adaptive_samples_strict_subset(self, capsys):
+        code = main(["sweep", "taylor-green",
+                     "--param", "tau=0.55,0.6,0.7,0.8,0.95",
+                     "--steps", "10",
+                     "--adaptive", "final_kinetic_energy"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sampled 4/5 grid points (3 coarse + 1 refined)" in out
+        assert "stage" in out  # per-row stage column in the CLI table
+
+
 class TestLegacyCommands:
     def test_experiment_list_still_works(self, capsys):
         assert main(["--list"]) == 0

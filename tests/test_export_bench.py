@@ -1,0 +1,78 @@
+"""The CI benchmark exporter (benchmarks/export_bench.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+EXPORTER = Path(__file__).resolve().parent.parent / "benchmarks" / "export_bench.py"
+
+
+def load_exporter():
+    spec = importlib.util.spec_from_file_location("export_bench", EXPORTER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+REPORT = {
+    "machine_info": {
+        "python_version": "3.12.0",
+        "cpu": {"brand_raw": "Test CPU"},
+    },
+    "benchmarks": [
+        {
+            "name": "test_kernel_throughput[RollKernel-D3Q19]",
+            "stats": {"mean": 0.01},
+            "extra_info": {"mflups": 3.28, "bytes_per_cell": 456},
+        },
+        {
+            "name": "test_d3q39_costs_about_double",
+            "stats": {"mean": 0.0001},
+            "extra_info": {"measured_ratio": 2.4, "paper_ratio": 2.05},
+        },
+    ],
+}
+
+
+class TestExport:
+    def test_record_shape(self):
+        record = load_exporter().export(REPORT)
+        assert record["schema"] == 1
+        assert record["suite"] == "bench_kernels_real"
+        assert record["cpu"] == "Test CPU"
+        kernels = record["kernels"]
+        assert kernels["test_kernel_throughput[RollKernel-D3Q19]"] == {
+            "mean_s": 0.01,
+            "mflups": 3.28,
+            "bytes_per_cell": 456,
+        }
+        assert "measured_ratio" in kernels["test_d3q39_costs_about_double"]
+
+    def test_empty_report_exports_no_kernels(self):
+        assert load_exporter().export({"benchmarks": []})["kernels"] == {}
+
+
+class TestMain:
+    def test_writes_artifact_and_prints_mflups(self, tmp_path, capsys):
+        module = load_exporter()
+        report = tmp_path / "report.json"
+        out = tmp_path / "BENCH_PR3.json"
+        report.write_text(json.dumps(REPORT))
+        assert module.main([str(report), str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "2 benchmark(s)" in captured
+        assert "3.28 MFLUP/s" in captured
+        record = json.loads(out.read_text())
+        assert record["schema"] == 1
+        assert len(record["kernels"]) == 2
+
+    def test_usage_error(self, capsys):
+        assert load_exporter().main(["just-one-arg"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_empty_report_fails(self, tmp_path, capsys):
+        module = load_exporter()
+        report = tmp_path / "report.json"
+        report.write_text(json.dumps({"benchmarks": []}))
+        assert module.main([str(report), str(tmp_path / "out.json")]) == 1
+        assert "no benchmarks" in capsys.readouterr().err
