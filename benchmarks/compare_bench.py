@@ -1,0 +1,107 @@
+"""Gate MFLUP/s regressions between two exported bench records.
+
+CI produces a fresh BENCH_PRn.json (see export_bench.py) and compares
+it against the committed baseline of the previous PR::
+
+    python benchmarks/compare_bench.py BENCH_PR3.json BENCH_PR4.json \
+        --kernel roll --max-regression 0.30
+
+The gate is deliberately narrow: it watches one kernel (default: the
+roll kernel, present in every suite revision) per lattice, at float64,
+and fails only on a drop larger than ``--max-regression`` — wide enough
+to absorb host-to-host and run-to-run noise, tight enough to catch a
+real hot-loop regression.  Stdlib-only, like the exporter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+LATTICES = ("D3Q19", "D3Q39")
+
+
+def kernel_mflups(record: dict, kernel: str) -> dict[str, float]:
+    """Per-lattice float64 MFLUP/s of ``kernel`` in one bench record.
+
+    Matches case-insensitively by benchmark-name substring (or the
+    ``kernel`` extra-info field) so the gate survives suite
+    reparameterisations: PR3 named entries ``[RollKernel-D3Q19]``, PR4
+    names them ``[roll-float64-D3Q19]``.  float32 entries are excluded.
+    """
+    found: dict[str, float] = {}
+    for name, entry in record.get("kernels", {}).items():
+        lowered = name.lower()
+        if kernel.lower() not in lowered and entry.get("kernel") != kernel:
+            continue
+        if "float32" in lowered or entry.get("dtype") == "float32":
+            continue
+        value = entry.get("mflups")
+        if value is None:
+            continue
+        for lattice in LATTICES:
+            if lattice.lower() in lowered:
+                found[lattice] = float(value)
+    return found
+
+
+def compare(
+    baseline: dict, current: dict, kernel: str, max_regression: float
+) -> tuple[bool, list[str]]:
+    """(ok, report lines) for one baseline/current record pair."""
+    base = kernel_mflups(baseline, kernel)
+    new = kernel_mflups(current, kernel)
+    lines: list[str] = []
+    ok = True
+    shared = sorted(set(base) & set(new))
+    if not shared:
+        return False, [
+            f"no comparable {kernel} float64 entries "
+            f"(baseline has {sorted(base)}, current has {sorted(new)})"
+        ]
+    for lattice in shared:
+        ratio = new[lattice] / base[lattice]
+        verdict = "ok"
+        if ratio < 1.0 - max_regression:
+            verdict = f"REGRESSION beyond {max_regression:.0%}"
+            ok = False
+        lines.append(
+            f"{kernel} {lattice}: {base[lattice]:.2f} -> {new[lattice]:.2f} "
+            f"MFLUP/s ({ratio:.2f}x) {verdict}"
+        )
+    return ok, lines
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed reference record")
+    parser.add_argument("current", type=Path, help="freshly measured record")
+    parser.add_argument(
+        "--kernel",
+        default="roll",
+        help="kernel to gate on (name substring; default: roll)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        metavar="FRACTION",
+        help="maximum tolerated MFLUP/s drop (default: 0.30)",
+    )
+    args = parser.parse_args(argv)
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+    ok, lines = compare(baseline, current, args.kernel, args.max_regression)
+    for line in lines:
+        print(line)
+    if not ok:
+        print("bench regression gate FAILED", file=sys.stderr)
+        return 1
+    print("bench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

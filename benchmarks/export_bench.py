@@ -20,7 +20,10 @@ import json
 import sys
 from pathlib import Path
 
-SCHEMA = 1
+#: Schema 2 (PR 4): entries may carry ``kernel``/``dtype`` extra-info
+#: keys now that the suite measures the planned kernel and the float32
+#: dtype-policy rungs alongside the historic float64 kernels.
+SCHEMA = 2
 
 
 def export(report: dict) -> dict:

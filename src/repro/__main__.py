@@ -26,6 +26,11 @@ Usage::
                                                       # (any host, any time)
     python -m repro sweep taylor-green --param tau=0.55,0.6,0.7,0.8,0.95 \
         --adaptive final_kinetic_energy           # sample, don't enumerate
+    python -m repro sweep-status --cache-dir shared  # progress + leases
+
+    python -m repro case taylor-green --kernel planned --dtype float32
+    python -m repro sweep taylor-green --param kernel=roll,planned \
+        --param dtype=float32,float64 --steps 50  # sweep the kernel ladder
 """
 
 from __future__ import annotations
@@ -34,7 +39,7 @@ import sys
 
 from .experiments import available_experiments, run_experiment
 
-SCENARIO_COMMANDS = ("case", "cases", "sweep", "sweep-worker")
+SCENARIO_COMMANDS = ("case", "cases", "sweep", "sweep-worker", "sweep-status")
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -13,7 +13,12 @@ from .collision import (
     viscosity_from_tau,
 )
 from .equilibrium import equilibrium, equilibrium_order_for
-from .fields import DistributionField
+from .fields import (
+    SUPPORTED_DTYPES,
+    DistributionField,
+    compute_dtype,
+    resolve_dtype,
+)
 from .forcing import GuoForcing
 from .io import (
     CheckpointData,
@@ -36,6 +41,15 @@ from .initial_conditions import (
 )
 from .kernels import FusedGatherKernel, LBMKernel, NaiveKernel, RollKernel
 from .layout import SpaceMajorKernel
+from .plan import (
+    AUTO_KERNEL,
+    DEFAULT_KERNEL,
+    KernelPlan,
+    PlannedKernel,
+    auto_select_kernel,
+    available_kernels,
+    make_kernel,
+)
 from .mrt import HermiteMRTCollision
 from .obstacles import (
     channel_walls_mask,
@@ -76,8 +90,18 @@ from .units import (
 )
 
 __all__ = [
+    "AUTO_KERNEL",
+    "auto_select_kernel",
+    "available_kernels",
     "BGKCollision",
     "canonical_json",
+    "compute_dtype",
+    "DEFAULT_KERNEL",
+    "KernelPlan",
+    "make_kernel",
+    "PlannedKernel",
+    "resolve_dtype",
+    "SUPPORTED_DTYPES",
     "channel_walls_mask",
     "CheckpointData",
     "deserialize_result_data",

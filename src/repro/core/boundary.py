@@ -107,7 +107,7 @@ class MovingWallBounceBack(BounceBackWalls):
             raise LatticeError(
                 f"wall_velocity must have {self.lattice.dim} components"
             )
-        c = self.lattice.velocities.astype(np.float64)
+        c = self.lattice.velocities_as(np.float64)
         self._correction = (
             2.0 * self.rho0 * self.lattice.weights * (c @ uw) / self.lattice.cs2_float
         )

@@ -74,9 +74,28 @@ class BGKCollision:
 
     def equilibrium(self, rho: np.ndarray, u: np.ndarray) -> np.ndarray:
         """Equilibrium at this operator's expansion order."""
-        if self._feq_buffer is None or self._feq_buffer.shape[1:] != rho.shape:
-            self._feq_buffer = np.empty((self.lattice.q, *rho.shape))
+        if (
+            self._feq_buffer is None
+            or self._feq_buffer.shape[1:] != rho.shape
+            or self._feq_buffer.dtype != rho.dtype
+        ):
+            self._feq_buffer = np.empty((self.lattice.q, *rho.shape), dtype=rho.dtype)
         return equilibrium(self.lattice, rho, u, order=self.order, out=self._feq_buffer)
+
+    def relax_into(
+        self, f: np.ndarray, feq: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """``out = (1 - omega) f + omega feq``, consuming ``feq``.
+
+        ``feq`` is scaled in place (callers pass this operator's own
+        equilibrium scratch buffer), which avoids a full-lattice
+        ``omega * feq`` temporary.  The one relaxation fusion both the
+        plain and the Guo-forced collide paths share.
+        """
+        np.multiply(f, 1.0 - self.omega, out=out)
+        feq *= self.omega
+        out += feq
+        return out
 
     def apply(self, f: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Relax ``f`` toward local equilibrium (in place unless ``out``).
@@ -88,10 +107,7 @@ class BGKCollision:
         feq = self.equilibrium(rho, u)
         if out is None:
             out = f
-        # out = (1 - omega) f + omega feq, fused to avoid temporaries
-        np.multiply(f, 1.0 - self.omega, out=out)
-        out += self.omega * feq
-        return out
+        return self.relax_into(f, feq, out)
 
 
 @dataclasses.dataclass
@@ -114,7 +130,7 @@ class RegularizedBGKCollision:
             raise LatticeError(f"tau must exceed 0.5 (got {self.tau})")
         self.order = equilibrium_order_for(self.lattice, self.order)
         cs2 = self.lattice.cs2_float
-        c = self.lattice.velocities.astype(np.float64)
+        c = self.lattice.velocities_as(np.float64)
         self._h2 = hermite_tensor(2, c, cs2)  # (Q, D, D)
         self._h3 = hermite_tensor(3, c, cs2)  # (Q, D, D, D)
 

@@ -56,6 +56,7 @@ def equilibrium(
     u: np.ndarray,
     order: int | None = None,
     out: np.ndarray | None = None,
+    dtype: "np.dtype | str | None" = None,
 ) -> np.ndarray:
     """Evaluate the truncated Hermite equilibrium on a grid.
 
@@ -72,20 +73,32 @@ def equilibrium(
     out:
         Optional output array of shape ``(Q, *S)`` (avoids allocation in
         the hot loop).
+    dtype:
+        Population dtype to evaluate in.  ``None`` follows the dtype
+        policy: ``out``'s dtype when given, else float32 iff every
+        floating array input is float32, else float64.
 
     Returns
     -------
     numpy.ndarray
         Populations of shape ``(Q, *S)``.
     """
+    from .fields import compute_dtype, resolve_dtype
+
     order = equilibrium_order_for(lattice, order)
-    rho = np.asarray(rho, dtype=np.float64)
-    u = np.asarray(u, dtype=np.float64)
+    if dtype is not None:
+        dtype = resolve_dtype(dtype)
+    elif out is not None:
+        dtype = resolve_dtype(out.dtype)
+    else:
+        dtype = compute_dtype(rho, u)
+    rho = np.asarray(rho, dtype=dtype)
+    u = np.asarray(u, dtype=dtype)
     if u.shape[0] != lattice.dim:
         raise LatticeError(f"u must have leading dim {lattice.dim}, got {u.shape}")
     cs2 = lattice.cs2_float
-    c = lattice.velocities.astype(np.float64)  # (Q, D)
-    w = lattice.weights  # (Q,)
+    c = lattice.velocities_as(dtype)  # (Q, D)
+    w = lattice.weights_as(dtype)  # (Q,)
 
     # cu[i, ...] = c_i . u ;  u2[...] = |u|^2
     cu = np.tensordot(c, u, axes=([1], [0]))
@@ -101,7 +114,7 @@ def equilibrium(
         term += cu / (6.0 * cs2 * cs2) * ((cu * cu) / cs2 - 3.0 * u2)
 
     if out is None:
-        out = np.empty((lattice.q, *spatial_shape), dtype=np.float64)
+        out = np.empty((lattice.q, *spatial_shape), dtype=dtype)
     np.multiply(w[expand], term, out=out)
     out *= rho[None]
     return out

@@ -19,7 +19,48 @@ import numpy as np
 from ..errors import LatticeError
 from ..lattice import VelocitySet
 
-__all__ = ["DistributionField"]
+__all__ = ["DistributionField", "SUPPORTED_DTYPES", "resolve_dtype", "compute_dtype"]
+
+#: Population dtypes the solver's dtype policy supports.  The paper's
+#: bytes-per-cell analysis (Table II) makes B(Q) the bandwidth knob:
+#: float32 halves it, roughly doubling bandwidth-bound throughput.
+SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def resolve_dtype(dtype: "str | np.dtype | type | None") -> np.dtype:
+    """Normalise a dtype-policy value (``"float32"``/``"float64"``/numpy
+    dtype/``None``) to a supported numpy dtype; ``None`` means float64."""
+    if dtype is None:
+        return np.dtype(np.float64)
+    try:
+        resolved = np.dtype(dtype)
+    except TypeError as exc:
+        raise LatticeError(f"unrecognised dtype {dtype!r}") from exc
+    if resolved not in SUPPORTED_DTYPES:
+        names = ", ".join(d.name for d in SUPPORTED_DTYPES)
+        raise LatticeError(
+            f"unsupported population dtype {resolved.name!r} (supported: {names})"
+        )
+    return resolved
+
+
+def compute_dtype(*operands: "np.ndarray | float") -> np.dtype:
+    """The dtype a moment/equilibrium evaluation should compute in.
+
+    float32 iff every floating array operand is float32 (Python scalars
+    are weak and do not promote); anything else computes in float64 —
+    the conservative end of the policy, so existing float64 paths are
+    bit-identical to before the policy existed.
+    """
+    strong = [
+        np.asarray(op).dtype
+        for op in operands
+        if not isinstance(op, (bool, int, float))
+    ]
+    floating = [d for d in strong if d.kind == "f"]
+    if floating and all(d == np.float32 for d in floating):
+        return np.dtype(np.float32)
+    return np.dtype(np.float64)
 
 
 @dataclasses.dataclass
@@ -31,14 +72,18 @@ class DistributionField:
     lattice:
         The discrete velocity model.
     data:
-        C-contiguous float64 array of shape ``(Q, nx, ny, nz)``.
+        C-contiguous float array of shape ``(Q, nx, ny, nz)``.  float32
+        input stays float32 (the dtype policy's low-bandwidth end);
+        anything else is cast to float64.
     """
 
     lattice: VelocitySet
     data: np.ndarray
 
     def __post_init__(self) -> None:
-        self.data = np.ascontiguousarray(self.data, dtype=np.float64)
+        data = np.asarray(self.data)
+        dtype = data.dtype if data.dtype in SUPPORTED_DTYPES else np.dtype(np.float64)
+        self.data = np.ascontiguousarray(data, dtype=dtype)
         if self.data.ndim != 1 + self.lattice.dim:
             raise LatticeError(
                 f"field must have {1 + self.lattice.dim} dims, got {self.data.ndim}"
@@ -51,12 +96,17 @@ class DistributionField:
     # -- constructors ----------------------------------------------------
 
     @classmethod
-    def zeros(cls, lattice: VelocitySet, shape: Iterable[int]) -> "DistributionField":
+    def zeros(
+        cls,
+        lattice: VelocitySet,
+        shape: Iterable[int],
+        dtype: "str | np.dtype | None" = None,
+    ) -> "DistributionField":
         """All-zero field on a grid of the given spatial ``shape``."""
         shape = tuple(int(s) for s in shape)
         if len(shape) != lattice.dim or any(s <= 0 for s in shape):
             raise LatticeError(f"bad spatial shape {shape} for {lattice.name}")
-        return cls(lattice, np.zeros((lattice.q, *shape)))
+        return cls(lattice, np.zeros((lattice.q, *shape), dtype=resolve_dtype(dtype)))
 
     @classmethod
     def from_equilibrium(
@@ -65,13 +115,21 @@ class DistributionField:
         rho: np.ndarray,
         u: np.ndarray,
         order: int | None = None,
+        dtype: "str | np.dtype | None" = None,
     ) -> "DistributionField":
         """Field initialised to the Hermite equilibrium of ``(rho, u)``."""
         from .equilibrium import equilibrium  # local import avoids a cycle
 
-        return cls(lattice, equilibrium(lattice, rho, u, order=order))
+        if dtype is not None:
+            dtype = resolve_dtype(dtype)
+        return cls(lattice, equilibrium(lattice, rho, u, order=order, dtype=dtype))
 
     # -- properties -------------------------------------------------------
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Population dtype (float32 or float64)."""
+        return self.data.dtype
 
     @property
     def shape(self) -> tuple[int, ...]:
@@ -93,6 +151,12 @@ class DistributionField:
     def copy(self) -> "DistributionField":
         """Deep copy."""
         return DistributionField(self.lattice, self.data.copy())
+
+    def astype(self, dtype: "str | np.dtype") -> "DistributionField":
+        """A copy of this field cast to another supported dtype."""
+        return DistributionField(
+            self.lattice, self.data.astype(resolve_dtype(dtype))
+        )
 
     def allclose(self, other: "DistributionField", **kwargs) -> bool:
         """Elementwise comparison of two fields on the same lattice."""

@@ -58,7 +58,7 @@ class GuoForcing:
         """
         lat = self.lattice
         cs2 = lat.cs2_float
-        c = lat.velocities.astype(np.float64)  # (Q, D)
+        c = lat.velocities_as(np.float64)  # (Q, D)
         w = lat.weights
         spatial_ndim = u.ndim - 1
 

@@ -301,6 +301,11 @@ class CheckpointData:
     time_step: int
     extra: dict[str, Any] = dataclasses.field(default_factory=dict)
     series: dict[str, list[float]] = dataclasses.field(default_factory=dict)
+    dtype: str = "float64"
+    #: Kernel name the writing simulation stepped with (None = the
+    #: legacy default pair).  Restores must match it: kernels agree
+    #: only to rounding, so a cross-kernel resume is not bit-exact.
+    kernel: str | None = None
 
 
 def save_checkpoint(
@@ -338,6 +343,8 @@ def save_checkpoint(
         time_step=int(simulation.time_step),
         extra_json=json.dumps(dict(extra or {})),
         series_json=canonical_json(dict(series or {})),
+        dtype=str(simulation.f.dtype),
+        kernel=getattr(getattr(simulation, "kernel", None), "name", "") or "",
     )
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
@@ -347,14 +354,17 @@ def load_checkpoint_data(path: str | Path) -> CheckpointData:
     with np.load(Path(path), allow_pickle=False) as data:
         extra_json = str(data["extra_json"]) if "extra_json" in data else "{}"
         series_json = str(data["series_json"]) if "series_json" in data else "{}"
+        f = np.array(data["f"])
         return CheckpointData(
-            f=np.array(data["f"]),
+            f=f,
             lattice=str(data["lattice"]),
             tau=float(data["tau"]),
             order=int(data["order"]),
             time_step=int(data["time_step"]),
             extra=json.loads(extra_json),
             series=json.loads(series_json),
+            dtype=str(data["dtype"]) if "dtype" in data else str(f.dtype),
+            kernel=(str(data["kernel"]) or None) if "kernel" in data else None,
         )
 
 
@@ -372,6 +382,8 @@ def load_checkpoint(path: str | Path) -> Simulation:
         data.f.shape[1:],
         tau=data.tau,
         order=data.order,
+        dtype=data.dtype,
+        kernel=data.kernel,
     )
     sim.field.data[...] = data.f
     sim.time_step = data.time_step

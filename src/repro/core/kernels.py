@@ -16,9 +16,15 @@ kernels with identical semantics and very different machine behaviour:
   precomputed flat gather-index table (the Python analogue of the
   paper's loop-fusion/index-precomputation optimizations: indices
   computed once, no per-step index arithmetic).
+* :class:`~repro.core.plan.PlannedKernel` (in :mod:`repro.core.plan`) —
+  the ladder's endpoint: precomputed gather table *and* a preallocated
+  scratch arena, so a step makes zero heap allocations; also the kernel
+  that carries the float32/float64 dtype policy.
 
-``benchmarks/bench_kernels_real.py`` measures the real MFlup/s of each,
-giving a measured (not simulated) optimization-ladder analogue.
+Kernel selection (by name, or ``"auto"`` measured selection) lives in
+:func:`repro.core.plan.make_kernel`.  ``benchmarks/bench_kernels_real.py``
+measures the real MFlup/s of each, giving a measured (not simulated)
+optimization-ladder analogue.
 """
 
 from __future__ import annotations
@@ -27,7 +33,7 @@ import numpy as np
 
 from ..lattice import VelocitySet
 from .collision import BGKCollision
-from .streaming import stream_periodic
+from .streaming import pull_gather_rows, stream_periodic
 
 __all__ = ["LBMKernel", "NaiveKernel", "RollKernel", "FusedGatherKernel"]
 
@@ -50,6 +56,18 @@ class LBMKernel:
     def step(self, f: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
         raise NotImplementedError
 
+    # Split API: drivers that apply boundary conditions between
+    # streaming and collision (`Simulation`) call these instead of the
+    # fused `step`, so every kernel stays usable under any boundary set.
+
+    def stream(self, f: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Advect ``f`` into ``out`` (periodic); kernels may override."""
+        return stream_periodic(self.lattice, f, out=out)
+
+    def collide(self, f: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Relax ``f`` toward equilibrium; kernels may override."""
+        return self.collision.apply(f, out=out)
+
 
 class RollKernel(LBMKernel):
     """Vectorized reference kernel: roll-stream then fused collide."""
@@ -61,11 +79,14 @@ class RollKernel(LBMKernel):
         self._buffer: np.ndarray | None = None
 
     def step(self, f: np.ndarray) -> np.ndarray:
-        if self._buffer is None or self._buffer.shape != f.shape:
+        if (
+            self._buffer is None
+            or self._buffer.shape != f.shape
+            or self._buffer.dtype != f.dtype
+        ):
             self._buffer = np.empty_like(f)
         adv = stream_periodic(self.lattice, f, out=self._buffer)
         self.collision.apply(adv, out=f)
-        self._buffer = adv if adv is not self._buffer else self._buffer
         return f
 
 
@@ -87,15 +108,7 @@ class FusedGatherKernel(LBMKernel):
 
     def _build_gather(self, shape: tuple[int, ...]) -> None:
         """Flat pull indices: gather[i, x_flat] = flat(x - c_i) (periodic)."""
-        coords = np.indices(shape)  # (D, *shape)
-        flat = np.arange(int(np.prod(shape))).reshape(shape)
-        rows = []
-        for c in self.lattice.velocities:
-            src = [
-                (coords[a] - int(c[a])) % shape[a] for a in range(len(shape))
-            ]
-            rows.append(flat[tuple(src)].ravel())
-        self._gather = np.stack(rows)  # (Q, N)
+        self._gather = pull_gather_rows(self.lattice, shape)  # (Q, N)
         self._shape = shape
 
     def step(self, f: np.ndarray) -> np.ndarray:
@@ -106,6 +119,19 @@ class FusedGatherKernel(LBMKernel):
         adv = np.take_along_axis(flat, self._gather, axis=1)
         out = adv.reshape(f.shape)
         self.collision.apply(out, out=out)
+        return out
+
+    def stream(self, f: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Gather-table streaming (the split path runs the same index
+        precomputation as the fused step, not the roll fallback)."""
+        shape = f.shape[1:]
+        if self._shape != shape:
+            self._build_gather(shape)
+        flat = f.reshape(self.lattice.q, -1)
+        adv = np.take_along_axis(flat, self._gather, axis=1)
+        # copyto honours out's strides; `out.reshape(...)[...] =` would
+        # silently write into a throwaway copy for non-contiguous out.
+        np.copyto(out, adv.reshape(f.shape))
         return out
 
 
@@ -120,37 +146,43 @@ class NaiveKernel(LBMKernel):
 
     name = "naive"
 
-    def step(self, f: np.ndarray) -> np.ndarray:
+    def stream(self, f: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Push-streaming, literal: distr_adv[is][x + c] = distr[is][x]."""
+        lat = self.lattice
+        nx, ny, nz = f.shape[1:]
+        for i in range(lat.q):
+            cx, cy, cz = (int(v) for v in lat.velocities[i])
+            for ix in range(nx):
+                for iy in range(ny):
+                    for iz in range(nz):
+                        out[i, (ix + cx) % nx, (iy + cy) % ny, (iz + cz) % nz] = f[
+                            i, ix, iy, iz
+                        ]
+        return out
+
+    def collide(self, f: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Per-cell scalar moments + equilibrium + relax, literal.
+
+        Element-aliasing-safe: each ``f[i, cell]`` is read before the
+        same element of ``out`` is written, so ``out is f`` works.
+        """
         lat = self.lattice
         q = lat.q
-        shape = f.shape[1:]
-        nx, ny, nz = shape
+        nx, ny, nz = f.shape[1:]
         c = lat.velocities
         w = lat.weights
         cs2 = lat.cs2_float
         omega = self.collision.omega
         order = self.collision.order
-
-        # stream (push): distr_adv[is][x + c] = distr[is][x]
-        adv = np.empty_like(f)
-        for i in range(q):
-            cx, cy, cz = (int(v) for v in c[i])
-            for ix in range(nx):
-                for iy in range(ny):
-                    for iz in range(nz):
-                        adv[i, (ix + cx) % nx, (iy + cy) % ny, (iz + cz) % nz] = f[
-                            i, ix, iy, iz
-                        ]
-
-        # collide
-        out = np.empty_like(f)
+        if out is None:
+            out = f
         for ix in range(nx):
             for iy in range(ny):
                 for iz in range(nz):
                     rho = 0.0
                     ux = uy = uz = 0.0
                     for i in range(q):
-                        fi = adv[i, ix, iy, iz]
+                        fi = f[i, ix, iy, iz]
                         rho += fi
                         ux += c[i, 0] * fi
                         uy += c[i, 1] * fi
@@ -167,7 +199,11 @@ class NaiveKernel(LBMKernel):
                         if order >= 3:
                             term += cu / (6.0 * cs2 * cs2) * (cu * cu / cs2 - 3.0 * u2)
                         feq = w[i] * rho * term
-                        out[i, ix, iy, iz] = (
-                            adv[i, ix, iy, iz] - omega * (adv[i, ix, iy, iz] - feq)
+                        out[i, ix, iy, iz] = f[i, ix, iy, iz] - omega * (
+                            f[i, ix, iy, iz] - feq
                         )
         return out
+
+    def step(self, f: np.ndarray) -> np.ndarray:
+        adv = self.stream(f, np.empty_like(f))
+        return self.collide(adv, out=np.empty_like(f))

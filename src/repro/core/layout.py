@@ -42,7 +42,7 @@ class SpaceMajorKernel(LBMKernel):
         lat = self.lattice
         cs2 = lat.cs2_float
         w = lat.weights
-        c = lat.velocities.astype(np.float64)
+        c = lat.velocities_as(np.float64)
         omega = self.collision.omega
         order = self.collision.order
 

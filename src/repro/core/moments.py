@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..lattice import VelocitySet
+from .fields import compute_dtype
 
 __all__ = [
     "density",
@@ -35,7 +36,7 @@ def density(f: np.ndarray) -> np.ndarray:
 
 def momentum(lattice: VelocitySet, f: np.ndarray) -> np.ndarray:
     """First moment ``j = sum_i c_i f_i``; shape ``(D, *S)``."""
-    c = lattice.velocities.astype(np.float64)
+    c = lattice.velocities_as(compute_dtype(f))
     return np.tensordot(c.T, f, axes=([1], [0]))
 
 
@@ -62,7 +63,7 @@ def macroscopic(
 
 def momentum_flux(lattice: VelocitySet, f: np.ndarray) -> np.ndarray:
     """Second moment ``Pi_ab = sum_i c_ia c_ib f_i``; shape ``(D, D, *S)``."""
-    c = lattice.velocities.astype(np.float64)
+    c = lattice.velocities_as(compute_dtype(f))
     cc = np.einsum("qa,qb->abq", c, c)
     return np.tensordot(cc, f, axes=([2], [0]))
 
@@ -91,7 +92,7 @@ def heat_flux(lattice: VelocitySet, f: np.ndarray) -> np.ndarray:
     physical motivation for the paper's extended model.  Shape ``(D, *S)``.
     """
     rho, u = macroscopic(lattice, f)
-    c = lattice.velocities.astype(np.float64)
+    c = lattice.velocities_as(compute_dtype(f))
     spatial_ndim = f.ndim - 1
     cexp = c.reshape(c.shape + (1,) * spatial_ndim)  # (Q, D, 1...)
     rel = cexp - u[None]  # (Q, D, *S)

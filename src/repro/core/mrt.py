@@ -74,7 +74,7 @@ class HermiteMRTCollision:
             raise LatticeError(f"tau_third must be >= 0.5 (got {self.tau_third})")
         self.order = equilibrium_order_for(self.lattice, self.order)
         cs2 = self.lattice.cs2_float
-        c = self.lattice.velocities.astype(np.float64)
+        c = self.lattice.velocities_as(np.float64)
         self._h2 = hermite_tensor(2, c, cs2)  # (Q, D, D)
         self._h3 = hermite_tensor(3, c, cs2)  # (Q, D, D, D)
         self._eye = np.eye(self.lattice.dim)

@@ -25,7 +25,7 @@ def total_mass(f: np.ndarray) -> float:
 
 def total_momentum(lattice: VelocitySet, f: np.ndarray) -> np.ndarray:
     """Global momentum vector, shape ``(D,)``."""
-    c = lattice.velocities.astype(np.float64)
+    c = lattice.velocities_as(np.float64)
     spatial_axes = tuple(range(1, f.ndim))
     return np.tensordot(c.T, f.sum(axis=spatial_axes), axes=([1], [0]))
 

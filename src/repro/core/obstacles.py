@@ -64,6 +64,6 @@ def momentum_exchange_force(
     post-stream populations a ``BounceBackWalls`` boundary is about to
     flip).
     """
-    c = lattice.velocities.astype(np.float64)
+    c = lattice.velocities_as(np.float64)
     solid = f_post_stream[:, solid_mask]  # (Q, Nsolid)
     return 2.0 * np.tensordot(c.T, solid.sum(axis=1), axes=([1], [0]))

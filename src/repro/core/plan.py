@@ -1,0 +1,418 @@
+"""Planned, zero-allocation stream+collide kernel and kernel selection.
+
+The endpoint of the paper's §V single-node optimization ladder is a
+kernel in which *everything that can be computed once is computed once*:
+index arithmetic is precomputed (LoBr), loops are fused, and the hot
+loop touches only preallocated memory.  :class:`KernelPlan` is the
+Python analogue — at construction it builds
+
+* the flat gather table for pull-streaming (one ``np.take`` per step,
+  indices computed once per shape),
+* dtype-cast velocity/weight tables (cached per lattice, see
+  :meth:`~repro.lattice.VelocitySet.velocities_as`),
+* a scratch arena (``adv``, ``rho``, ``u``, ``cu``, ``term``, ``work``,
+  ``cell``) sized for the grid,
+
+so :meth:`PlannedKernel.step` performs the full stream + moments +
+equilibrium + relax update exclusively through ``out=`` ufunc calls:
+zero per-step heap allocations (tracemalloc-asserted in the tests).
+
+The plan also carries the **dtype policy**: built for float32, the
+whole update runs in single precision, halving the paper's
+bytes-per-cell figure B(Q) — the knob its roofline model (Table II)
+says roughly doubles bandwidth-bound throughput.
+
+:func:`make_kernel` is the registry every layer above selects kernels
+through (``Simulation(kernel=...)``, ``CaseSpec.kernel``, the CLI
+``--kernel`` flag), and :func:`auto_select_kernel` implements
+``kernel="auto"``: time a few steps of each candidate on the actual
+shape/lattice/dtype and keep the fastest — the measured counterpart of
+:mod:`repro.perf.tuner`'s model-driven sweep-and-pick-min.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import LatticeError
+from ..lattice import VelocitySet
+from .equilibrium import equilibrium_order_for
+from .fields import resolve_dtype
+from .kernels import FusedGatherKernel, LBMKernel, NaiveKernel, RollKernel
+from .streaming import pull_gather_rows
+
+__all__ = [
+    "AUTO_KERNEL",
+    "DEFAULT_KERNEL",
+    "KernelPlan",
+    "PlannedKernel",
+    "auto_select_kernel",
+    "available_kernels",
+    "make_kernel",
+]
+
+
+def build_gather_table(lattice: VelocitySet, shape: Sequence[int]) -> np.ndarray:
+    """Flat pull indices over the flattened ``(Q * N,)`` populations.
+
+    ``table[i * N + flat(x)] = i * N + flat(x - c_i)`` (periodic), so one
+    ``np.take(f.reshape(-1), table, out=...)`` advects every population —
+    the paper's "minimize index calculation" transformation taken to its
+    limit: a single gather with no per-step index arithmetic at all.
+    The index math itself is :func:`~repro.core.streaming.pull_gather_rows`
+    (shared with :class:`~repro.core.kernels.FusedGatherKernel`); this
+    adds the per-velocity row offsets and flattens.
+    """
+    shape = tuple(int(s) for s in shape)
+    rows = pull_gather_rows(lattice, shape)  # (Q, N)
+    n = rows.shape[1]
+    offsets = (np.arange(lattice.q) * n)[:, None]
+    # Deliberately left writable: np.take(mode="clip") copies read-only
+    # index arrays into a fresh buffer on every call, which would turn
+    # each step into a hidden field-sized allocation.
+    return np.ascontiguousarray((rows + offsets).reshape(-1))
+
+
+class KernelPlan:
+    """Precomputed state for one ``(lattice, shape, order, dtype)`` hot loop.
+
+    Everything :meth:`PlannedKernel.step` needs that does not change
+    between steps: the gather table, the cast constant tables, and the
+    scratch arena.  Plans are cheap to hold and safe to share between
+    steps; they must not be shared between concurrently stepping kernels
+    (the arena is mutable state).
+    """
+
+    def __init__(
+        self,
+        lattice: VelocitySet,
+        shape: Sequence[int],
+        order: int | None = None,
+        dtype: "np.dtype | str | None" = None,
+    ) -> None:
+        self.lattice = lattice
+        self.shape = tuple(int(s) for s in shape)
+        if len(self.shape) != lattice.dim or any(s <= 0 for s in self.shape):
+            raise LatticeError(f"bad spatial shape {self.shape} for {lattice.name}")
+        self.order = equilibrium_order_for(lattice, order)
+        self.dtype = resolve_dtype(dtype)
+        q = lattice.q
+        n = int(np.prod(self.shape))
+        self.num_cells = n
+        self.gather = build_gather_table(lattice, self.shape)
+        # Constant tables, cast once (velocities_as caches per lattice).
+        self.c = lattice.velocities_as(self.dtype)  # (Q, D)
+        self.c_t = np.ascontiguousarray(self.c.T)  # (D, Q)
+        self.w = lattice.weights_as(self.dtype)  # (Q,)
+        # Scratch arena: the only memory the per-step update ever writes
+        # besides the caller's field itself.  The post-streaming buffer
+        # `adv` serves only the fused step_into path (the split
+        # stream/collide path streams into the caller's own buffer), so
+        # it is allocated lazily on the first fused step.
+        self._adv: np.ndarray | None = None
+        self._adv_flat: np.ndarray | None = None
+        self.rho = np.empty(n, dtype=self.dtype)  # density
+        self.u = np.empty((lattice.dim, n), dtype=self.dtype)  # velocity
+        self.cu = np.empty((q, n), dtype=self.dtype)  # c_i . u
+        self.term = np.empty((q, n), dtype=self.dtype)  # Hermite series / feq
+        self.work = np.empty((q, n), dtype=self.dtype)  # (Q, N) scratch
+        self.cell = np.empty(n, dtype=self.dtype)  # per-cell scratch (u^2)
+        # Row views + scalar weights, prebuilt so the hot loop's
+        # per-velocity operations are same-shape contiguous ufunc calls.
+        # Broadcast in-place ops ((Q, N) ⊙ (N,)) would be correct too,
+        # but numpy routes them through its ufunc buffer whenever N is
+        # below the buffer size — a per-step heap allocation.
+        self._u_rows = tuple(self.u[a] for a in range(lattice.dim))
+        self._term_rows = tuple(self.term[i] for i in range(q))
+        self._work_rows = tuple(self.work[i] for i in range(q))
+        self._w_scalars = tuple(float(w) for w in self.w)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the arena + gather table (diagnostics)."""
+        arrays = (
+            self.gather,
+            self.rho,
+            self.u,
+            self.cu,
+            self.term,
+            self.work,
+            self.cell,
+        )
+        extra = 0 if self._adv is None else self._adv.nbytes
+        return int(sum(a.nbytes for a in arrays)) + extra
+
+    def _fused_buffers(self) -> tuple[np.ndarray, np.ndarray]:
+        """The (adv, adv_flat) pair for the fused path, allocated once."""
+        if self._adv is None:
+            self._adv = np.empty(
+                (self.lattice.q, self.num_cells), dtype=self.dtype
+            )
+            self._adv_flat = self._adv.reshape(-1)
+        return self._adv, self._adv_flat
+
+    # -- the planned update --------------------------------------------
+
+    def stream_into(self, f: np.ndarray, out: np.ndarray) -> None:
+        """Advect ``f`` into ``out`` via the precomputed gather table.
+
+        ``mode="clip"`` writes straight into ``out``; the default
+        ``mode="raise"`` routes through a full-size bounce buffer (a
+        hidden field-sized allocation per step).  The table's indices
+        are in-bounds by construction, so clipping never fires.
+        """
+        np.take(f.reshape(-1), self.gather, out=out.reshape(-1), mode="clip")
+
+    def collide_into(self, src: np.ndarray, out_flat: np.ndarray, omega: float) -> None:
+        """Relax post-streaming populations ``src`` (shape ``(Q, N)``)
+        into ``out_flat`` using only ``out=`` ufunc calls on the arena.
+
+        ``src`` may be the arena's own ``adv`` (the fused path) or any
+        ``(Q, N)`` view of a caller-owned buffer (the split path the
+        simulation driver uses so boundary conditions can run between
+        streaming and collision).  ``src`` is read-only here; the result
+        is ``(1 - omega) src + omega feq(src)``.
+        """
+        rho, u, cu = self.rho, self.u, self.cu
+        term, work, cell = self.term, self.work, self.cell
+        cs2 = self.lattice.cs2_float
+        inv_cs2 = 1.0 / cs2
+
+        # moments: rho = sum_i f_i ; u = c^T f / rho
+        src.sum(axis=0, out=rho)
+        np.dot(self.c_t, src, out=u)
+        for u_row in self._u_rows:  # u /= rho without broadcast buffering
+            u_row /= rho
+        # cu_i = c_i . u, then u is free: square it in place for u^2
+        np.dot(self.c, u, out=cu)
+        np.multiply(u, u, out=u)
+        u.sum(axis=0, out=cell)  # cell = u^2
+
+        # Hermite series at the plan's order (paper Eqs. 2/3)
+        np.multiply(cu, inv_cs2, out=work)  # work = cu/cs2
+        if self.order >= 2:
+            np.multiply(work, work, out=term)  # (cu/cs2)^2
+            term *= 0.5
+            term += work
+            term += 1.0
+            cell *= 0.5 * inv_cs2  # cell = u^2/(2 cs2)
+            for term_row in self._term_rows:
+                term_row -= cell
+        else:
+            np.add(work, 1.0, out=term)
+        if self.order >= 3:
+            cell *= 6.0 * cs2  # cell = 3 u^2 (undoes the 1/(2 cs2))
+            np.multiply(cu, cu, out=work)
+            work *= inv_cs2  # cu^2/cs2
+            for work_row in self._work_rows:
+                work_row -= cell
+            work *= cu
+            work *= inv_cs2 * inv_cs2 / 6.0
+            term += work
+
+        # feq = w rho term (into term), then out = (1-omega) src + omega feq
+        for term_row, weight in zip(self._term_rows, self._w_scalars):
+            term_row *= weight
+            term_row *= rho
+        np.multiply(src, 1.0 - omega, out=out_flat)
+        term *= omega
+        out_flat += term
+
+    def step_into(self, f: np.ndarray, omega: float) -> np.ndarray:
+        """One fused stream+collide step, result written back into ``f``."""
+        adv, adv_flat = self._fused_buffers()
+        self.stream_into(f, adv_flat)
+        self.collide_into(adv, f.reshape(self.lattice.q, -1), omega)
+        return f
+
+
+class PlannedKernel(LBMKernel):
+    """Zero-allocation planned kernel (the ladder's measured endpoint).
+
+    Holds a :class:`KernelPlan` built lazily for the first shape it
+    sees (or eagerly when ``shape`` is given) and replays it every
+    step.  Input populations must match the kernel's dtype — silently
+    casting would reintroduce exactly the hidden full-lattice copies
+    this kernel exists to eliminate.
+    """
+
+    name = "planned"
+
+    def __init__(
+        self,
+        lattice: VelocitySet,
+        tau: float,
+        order: int | None = None,
+        dtype: "np.dtype | str | None" = None,
+        shape: Sequence[int] | None = None,
+    ) -> None:
+        super().__init__(lattice, tau, order)
+        self.dtype = resolve_dtype(dtype)
+        self._plan: KernelPlan | None = None
+        if shape is not None:
+            self._plan = KernelPlan(
+                lattice, shape, order=self.collision.order, dtype=self.dtype
+            )
+
+    def plan_for(self, shape: Sequence[int]) -> KernelPlan:
+        """The plan for ``shape``, rebuilding only on a shape change."""
+        shape = tuple(int(s) for s in shape)
+        if self._plan is None or self._plan.shape != shape:
+            self._plan = KernelPlan(
+                self.lattice, shape, order=self.collision.order, dtype=self.dtype
+            )
+        return self._plan
+
+    def _check_input(self, f: np.ndarray) -> None:
+        if f.dtype != self.dtype:
+            raise LatticeError(
+                f"planned kernel is built for {self.dtype.name}, got "
+                f"{f.dtype.name} populations (rebuild the kernel or cast "
+                "the field explicitly)"
+            )
+        if not f.flags.c_contiguous:
+            # reshape(-1) on a strided view returns a *copy*; the out=
+            # writes would then land in a throwaway buffer and the
+            # caller's array would silently keep its pre-step values.
+            raise LatticeError(
+                "planned kernel requires C-contiguous populations "
+                "(got a strided view; pass np.ascontiguousarray(f))"
+            )
+
+    def step(self, f: np.ndarray) -> np.ndarray:
+        self._check_input(f)
+        return self.plan_for(f.shape[1:]).step_into(f, self.collision.omega)
+
+    def stream(self, f: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Gather-table streaming into ``out`` (split path for drivers)."""
+        self._check_input(f)
+        self._check_input(out)
+        self.plan_for(f.shape[1:]).stream_into(f, out)
+        return out
+
+    def collide(self, f: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Planned collision from ``f`` into ``out`` (split path)."""
+        self._check_input(f)
+        if out is None:
+            out = f
+        else:
+            self._check_input(out)
+        plan = self.plan_for(f.shape[1:])
+        plan.collide_into(
+            f.reshape(self.lattice.q, -1),
+            out.reshape(self.lattice.q, -1),
+            self.collision.omega,
+        )
+        return out
+
+
+# -- kernel selection -------------------------------------------------------
+
+#: Name -> kernel class; the single registry every selection path uses.
+KERNELS: dict[str, type[LBMKernel]] = {
+    "naive": NaiveKernel,
+    "roll": RollKernel,
+    "fused-gather": FusedGatherKernel,
+    "planned": PlannedKernel,
+}
+
+#: The sentinel name that triggers measured auto-selection.
+AUTO_KERNEL = "auto"
+
+#: What ``Simulation`` uses when no kernel is requested (the legacy
+#: roll-stream + fused-collide production pair).
+DEFAULT_KERNEL = "roll"
+
+#: Candidates ``kernel="auto"`` times.  NaiveKernel is excluded — it is
+#: the executable specification, O(minutes) beyond toy grids.
+AUTO_CANDIDATES = ("roll", "fused-gather", "planned")
+
+
+def available_kernels() -> tuple[str, ...]:
+    """Names of all selectable kernels, sorted (excludes ``"auto"``)."""
+    return tuple(sorted(KERNELS))
+
+
+def make_kernel(
+    kernel: "str | LBMKernel",
+    lattice: VelocitySet,
+    tau: float,
+    order: int | None = None,
+    dtype: "np.dtype | str | None" = None,
+    shape: Sequence[int] | None = None,
+) -> LBMKernel:
+    """Resolve a kernel selection to a ready instance.
+
+    ``kernel`` may be an :class:`LBMKernel` instance (returned as-is), a
+    registry name, or ``"auto"`` (requires ``shape``; times the
+    candidates on the actual problem).  ``dtype`` matters only to the
+    planned kernel — the other kernels adapt to whatever dtype the
+    populations carry.
+    """
+    if isinstance(kernel, LBMKernel):
+        return kernel
+    key = str(kernel).lower()
+    if key == AUTO_KERNEL:
+        if shape is None:
+            raise LatticeError(
+                "kernel='auto' needs the grid shape to time candidates on"
+            )
+        return auto_select_kernel(lattice, shape, tau, order=order, dtype=dtype)
+    if key not in KERNELS:
+        raise LatticeError(
+            f"unknown kernel {kernel!r}; available: "
+            f"{', '.join(available_kernels())} (or 'auto')"
+        )
+    cls = KERNELS[key]
+    if cls is PlannedKernel:
+        return PlannedKernel(lattice, tau, order=order, dtype=dtype, shape=shape)
+    return cls(lattice, tau, order=order)
+
+
+def auto_select_kernel(
+    lattice: VelocitySet,
+    shape: Sequence[int],
+    tau: float,
+    order: int | None = None,
+    dtype: "np.dtype | str | None" = None,
+    candidates: Sequence[str] = AUTO_CANDIDATES,
+    warmup: int = 1,
+    trials: int = 2,
+    clock: Callable[[], float] = time.perf_counter,
+) -> LBMKernel:
+    """Time each candidate on the actual shape/lattice and keep the fastest.
+
+    The same sweep-and-pick-min idiom as :mod:`repro.perf.tuner`'s ghost
+    depth tuning, but measured instead of modelled: ``warmup`` steps
+    build each kernel's tables/buffers, then ``trials`` steps are timed
+    on an equilibrium rest state.  The winning *instance* is returned
+    (already warm), with the per-candidate mean step seconds attached as
+    ``kernel.auto_timings``.
+    """
+    if not candidates:
+        raise LatticeError("auto kernel selection needs at least one candidate")
+    dtype = resolve_dtype(dtype)
+    shape = tuple(int(s) for s in shape)
+    # Equilibrium at rest (rho=1, u=0): f_i = w_i, numerically inert, so
+    # timing steps cannot go unstable no matter the tau.
+    f0 = np.empty((lattice.q, *shape), dtype=dtype)
+    f0[...] = lattice.weights_as(dtype).reshape((lattice.q,) + (1,) * len(shape))
+    kernels: dict[str, LBMKernel] = {}
+    timings: dict[str, float] = {}
+    for name in candidates:
+        kernel = make_kernel(name, lattice, tau, order=order, dtype=dtype, shape=shape)
+        f = f0.copy()
+        for _ in range(max(1, warmup)):
+            f = kernel.step(f)
+        start = clock()
+        for _ in range(max(1, trials)):
+            f = kernel.step(f)
+        timings[name] = (clock() - start) / max(1, trials)
+        kernels[name] = kernel
+    best = min(timings, key=lambda name: (timings[name], name))
+    winner = kernels[best]
+    winner.auto_timings = dict(timings)
+    return winner

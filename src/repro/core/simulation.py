@@ -22,12 +22,13 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..errors import StabilityError
+from ..errors import LatticeError, StabilityError
 from ..lattice import VelocitySet, get_lattice
 from .boundary import BoundaryCondition
 from .collision import BGKCollision
-from .fields import DistributionField
+from .fields import DistributionField, resolve_dtype
 from .forcing import GuoForcing
+from .kernels import LBMKernel
 from .moments import density, macroscopic, momentum
 from .streaming import stream_periodic
 
@@ -74,6 +75,19 @@ class Simulation:
         Boundary conditions applied after streaming, in order.
     forcing:
         Optional :class:`GuoForcing` body force (BGK collisions only).
+    kernel:
+        Which stream/collide implementation advances the populations: a
+        registry name (``"roll"``, ``"fused-gather"``, ``"planned"``,
+        ``"naive"``), ``"auto"`` (measured selection on this very
+        shape/lattice/dtype), an :class:`~repro.core.kernels.LBMKernel`
+        instance, or ``None`` for the legacy default pair
+        (``stream_periodic`` + the collision operator).  Kernels own a
+        BGK collision, so ``kernel`` and a custom ``collision`` are
+        mutually exclusive; with ``forcing``, the kernel streams and
+        the Guo-forced collision path collides.
+    dtype:
+        Population dtype policy, ``"float64"`` (default) or
+        ``"float32"`` (halves B(Q) bytes per cell; see README).
     """
 
     def __init__(
@@ -85,16 +99,38 @@ class Simulation:
         collision=None,
         boundaries: Sequence[BoundaryCondition] = (),
         forcing: GuoForcing | None = None,
+        kernel: "str | LBMKernel | None" = None,
+        dtype: "str | np.dtype | None" = None,
     ) -> None:
         self.lattice = get_lattice(lattice) if isinstance(lattice, str) else lattice
         self.shape = tuple(int(s) for s in shape)
-        self.collision = collision or BGKCollision(self.lattice, tau, order=order)
+        self.dtype = resolve_dtype(dtype)
+        self.kernel: LBMKernel | None = None
+        if kernel is not None:
+            if collision is not None:
+                raise LatticeError(
+                    "kernel and collision are mutually exclusive: a kernel "
+                    "owns its own BGK collision operator"
+                )
+            from .plan import make_kernel  # late import: plan builds on kernels
+
+            self.kernel = make_kernel(
+                kernel,
+                self.lattice,
+                tau,
+                order=order,
+                dtype=self.dtype,
+                shape=self.shape,
+            )
+            self.collision = self.kernel.collision
+        else:
+            self.collision = collision or BGKCollision(self.lattice, tau, order=order)
         self.boundaries = list(boundaries)
         self.forcing = forcing
         if forcing is not None and not isinstance(self.collision, BGKCollision):
             raise NotImplementedError("forcing is only coupled to BGK collisions")
-        self.field = DistributionField.zeros(self.lattice, self.shape)
-        self._adv = DistributionField.zeros(self.lattice, self.shape)
+        self.field = DistributionField.zeros(self.lattice, self.shape, dtype=self.dtype)
+        self._adv = DistributionField.zeros(self.lattice, self.shape, dtype=self.dtype)
         self.time_step = 0
         self.timings = StepTimings()
 
@@ -104,9 +140,13 @@ class Simulation:
         """Set populations to the equilibrium of ``(rho, u)``; reset clock."""
         rho_arr = np.broadcast_to(np.asarray(rho, dtype=np.float64), self.shape)
         self.field = DistributionField.from_equilibrium(
-            self.lattice, np.array(rho_arr), u, order=self.collision.order
+            self.lattice,
+            np.array(rho_arr),
+            u,
+            order=self.collision.order,
+            dtype=self.dtype,
         )
-        self._adv = DistributionField.zeros(self.lattice, self.shape)
+        self._adv = DistributionField.zeros(self.lattice, self.shape, dtype=self.dtype)
         self.time_step = 0
         self.timings = StepTimings()
 
@@ -136,18 +176,20 @@ class Simulation:
 
     def _collide(self, f: np.ndarray, out: np.ndarray) -> None:
         if self.forcing is None:
-            self.collision.apply(f, out=out)
+            if self.kernel is not None:
+                self.kernel.collide(f, out=out)
+            else:
+                self.collision.apply(f, out=out)
             return
         # Guo-forced BGK: correct the velocity by F/2 before building feq,
-        # then add the source term.
+        # relax (shared fusion in BGKCollision.relax_into), then add the
+        # source term.
         rho = density(f)
         u = momentum(self.lattice, f) / rho[None]
         u += self.forcing.velocity_shift(rho)
         feq = self.collision.equilibrium(rho, u)
-        omega = self.collision.omega
-        np.multiply(f, 1.0 - omega, out=out)
-        out += omega * feq
-        out += self.forcing.source_term(u, omega)
+        self.collision.relax_into(f, feq, out)
+        out += self.forcing.source_term(u, self.collision.omega)
 
     def step(self) -> None:
         """Advance one time step: stream, boundaries, collide."""
@@ -155,7 +197,10 @@ class Simulation:
         f_new = self._adv.data
 
         t0 = time.perf_counter()
-        stream_periodic(self.lattice, f_old, out=f_new)
+        if self.kernel is not None:
+            self.kernel.stream(f_old, out=f_new)
+        else:
+            stream_periodic(self.lattice, f_old, out=f_new)
         t1 = time.perf_counter()
         for bc in self.boundaries:
             bc.apply(f_new, f_old)

@@ -164,7 +164,7 @@ class SparseSimulation:
             # first-order (Shan-Chen style) force: shift populations'
             # momentum by F per node per step
             cs2 = self.lattice.cs2_float
-            c = self.lattice.velocities.astype(np.float64)
+            c = self.lattice.velocities_as(np.float64)
             w = self.lattice.weights
             cf = c @ self._force  # (Q,)
             streamed += (w * cf / cs2)[:, None]

@@ -93,6 +93,44 @@ class VelocitySet:
         """Number of discrete velocities."""
         return len(self.weights)
 
+    # -- dtype-cast tables ---------------------------------------------
+    #
+    # The hot loops (moments, equilibria, forcing) need the integer
+    # velocity table as floats on every call; re-casting a (Q, D) array
+    # per call is a small but entirely avoidable allocation.  The casts
+    # are cached per dtype on the (frozen) instance — lattices are
+    # process-wide singletons via the registry, so each cast happens
+    # once per process.
+
+    def _cast_cache(self) -> dict:
+        cache = self.__dict__.get("_casts")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_casts", cache)
+        return cache
+
+    def velocities_as(self, dtype: "np.dtype | type") -> np.ndarray:
+        """The ``(Q, D)`` velocity table cast to ``dtype`` (cached, read-only)."""
+        dtype = np.dtype(dtype)
+        cache = self._cast_cache()
+        key = ("velocities", dtype)
+        if key not in cache:
+            cast = np.ascontiguousarray(self.velocities, dtype=dtype)
+            cast.setflags(write=False)
+            cache[key] = cast
+        return cache[key]
+
+    def weights_as(self, dtype: "np.dtype | type") -> np.ndarray:
+        """The ``(Q,)`` weight vector cast to ``dtype`` (cached, read-only)."""
+        dtype = np.dtype(dtype)
+        cache = self._cast_cache()
+        key = ("weights", dtype)
+        if key not in cache:
+            cast = np.ascontiguousarray(self.weights, dtype=dtype)
+            cast.setflags(write=False)
+            cache[key] = cast
+        return cache[key]
+
     @property
     def cs2_float(self) -> float:
         return float(self.cs2)

@@ -19,7 +19,7 @@ plus refinement where a chosen observable changes fastest.
 True
 
 CLI: ``python -m repro cases`` / ``case <name>`` / ``sweep <name>`` /
-``sweep-worker --cache-dir DIR``.
+``sweep-worker --cache-dir DIR`` / ``sweep-status --cache-dir DIR``.
 """
 
 from .cache import CacheDiff, ResultCache, SweepManifest
@@ -27,7 +27,13 @@ from .executor import SweepExecutor, SweepPlan
 from .registry import available_cases, catalog_table, get_case, register_case
 from .runner import CaseResult, CaseRunner, run_case
 from .sampling import AdaptiveSampler
-from .scheduler import LeaseBoard, SweepScheduler, WorkQueue
+from .scheduler import (
+    LeaseBoard,
+    SweepScheduler,
+    SweepStatus,
+    WorkQueue,
+    sweep_status,
+)
 from .spec import CaseSpec, steady_state
 from .sweep import Sweep, SweepResult
 from .workers import WorkerReport, run_worker
@@ -53,6 +59,8 @@ __all__ = [
     "SweepPlan",
     "SweepResult",
     "SweepScheduler",
+    "SweepStatus",
+    "sweep_status",
     "WorkerReport",
     "WorkQueue",
 ]

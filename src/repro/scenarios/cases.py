@@ -76,6 +76,17 @@ def _mass_drift(result: CaseResult) -> float:
     return abs(result.final("total_mass") - m0) / m0
 
 
+def _mass_rtol(result: CaseResult) -> float:
+    """Mass-conservation tolerance under the run's dtype policy.
+
+    Streaming and BGK relaxation conserve mass up to accumulated
+    rounding, which scales with the population dtype's machine epsilon:
+    1e-10 keeps the historic float64 bound; float32 (eps ~ 1.2e-7)
+    drifts a few 1e-6 over hundreds of steps, so its bound is 1e-4.
+    """
+    return 1e-10 if result.spec.dtype == "float64" else 1e-4
+
+
 # -- taylor-green: analytic decay norms ------------------------------------
 
 
@@ -101,7 +112,7 @@ def _tg_analysis(result: CaseResult) -> dict:
 def _tg_checks(result: CaseResult) -> dict:
     return {
         "decay_matches_viscous_theory": result.metrics["decay_error"] < 0.1,
-        "mass_conserved": _mass_drift(result) < 1e-10,
+        "mass_conserved": _mass_drift(result) < _mass_rtol(result),
     }
 
 
@@ -176,7 +187,7 @@ def _poiseuille_checks(result: CaseResult) -> dict:
         "profile_is_parabolic": m["parabola_residual"] < 0.005,
         "walls_near_solid_nodes": -1.0 < m["wall_position_low"] < 1.5
         and h - 2.5 < m["wall_position_high"] < h,
-        "mass_conserved": _mass_drift(result) < 1e-10,
+        "mass_conserved": _mass_drift(result) < _mass_rtol(result),
     }
 
 
@@ -258,7 +269,7 @@ def _artery_checks(result: CaseResult) -> dict:
     return {
         "positive_flow": m["flow_rate"] > 0,
         "no_slip_at_wall": m["near_wall_fraction"] < 0.35,
-        "mass_conserved": m["mass_drift"] < 1e-10,
+        "mass_conserved": m["mass_drift"] < _mass_rtol(result),
         "low_mach": m["peak_mach"] < 0.3,
     }
 
@@ -405,7 +416,7 @@ def _clogging_checks(result: CaseResult) -> dict:
     return {
         "positive_flow": m["flow_rate"] > 0,
         "steady_force_balance": abs(m["force_balance"] - 1.0) < 0.05,
-        "mass_conserved": _mass_drift(result) < 1e-10,
+        "mass_conserved": _mass_drift(result) < _mass_rtol(result),
     }
 
 
@@ -492,7 +503,7 @@ def _cavity_checks(result: CaseResult) -> dict:
         "lid_drags_fluid": m["under_lid_velocity"] > 0,
         "return_flow_below": m["near_floor_velocity"] < 0,
         "vortex_formed": m["enstrophy"] > 0,
-        "mass_conserved": m["mass_drift"] < 1e-10,
+        "mass_conserved": m["mass_drift"] < _mass_rtol(result),
     }
 
 
@@ -559,7 +570,7 @@ def _darcy_checks(result: CaseResult) -> dict:
         "medium_percolates": m["superficial_velocity"] > 0,
         "finite_permeability": np.isfinite(m["permeability"])
         and m["permeability"] > 0,
-        "mass_conserved": m["mass_drift"] < 1e-10,
+        "mass_conserved": m["mass_drift"] < _mass_rtol(result),
     }
 
 

@@ -16,11 +16,17 @@ from .executor import SweepExecutor
 from .registry import catalog_table
 from .runner import CaseRunner
 from .sampling import AdaptiveSampler
-from .scheduler import DEFAULT_LEASE_TTL, SweepScheduler
+from .scheduler import DEFAULT_LEASE_TTL, SweepScheduler, sweep_status
 from .sweep import Sweep
 from .workers import run_worker
 
-__all__ = ["main", "run_case_cli", "run_sweep_cli", "run_worker_cli"]
+__all__ = [
+    "main",
+    "run_case_cli",
+    "run_status_cli",
+    "run_sweep_cli",
+    "run_worker_cli",
+]
 
 
 def _parse_value(text: str) -> Any:
@@ -67,11 +73,17 @@ def run_case_cli(
     checkpoint: str | None = None,
     checkpoint_every: int = 0,
     resume: str | None = None,
+    kernel: str | None = None,
+    dtype: str | None = None,
 ) -> int:
     """Run one case, print its summary (and report), return an exit code."""
     kwargs = dict(overrides or {})
     if steps is not None:
         kwargs["steps"] = steps
+    if kernel is not None:
+        kwargs["kernel"] = kernel
+    if dtype is not None:
+        kwargs["dtype"] = dtype
     runner = CaseRunner(name, **kwargs)
     result = runner.run(
         checkpoint=checkpoint,
@@ -100,6 +112,8 @@ def run_sweep_cli(
     adaptive: str | None = None,
     coarse_stride: int = 2,
     refine_fraction: float = 0.5,
+    kernel: str | None = None,
+    dtype: str | None = None,
 ) -> int:
     """Run a sweep, print the comparison table, return an exit code.
 
@@ -118,7 +132,12 @@ def run_sweep_cli(
     metrics never appear) and byte-identical across ``--jobs``,
     ``--workers`` and cache states.
     """
-    sweep = Sweep(name, grid, steps=steps)
+    fixed: dict[str, Any] = {}
+    if kernel is not None:
+        fixed["kernel"] = kernel
+    if dtype is not None:
+        fixed["dtype"] = dtype
+    sweep = Sweep(name, grid, steps=steps, overrides=fixed)
     if (workers is not None or publish) and cache_dir is None:
         raise ScenarioError(
             "--workers/--publish need --cache-dir: distributed workers "
@@ -196,6 +215,13 @@ def run_sweep_cli(
     return 0 if result.passed else 1
 
 
+def run_status_cli(cache_dir: str) -> int:
+    """Print a sweep cache directory's progress/lease report."""
+    status = sweep_status(cache_dir)
+    print(status.summary())
+    return 0
+
+
 def run_worker_cli(
     cache_dir: str,
     *,
@@ -238,6 +264,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="KEY=VALUE",
         help="override a spec field or case parameter (repeatable)",
     )
+    case.add_argument(
+        "--kernel",
+        default=None,
+        help="stream/collide kernel: naive, roll, fused-gather, planned",
+    )
+    case.add_argument(
+        "--dtype",
+        default=None,
+        choices=("float32", "float64"),
+        help="population precision (float32 halves bytes per cell)",
+    )
     case.add_argument("--checkpoint", default=None, help="restart file to write")
     case.add_argument(
         "--checkpoint-every",
@@ -260,6 +297,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="parameter grid axis (repeatable)",
     )
     sweep.add_argument("--steps", type=int, default=None, help="override steps")
+    sweep.add_argument(
+        "--kernel",
+        default=None,
+        help="fixed kernel for every variant (sweep *over* kernels with "
+        "--param kernel=roll,planned,...)",
+    )
+    sweep.add_argument(
+        "--dtype",
+        default=None,
+        choices=("float32", "float64"),
+        help="fixed population precision for every variant (sweep over "
+        "precisions with --param dtype=float32,float64)",
+    )
     sweep.add_argument("--csv", default=None, help="also write the table as CSV")
     sweep.add_argument(
         "--jobs",
@@ -329,6 +379,18 @@ def build_parser() -> argparse.ArgumentParser:
         "to fill in (default: 0.5)",
     )
 
+    status = sub.add_parser(
+        "sweep-status",
+        help="report a published/running sweep's progress and leases "
+        "(read-only view over --cache-dir)",
+    )
+    status.add_argument(
+        "--cache-dir",
+        required=True,
+        metavar="DIR",
+        help="the sweep's shared cache directory",
+    )
+
     worker = sub.add_parser(
         "sweep-worker",
         help="claim and run variants of a sweep published with "
@@ -393,7 +455,11 @@ def main(argv: Sequence[str]) -> int:
                 checkpoint=args.checkpoint,
                 checkpoint_every=args.checkpoint_every,
                 resume=args.resume,
+                kernel=args.kernel,
+                dtype=args.dtype,
             )
+        if args.command == "sweep-status":
+            return run_status_cli(args.cache_dir)
         if args.command == "sweep-worker":
             return run_worker_cli(
                 args.cache_dir,
@@ -417,6 +483,8 @@ def main(argv: Sequence[str]) -> int:
             adaptive=args.adaptive,
             coarse_stride=args.coarse_stride,
             refine_fraction=args.refine_fraction,
+            kernel=args.kernel,
+            dtype=args.dtype,
         )
     except (ScenarioError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

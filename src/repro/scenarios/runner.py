@@ -147,6 +147,8 @@ class CaseRunner:
             collision=collision,
             boundaries=boundaries,
             forcing=forcing,
+            kernel=spec.kernel,
+            dtype=spec.dtype,
         )
         rho, u = spec.initial(spec) if spec.initial else uniform_flow(spec.shape)
         sim.initialize(rho, u)
@@ -261,6 +263,21 @@ class CaseRunner:
             raise ScenarioError(
                 f"checkpoint field shape {data.f.shape} != case field "
                 f"shape {sim.f.shape}"
+            )
+        if str(data.f.dtype) != str(sim.f.dtype):
+            raise ScenarioError(
+                f"checkpoint dtype {data.f.dtype} != case dtype "
+                f"{sim.f.dtype}; a cross-precision restore would not be "
+                "bit-exact (override the case dtype to match)"
+            )
+        if data.kernel != self.spec.kernel:
+            # Kernels agree only to rounding, so continuing under a
+            # different one is not bit-exact — same latch as dtype.
+            raise ScenarioError(
+                f"checkpoint was written with kernel {data.kernel!r}, "
+                f"case resumes with {self.spec.kernel!r}; a cross-kernel "
+                "restore would not be bit-exact (override the case "
+                "kernel to match)"
             )
         if data.time_step > self.spec.steps:
             raise ScenarioError(

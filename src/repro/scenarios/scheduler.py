@@ -64,8 +64,10 @@ __all__ = [
     "DEFAULT_LEASE_TTL",
     "LeaseBoard",
     "SweepScheduler",
+    "SweepStatus",
     "WorkItem",
     "WorkQueue",
+    "sweep_status",
 ]
 
 #: Default lease lifetime.  Live workers heartbeat their lease every
@@ -261,9 +263,7 @@ class LeaseBoard:
 
     def stale(self, record: ClaimRecord) -> bool:
         """Expired TTL, or a same-host owner whose process is gone."""
-        if time.time() >= record.expires_at:
-            return True
-        return record.host == self.host and not _pid_alive(record.pid)
+        return _lease_stale(record, self.host, time.time())
 
     def reclaim(self, fingerprint: str) -> bool:
         """Break a *stale* lease; ``True`` iff we broke it.
@@ -299,6 +299,124 @@ def _pid_alive(pid: int) -> bool:
     except (PermissionError, OSError):  # exists but not ours
         return True
     return True
+
+
+def _lease_stale(record: ClaimRecord, host: str, now: float) -> bool:
+    """The one staleness rule: expired TTL, or a same-host dead owner.
+
+    Shared by :meth:`LeaseBoard.stale` (what workers reclaim by) and
+    :func:`sweep_status` (what the read-only view reports), so the two
+    can never disagree about which leases are reclaimable.
+    """
+    if now >= record.expires_at:
+        return True
+    return record.host == host and not _pid_alive(record.pid)
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepStatus:
+    """Read-only snapshot of a sweep's coordination directory.
+
+    Assembled by :func:`sweep_status` from the manifest, the published
+    work queue (if any) and the lease files — the ``repro sweep-status``
+    view an operator uses to answer "how far along is this distributed
+    sweep, and who is working on what?" without touching any of it.
+    """
+
+    root: str
+    case: str | None
+    parameters: tuple[str, ...]
+    total: int
+    completed: int
+    workers: dict[str, int]
+    published: bool
+    live_leases: tuple[ClaimRecord, ...]
+    stale_leases: tuple[ClaimRecord, ...]
+
+    @property
+    def missing(self) -> int:
+        return self.total - self.completed
+
+    @property
+    def complete(self) -> bool:
+        return self.total > 0 and self.completed >= self.total
+
+    def summary(self) -> str:
+        """Human-readable report (what the CLI prints)."""
+        if self.case is None:
+            return f"{self.root}: no sweep manifest (nothing published or run here)"
+        lines = [
+            f"sweep over case {self.case!r} ({', '.join(self.parameters)}) "
+            f"under {self.root}",
+            f"  variants: {self.total} total, {self.completed} completed, "
+            f"{self.missing} missing"
+            + (" — complete" if self.complete else ""),
+            "  work order: "
+            + ("published (sweep-worker ready)" if self.published else "not published"),
+        ]
+        for worker, count in sorted(self.workers.items()):
+            lines.append(f"  worker {worker}: {count} variant(s) completed")
+        if self.live_leases:
+            lines.append(f"  active leases: {len(self.live_leases)}")
+            now = time.time()
+            for record in self.live_leases:
+                lines.append(
+                    f"    {record.resource[:12]} held by {record.owner} "
+                    f"({record.host}, pid {record.pid}, "
+                    f"expires in {max(0.0, record.expires_at - now):.0f}s)"
+                )
+        else:
+            lines.append("  active leases: none")
+        if self.stale_leases:
+            lines.append(
+                f"  stale leases: {len(self.stale_leases)} "
+                "(reclaimable by any worker)"
+            )
+        return "\n".join(lines)
+
+
+def sweep_status(cache_dir: str | Path) -> SweepStatus:
+    """Inspect a sweep cache directory without mutating it.
+
+    Unlike :class:`LeaseBoard`, this never creates the leases directory
+    or breaks stale claims — it only reads what is there: the manifest's
+    completion record (with per-worker attribution), whether a work
+    order is published, and each lease's liveness (expired TTL, or a
+    same-host owner whose pid is gone, counts as stale).
+    """
+    from .cache import SweepManifest
+
+    root = Path(cache_dir)
+    if not root.is_dir():
+        raise ScenarioError(f"no sweep cache directory at {root}")
+    manifest = SweepManifest.load(root)
+    published = (root / QUEUE_FILENAME).is_file()
+    host = socket.gethostname()
+    now = time.time()
+    live: list[ClaimRecord] = []
+    stale: list[ClaimRecord] = []
+    lease_dir = root / LEASE_DIRNAME
+    if lease_dir.is_dir():
+        for path in sorted(lease_dir.glob("*.lease")):
+            record = read_claim(path)
+            if record is None:
+                continue
+            (stale if _lease_stale(record, host, now) else live).append(record)
+    workers: dict[str, int] = {}
+    if manifest is not None:
+        for owner in manifest.workers.values():
+            workers[owner] = workers.get(owner, 0) + 1
+    return SweepStatus(
+        root=str(root),
+        case=manifest.case if manifest is not None else None,
+        parameters=tuple(manifest.parameters) if manifest is not None else (),
+        total=len(manifest.fingerprints) if manifest is not None else 0,
+        completed=len(set(manifest.completed)) if manifest is not None else 0,
+        workers=workers,
+        published=published,
+        live_leases=tuple(live),
+        stale_leases=tuple(stale),
+    )
 
 
 @dataclasses.dataclass

@@ -171,6 +171,16 @@ class CaseSpec:
         BGK relaxation time (a ``collision`` factory may ignore it).
     order:
         Hermite equilibrium order (``None`` = lattice native).
+    kernel:
+        Stream/collide kernel name (``"roll"``, ``"fused-gather"``,
+        ``"planned"``, ``"naive"``); ``None`` = the driver's legacy
+        default pair.  Mutually exclusive with a ``collision`` factory.
+        ``"auto"`` is rejected here — a spec must be deterministic for
+        the sweep cache; use ``Simulation(kernel="auto")`` directly.
+    dtype:
+        Population dtype policy, ``"float64"`` (default) or
+        ``"float32"``.  Fingerprint-sensitive, like ``kernel``: sweep
+        cache entries distinguish kernel/dtype variants.
     collision:
         Optional factory ``(spec, lattice) -> operator``; default BGK.
     geometry:
@@ -210,6 +220,8 @@ class CaseSpec:
     shape: tuple[int, ...] = (16, 16, 16)
     tau: float = 0.8
     order: int | None = None
+    kernel: str | None = None
+    dtype: str = "float64"
     collision: CollisionFactory | None = None
     geometry: GeometryBuilder | None = None
     boundaries: BoundaryFactory | None = None
@@ -271,6 +283,39 @@ class CaseSpec:
             raise ScenarioError(
                 f"case {self.name!r}: BGK tau must exceed 0.5, got {self.tau}"
             )
+        if self.kernel is not None:
+            from ..core.plan import AUTO_KERNEL, available_kernels
+
+            if self.kernel == AUTO_KERNEL:
+                # A spec is a *deterministic* declaration: 'auto' picks
+                # whichever kernel wins a timing race on the executing
+                # host, so one fingerprint could cache different
+                # kernels' (tolerance- but not bit-identical) results —
+                # breaking the sweep cache's byte-identity guarantee.
+                # Measured selection stays available on the driver:
+                # Simulation(kernel="auto").
+                raise ScenarioError(
+                    f"case {self.name!r}: kernel 'auto' is per-host "
+                    "timing-dependent and not allowed in a (cacheable, "
+                    "fingerprinted) spec; pick one of "
+                    f"{', '.join(available_kernels())}, or use "
+                    "Simulation(kernel='auto') directly"
+                )
+            if self.kernel not in available_kernels():
+                raise ScenarioError(
+                    f"case {self.name!r}: unknown kernel {self.kernel!r} "
+                    f"(available: {', '.join(available_kernels())})"
+                )
+            if self.collision is not None:
+                raise ScenarioError(
+                    f"case {self.name!r}: kernel and collision factory are "
+                    "mutually exclusive (kernels own a BGK collision)"
+                )
+        if self.dtype not in ("float32", "float64"):
+            raise ScenarioError(
+                f"case {self.name!r}: dtype must be 'float32' or 'float64', "
+                f"got {self.dtype!r}"
+            )
         for field_name in ("steps", "monitor_every", "check_stability_every"):
             if not isinstance(getattr(self, field_name), int):
                 raise ScenarioError(
@@ -315,8 +360,8 @@ class CaseSpec:
 
     #: CaseSpec field names a sweep/CLI may override directly.
     OVERRIDABLE = frozenset(
-        {"lattice", "shape", "tau", "order", "forcing", "steps",
-         "monitor_every", "check_stability_every"}
+        {"lattice", "shape", "tau", "order", "kernel", "dtype", "forcing",
+         "steps", "monitor_every", "check_stability_every"}
     )
 
     def with_overrides(self, **overrides: Any) -> "CaseSpec":

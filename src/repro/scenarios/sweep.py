@@ -147,14 +147,22 @@ class Sweep:
         spec; other names are case knobs routed into ``spec.params``.
     steps:
         Optional step-count override applied to every variant.
+    overrides:
+        Optional fixed overrides applied to every variant (e.g. the
+        CLI's ``--kernel``/``--dtype`` flags).  Grid parameters win on
+        a name collision; like the grid values, these flow through
+        each variant's fingerprint, so the sweep cache distinguishes
+        kernel/dtype choices.
     """
 
     case: str | CaseSpec
     parameters: Mapping[str, Sequence[Any]]
     steps: int | None = None
+    overrides: Mapping[str, Any] | None = None
 
     def __post_init__(self) -> None:
         self.parameters = {k: list(v) for k, v in self.parameters.items()}
+        self.overrides = dict(self.overrides or {})
         if not self.parameters:
             raise ValueError("sweep needs at least one parameter")
         for name, values in self.parameters.items():
@@ -187,9 +195,12 @@ class Sweep:
         return [spec.fingerprint() for spec in self.specs()]
 
     def _with_steps(self, overrides: dict[str, Any]) -> dict[str, Any]:
-        if self.steps is not None and "steps" not in overrides:
-            return {**overrides, "steps": self.steps}
-        return overrides
+        """One variant's full override dict: sweep-level fixed overrides
+        (and step count), with the grid values taking precedence."""
+        merged = {**self.overrides, **overrides}
+        if self.steps is not None and "steps" not in merged:
+            merged["steps"] = self.steps
+        return merged
 
     def run(
         self,

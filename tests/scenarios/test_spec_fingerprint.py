@@ -93,6 +93,8 @@ ALTERNATES = {
     "shape": (4, 4, 8),
     "tau": 0.9,
     "order": 2,
+    "kernel": "planned",
+    "dtype": "float32",
     "collision": _collision,
     "geometry": _geometry_b,
     "boundaries": _boundaries,
