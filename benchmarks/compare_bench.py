@@ -29,12 +29,19 @@ def kernel_mflups(record: dict, kernel: str) -> dict[str, float]:
     Matches case-insensitively by benchmark-name substring (or the
     ``kernel`` extra-info field) so the gate survives suite
     reparameterisations: PR3 named entries ``[RollKernel-D3Q19]``, PR4
-    names them ``[roll-float64-D3Q19]``.  float32 entries are excluded.
+    names them ``[roll-float64-D3Q19]``.  ``kernel`` may be several
+    ``+``-joined substrings that must all match — the PR5 distributed
+    gate selects ``planned+distributed`` to separate the slab rows from
+    the single-domain planned rows.  float32 entries are excluded.
     """
+    tokens = [t for t in kernel.lower().split("+") if t]
     found: dict[str, float] = {}
     for name, entry in record.get("kernels", {}).items():
         lowered = name.lower()
-        if kernel.lower() not in lowered and entry.get("kernel") != kernel:
+        if (
+            not all(token in lowered for token in tokens)
+            and entry.get("kernel") != kernel
+        ):
             continue
         if "float32" in lowered or entry.get("dtype") == "float32":
             continue

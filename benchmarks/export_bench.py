@@ -20,10 +20,11 @@ import json
 import sys
 from pathlib import Path
 
-#: Schema 2 (PR 4): entries may carry ``kernel``/``dtype`` extra-info
-#: keys now that the suite measures the planned kernel and the float32
-#: dtype-policy rungs alongside the historic float64 kernels.
-SCHEMA = 2
+#: Schema 3 (PR 5): entries may additionally carry ``comm_bytes`` and
+#: distributed-ladder names (``test_distributed_throughput[...]``) now
+#: that the suite measures the slab-parallel path across kernels and
+#: dtypes.  Schema 2 (PR 4) added ``kernel``/``dtype`` extra-info keys.
+SCHEMA = 3
 
 
 def export(report: dict) -> dict:

@@ -32,7 +32,12 @@ shape/lattice/dtype and keep the fastest — the measured counterpart of
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import platform
 import time
+from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
@@ -51,6 +56,8 @@ __all__ = [
     "PlannedKernel",
     "auto_select_kernel",
     "available_kernels",
+    "build_slab_gather_table",
+    "kernel_cache_dir",
     "make_kernel",
 ]
 
@@ -76,6 +83,49 @@ def build_gather_table(lattice: VelocitySet, shape: Sequence[int]) -> np.ndarray
     return np.ascontiguousarray((rows + offsets).reshape(-1))
 
 
+def build_slab_gather_table(
+    lattice: VelocitySet, padded_shape: Sequence[int], window: slice
+) -> np.ndarray:
+    """Flat pull indices from a halo-padded slab into an x-window of it.
+
+    ``table[i * Nw + flat_w(x)] = i * Npad + flat_pad(x - c_i)``, where
+    destinations range over the compute ``window`` (an x-slice of the
+    padded array) and sources live in the *full* padded array: periodic
+    along y/z, **non-wrapping** along x — the 1-D slab decomposition
+    axis, where wrap-around data arrives by halo exchange instead.  One
+    ``np.take`` through this table therefore streams *and* extracts the
+    valid window in a single gather, the halo-padded counterpart of
+    :func:`build_gather_table`.
+
+    Every source must lie inside the padded array; that holds exactly
+    when the window leaves ``k = max_displacement`` planes of padding on
+    each side (the deep-halo validity invariant), and is verified here
+    so a mis-sized window fails at plan build, not as silent clipping.
+    """
+    padded_shape = tuple(int(s) for s in padded_shape)
+    px = padded_shape[0]
+    start, stop, _ = window.indices(px)
+    if stop <= start:
+        raise LatticeError(f"empty compute window {window} in {padded_shape}")
+    coords = np.indices((stop - start, *padded_shape[1:]))
+    n_pad = int(np.prod(padded_shape))
+    rows = []
+    for i, c in enumerate(lattice.velocities):
+        sx = coords[0] + start - int(c[0])  # non-wrapping decomposed axis
+        if sx.min() < 0 or sx.max() >= px:
+            raise LatticeError(
+                f"window {start}:{stop} needs sources outside the padded "
+                f"array (x extent {px}); widen the padding by "
+                f"{lattice.max_displacement} planes per side"
+            )
+        flat = sx
+        for axis in range(1, len(padded_shape)):
+            src = (coords[axis] - int(c[axis])) % padded_shape[axis]
+            flat = flat * padded_shape[axis] + src
+        rows.append((flat + i * n_pad).ravel())
+    return np.ascontiguousarray(np.concatenate(rows))
+
+
 class KernelPlan:
     """Precomputed state for one ``(lattice, shape, order, dtype)`` hot loop.
 
@@ -84,6 +134,12 @@ class KernelPlan:
     scratch arena.  Plans are cheap to hold and safe to share between
     steps; they must not be shared between concurrently stepping kernels
     (the arena is mutable state).
+
+    ``shape`` is the plan's *compute* extent.  By default it is also the
+    streaming source extent (periodic single domain); a plan built via
+    :meth:`for_window` instead computes a movable x-window of a larger
+    halo-padded array, gathering its sources from the padded array —
+    the extension :class:`~repro.parallel.plan.PlannedSlabKernel` rides.
     """
 
     def __init__(
@@ -92,6 +148,7 @@ class KernelPlan:
         shape: Sequence[int],
         order: int | None = None,
         dtype: "np.dtype | str | None" = None,
+        gather: np.ndarray | None = None,
     ) -> None:
         self.lattice = lattice
         self.shape = tuple(int(s) for s in shape)
@@ -102,7 +159,14 @@ class KernelPlan:
         q = lattice.q
         n = int(np.prod(self.shape))
         self.num_cells = n
-        self.gather = build_gather_table(lattice, self.shape)
+        #: x-slice of the source array this plan computes (None = whole).
+        self.window: slice | None = None
+        #: Spatial shape of the streaming *source* array (== shape for
+        #: periodic plans; the padded shape for window plans).
+        self.source_shape: tuple[int, ...] = self.shape
+        self.gather = (
+            build_gather_table(lattice, self.shape) if gather is None else gather
+        )
         # Constant tables, cast once (velocities_as caches per lattice).
         self.c = lattice.velocities_as(self.dtype)  # (Q, D)
         self.c_t = np.ascontiguousarray(self.c.T)  # (D, Q)
@@ -129,6 +193,37 @@ class KernelPlan:
         self._term_rows = tuple(self.term[i] for i in range(q))
         self._work_rows = tuple(self.work[i] for i in range(q))
         self._w_scalars = tuple(float(w) for w in self.w)
+
+    @classmethod
+    def for_window(
+        cls,
+        lattice: VelocitySet,
+        padded_shape: Sequence[int],
+        window: slice,
+        order: int | None = None,
+        dtype: "np.dtype | str | None" = None,
+    ) -> "KernelPlan":
+        """A plan computing one x-window of a halo-padded slab array.
+
+        ``stream_into`` then expects the *padded* array as its source
+        and the plan's window-sized buffer as its destination; the
+        collision arena is sized for the window.  Used per validity
+        level by :class:`~repro.parallel.plan.PlannedSlabKernel` (each
+        deep-halo sub-step computes a different, shrinking window).
+        """
+        padded_shape = tuple(int(s) for s in padded_shape)
+        start, stop, _ = window.indices(padded_shape[0])
+        shape = (stop - start, *padded_shape[1:])
+        plan = cls(
+            lattice,
+            shape,
+            order=order,
+            dtype=dtype,
+            gather=build_slab_gather_table(lattice, padded_shape, window),
+        )
+        plan.window = slice(start, stop)
+        plan.source_shape = padded_shape
+        return plan
 
     @property
     def nbytes(self) -> int:
@@ -372,6 +467,83 @@ def make_kernel(
     return cls(lattice, tau, order=order)
 
 
+#: Environment variable overriding where auto-selection verdicts live.
+KERNEL_CACHE_ENV = "REPRO_KERNEL_CACHE_DIR"
+
+#: Environment variable disabling the verdict cache entirely (any
+#: non-empty value); the programmatic escape hatch behind the CLI's
+#: ``--no-kernel-cache``.
+KERNEL_CACHE_DISABLE_ENV = "REPRO_NO_KERNEL_CACHE"
+
+
+def kernel_cache_dir() -> Path:
+    """Directory holding cached ``kernel="auto"`` verdicts.
+
+    ``$REPRO_KERNEL_CACHE_DIR`` when set, else the conventional
+    per-user cache location (``$XDG_CACHE_HOME``/``~/.cache``) under
+    ``repro/kernel-auto``.
+    """
+    override = os.environ.get(KERNEL_CACHE_ENV)
+    if override:
+        return Path(override)
+    base = os.environ.get("XDG_CACHE_HOME") or (Path.home() / ".cache")
+    return Path(base) / "repro" / "kernel-auto"
+
+
+def _auto_cache_key(
+    lattice: VelocitySet,
+    shape: tuple[int, ...],
+    order: int | None,
+    dtype: np.dtype,
+    candidates: Sequence[str],
+) -> dict:
+    """The identity a cached verdict is valid for.
+
+    Keyed per *host* because the verdict is a timing race: another
+    machine (or core count) may legitimately crown a different kernel.
+    ``tau`` is deliberately absent — it scales the arithmetic, not the
+    memory behaviour the race measures.
+    """
+    return {
+        "host": platform.node(),
+        "lattice": lattice.name,
+        "shape": list(shape),
+        "order": equilibrium_order_for(lattice, order),
+        "dtype": dtype.name,
+        "candidates": list(candidates),
+    }
+
+
+def _auto_cache_path(cache_dir: Path, key: dict) -> Path:
+    digest = hashlib.sha256(
+        json.dumps(key, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    return cache_dir / f"{digest[:24]}.json"
+
+
+def _read_auto_cache(path: Path, key: dict) -> dict | None:
+    """The cached verdict record, or ``None`` if absent/corrupt/stale."""
+    try:
+        record = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if record.get("key") != key or record.get("kernel") not in KERNELS:
+        return None
+    return record
+
+
+def _write_auto_cache(path: Path, key: dict, best: str, timings: dict) -> None:
+    """Best-effort verdict write (an unwritable cache is not an error)."""
+    record = {"key": key, "kernel": best, "timings": timings}
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + f".{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(record, sort_keys=True, indent=1))
+        os.replace(tmp, path)
+    except OSError:
+        pass
+
+
 def auto_select_kernel(
     lattice: VelocitySet,
     shape: Sequence[int],
@@ -382,6 +554,8 @@ def auto_select_kernel(
     warmup: int = 1,
     trials: int = 2,
     clock: Callable[[], float] = time.perf_counter,
+    cache: bool | None = None,
+    cache_dir: "str | Path | None" = None,
 ) -> LBMKernel:
     """Time each candidate on the actual shape/lattice and keep the fastest.
 
@@ -391,11 +565,37 @@ def auto_select_kernel(
     on an equilibrium rest state.  The winning *instance* is returned
     (already warm), with the per-candidate mean step seconds attached as
     ``kernel.auto_timings``.
+
+    Verdicts are cached per (host, shape, lattice, order, dtype,
+    candidates) under :func:`kernel_cache_dir`, so repeated builds of
+    the same problem skip the timing race; a hit returns a fresh warm
+    instance of the recorded winner with ``kernel.auto_cached = True``.
+    ``cache=False`` (or a set ``$REPRO_NO_KERNEL_CACHE``) disables both
+    the lookup and the write-back; ``cache=None`` means "on unless the
+    environment disables it".
     """
     if not candidates:
         raise LatticeError("auto kernel selection needs at least one candidate")
     dtype = resolve_dtype(dtype)
     shape = tuple(int(s) for s in shape)
+    if cache is None:
+        cache = not os.environ.get(KERNEL_CACHE_DISABLE_ENV)
+    cache_path = None
+    if cache:
+        key = _auto_cache_key(lattice, shape, order, dtype, candidates)
+        cache_path = _auto_cache_path(
+            Path(cache_dir) if cache_dir is not None else kernel_cache_dir(), key
+        )
+        record = _read_auto_cache(cache_path, key)
+        if record is not None:
+            winner = make_kernel(
+                record["kernel"], lattice, tau, order=order, dtype=dtype, shape=shape
+            )
+            winner.auto_timings = {
+                str(k): float(v) for k, v in record.get("timings", {}).items()
+            }
+            winner.auto_cached = True
+            return winner
     # Equilibrium at rest (rho=1, u=0): f_i = w_i, numerically inert, so
     # timing steps cannot go unstable no matter the tau.
     f0 = np.empty((lattice.q, *shape), dtype=dtype)
@@ -415,4 +615,7 @@ def auto_select_kernel(
     best = min(timings, key=lambda name: (timings[name], name))
     winner = kernels[best]
     winner.auto_timings = dict(timings)
+    winner.auto_cached = False
+    if cache_path is not None:
+        _write_auto_cache(cache_path, key, best, timings)
     return winner

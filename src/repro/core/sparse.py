@@ -18,7 +18,8 @@ For a fully fluid periodic box the sparse solver reproduces the dense
 walls it conserves mass exactly and produces the expected channel
 profiles.  Memory drops from ``Q * nx * ny * nz`` to ``Q * N_fluid`` —
 the win that matters when an artery occupies a few percent of its
-bounding box.
+bounding box — and the repo's population dtype policy applies
+(``dtype="float32"`` halves the per-node bytes again).
 """
 
 from __future__ import annotations
@@ -31,6 +32,7 @@ from ..errors import LatticeError
 from ..lattice import VelocitySet, get_lattice
 from .collision import BGKCollision
 from .equilibrium import equilibrium
+from .fields import resolve_dtype
 from .moments import density, momentum
 
 __all__ = ["SparseDomain", "SparseSimulation"]
@@ -91,8 +93,14 @@ class SparseDomain:
     # -- dense <-> sparse -------------------------------------------------
 
     def scatter(self, sparse_values: np.ndarray, fill: float = np.nan) -> np.ndarray:
-        """Sparse per-node values -> dense array over the bounding box."""
-        dense = np.full(self.solid_mask.size, fill)
+        """Sparse per-node values -> dense array over the bounding box.
+
+        The dense result keeps the values' floating dtype, so a float32
+        solve scatters to a float32 box.
+        """
+        sparse_values = np.asarray(sparse_values)
+        dtype = sparse_values.dtype if sparse_values.dtype.kind == "f" else np.float64
+        dense = np.full(self.solid_mask.size, fill, dtype=dtype)
         dense[self.fluid_index] = sparse_values
         return dense.reshape(self.shape)
 
@@ -116,6 +124,7 @@ class SparseSimulation:
         tau: float = 1.0,
         order: int | None = None,
         force: Sequence[float] | None = None,
+        dtype: "np.dtype | str | None" = None,
     ) -> None:
         self.lattice = get_lattice(lattice) if isinstance(lattice, str) else lattice
         if self.lattice.max_displacement != 1:
@@ -124,12 +133,24 @@ class SparseSimulation:
                 f"(got {self.lattice.name} with k={self.lattice.max_displacement}); "
                 "multi-speed lattices need multi-layer wall handling"
             )
+        self.dtype = resolve_dtype(dtype)
         self.domain = SparseDomain(self.lattice, solid_mask)
         self.collision = BGKCollision(self.lattice, tau, order=order)
-        self.f = np.zeros((self.lattice.q, self.domain.num_fluid))
+        self.f = np.zeros((self.lattice.q, self.domain.num_fluid), dtype=self.dtype)
         self._force = None if force is None else np.asarray(force, dtype=np.float64)
         if self._force is not None and len(self._force) != self.lattice.dim:
             raise LatticeError("force must have one component per dimension")
+        if self._force is None:
+            self._force_term = None
+        else:
+            # Constant per-velocity forcing increment, computed once in
+            # float64 then cast to the population dtype (the per-step
+            # recomputation this replaces was also a hidden allocation).
+            cf = self.lattice.velocities_as(np.float64) @ self._force  # (Q,)
+            term = self.lattice.weights * cf / self.lattice.cs2_float
+            self._force_term = np.ascontiguousarray(
+                term[:, None], dtype=self.dtype
+            )
         self.time_step = 0
 
     # -- setup ------------------------------------------------------------
@@ -150,7 +171,9 @@ class SparseSimulation:
         else:
             u = np.asarray(u, dtype=np.float64)
             u_s = np.stack([self.domain.gather_from_dense(u[a]) for a in range(3)])
-        self.f = equilibrium(self.lattice, rho_s, u_s, order=self.collision.order)
+        self.f = equilibrium(
+            self.lattice, rho_s, u_s, order=self.collision.order, dtype=self.dtype
+        )
         self.time_step = 0
 
     # -- stepping ------------------------------------------------------------
@@ -160,14 +183,10 @@ class SparseSimulation:
         dom = self.domain
         streamed = self.f[dom.pull_velocity, dom.pull_from]
         self.collision.apply(streamed, out=streamed)
-        if self._force is not None:
+        if self._force_term is not None:
             # first-order (Shan-Chen style) force: shift populations'
             # momentum by F per node per step
-            cs2 = self.lattice.cs2_float
-            c = self.lattice.velocities_as(np.float64)
-            w = self.lattice.weights
-            cf = c @ self._force  # (Q,)
-            streamed += (w * cf / cs2)[:, None]
+            streamed += self._force_term
         self.f = streamed
         self.time_step += 1
 
@@ -199,5 +218,6 @@ class SparseSimulation:
 
     @property
     def memory_bytes(self) -> int:
-        """Population storage: Q x fluid nodes x 8 (the sparse win)."""
+        """Population storage: Q x fluid nodes x itemsize (the sparse
+        win; float32 halves it again, compounding with the node cut)."""
         return self.f.nbytes

@@ -2,11 +2,24 @@
 
 Runs the paper's parallel algorithm — 1-D slab decomposition, halo-padded
 subdomains, deep-halo exchanges every ``depth`` steps — with *exact*
-functional semantics: for any rank count, ghost depth and schedule, the
-gathered global state equals the single-domain
-:class:`~repro.core.simulation.Simulation` to machine precision (this is
-unit- and property-tested; it is the correctness contract the paper's
+functional semantics: for any rank count, ghost depth, schedule, kernel
+and dtype, the gathered global state equals the single-domain
+:class:`~repro.core.simulation.Simulation` configured the same way (this
+is unit- and property-tested; it is the correctness contract the paper's
 optimizations must preserve).
+
+Two slab kernels are selectable:
+
+* ``"legacy"`` (the default) — :func:`~repro.core.streaming.stream_padded`
+  into a scratch buffer plus :meth:`~repro.core.collision.BGKCollision.apply`
+  on the valid window, allocating several padded temporaries per step;
+* ``"planned"`` — :class:`~repro.parallel.plan.PlannedSlabKernel`,
+  the windowed zero-allocation analogue of the single-domain planned
+  kernel (gather-table streaming + preallocated arenas).
+
+The dtype policy reaches every buffer: slab storage, scratch, and the
+exchange payloads, so ``dtype="float32"`` halves the message ledger's
+byte counts exactly as the paper's B(Q) bandwidth analysis predicts.
 """
 
 from __future__ import annotations
@@ -17,15 +30,20 @@ import numpy as np
 
 from ..core.collision import BGKCollision
 from ..core.equilibrium import equilibrium
+from ..core.fields import resolve_dtype
 from ..core.streaming import stream_padded
-from ..errors import DecompositionError
+from ..errors import DecompositionError, LatticeError
 from ..lattice import VelocitySet, get_lattice
 from .decomposition import Slab1D
 from .halo import TAG_TO_LEFT, TAG_TO_RIGHT, HaloSlab, HaloSpec
 from .mpi_sim import Request, SimMPI
+from .plan import PlannedSlabKernel
 from .schedules import ExchangeSchedule
 
-__all__ = ["DistributedSimulation"]
+__all__ = ["DISTRIBUTED_KERNELS", "DistributedSimulation"]
+
+#: Slab stepping implementations selectable by name (``None`` = legacy).
+DISTRIBUTED_KERNELS = ("legacy", "planned")
 
 
 class DistributedSimulation:
@@ -51,6 +69,13 @@ class DistributedSimulation:
         ordering and the performance model only).
     fabric:
         Optional shared :class:`SimMPI` (a fresh one is made by default).
+    kernel:
+        Slab stepping implementation: ``"legacy"`` (or ``None``, the
+        historic ``stream_padded`` + ``BGKCollision.apply`` pair) or
+        ``"planned"`` (zero-allocation windowed plans).
+    dtype:
+        Population dtype policy, ``"float64"`` (default) or
+        ``"float32"`` (halves storage *and* halo payload bytes).
     """
 
     def __init__(
@@ -63,11 +88,20 @@ class DistributedSimulation:
         order: int | None = None,
         schedule: ExchangeSchedule = ExchangeSchedule.NONBLOCKING_GC,
         fabric: SimMPI | None = None,
+        kernel: str | None = None,
+        dtype: "np.dtype | str | None" = None,
     ) -> None:
         self.lattice = get_lattice(lattice) if isinstance(lattice, str) else lattice
         self.global_shape = tuple(int(s) for s in global_shape)
         if len(self.global_shape) != 3:
             raise DecompositionError("global shape must be 3-D")
+        self.kernel_name = "legacy" if kernel is None else str(kernel).lower()
+        if self.kernel_name not in DISTRIBUTED_KERNELS:
+            raise LatticeError(
+                f"unknown distributed kernel {kernel!r}; available: "
+                f"{', '.join(DISTRIBUTED_KERNELS)}"
+            )
+        self.dtype = resolve_dtype(dtype)
         self.decomp = Slab1D(self.global_shape[0], num_ranks)
         self.spec = HaloSpec.for_lattice(self.lattice, ghost_depth)
         self.decomp.validate_halo(self.spec.width)
@@ -76,9 +110,33 @@ class DistributedSimulation:
         self.collision = BGKCollision(self.lattice, tau, order=order)
         _, ny, nz = self.global_shape
         self.slabs = [
-            HaloSlab(self.lattice, self.decomp.local_size(r), ny, nz, self.spec)
+            HaloSlab(
+                self.lattice,
+                self.decomp.local_size(r),
+                ny,
+                nz,
+                self.spec,
+                dtype=self.dtype,
+            )
             for r in range(num_ranks)
         ]
+        # Planned slab kernels, shared across equal-geometry slabs: the
+        # SPMD emulation steps ranks strictly sequentially, so the
+        # mutable window arenas are never used concurrently.
+        self._slab_kernels: dict[int, PlannedSlabKernel] = {}
+        if self.kernel_name == "planned":
+            for slab in self.slabs:
+                if slab.local_nx not in self._slab_kernels:
+                    self._slab_kernels[slab.local_nx] = PlannedSlabKernel(
+                        self.lattice,
+                        slab.local_nx,
+                        ny,
+                        nz,
+                        self.spec,
+                        tau,
+                        order=order,
+                        dtype=self.dtype,
+                    )
         self.time_step = 0
         self.exchange_count = 0
 
@@ -91,8 +149,15 @@ class DistributedSimulation:
     def initialize(self, rho: np.ndarray | float, u: np.ndarray) -> None:
         """Scatter the equilibrium of global ``(rho, u)`` to all slabs."""
         rho_arr = np.broadcast_to(np.asarray(rho, dtype=np.float64), self.global_shape)
+        # Same evaluation as Simulation.initialize under the same dtype
+        # policy, so distributed and single-domain runs start from
+        # identical populations at either precision.
         f_global = equilibrium(
-            self.lattice, np.array(rho_arr), u, order=self.collision.order
+            self.lattice,
+            np.array(rho_arr),
+            u,
+            order=self.collision.order,
+            dtype=self.dtype,
         )
         for rank, slab in enumerate(self.slabs):
             lo, hi = self.decomp.start(rank), self.decomp.stop(rank)
@@ -122,20 +187,23 @@ class DistributedSimulation:
 
     def _exchange_blocking(self) -> None:
         # Classic paired sendrecv sweep: right-going then left-going.
+        # Payloads are the slabs' own preallocated send buffers (stable
+        # for the whole phase), received into preallocated buffers — no
+        # per-exchange array allocations anywhere in the path.
         for rank, slab in enumerate(self.slabs):
             right = self.decomp.right_neighbor(rank)
-            self.mpi.isend(rank, right, TAG_TO_RIGHT, slab.pack_to_right())
+            self.mpi.isend(rank, right, TAG_TO_RIGHT, slab.pack_to_right(), copy=False)
         for rank, slab in enumerate(self.slabs):
             left = self.decomp.left_neighbor(rank)
-            req = self.mpi.irecv(rank, left, TAG_TO_RIGHT)
+            req = self.mpi.irecv(rank, left, TAG_TO_RIGHT, buffer=slab.recv_from_left)
             self.mpi.waitall([req])
             slab.unpack_from_left(req.data)
         for rank, slab in enumerate(self.slabs):
             left = self.decomp.left_neighbor(rank)
-            self.mpi.isend(rank, left, TAG_TO_LEFT, slab.pack_to_left())
+            self.mpi.isend(rank, left, TAG_TO_LEFT, slab.pack_to_left(), copy=False)
         for rank, slab in enumerate(self.slabs):
             right = self.decomp.right_neighbor(rank)
-            req = self.mpi.irecv(rank, right, TAG_TO_LEFT)
+            req = self.mpi.irecv(rank, right, TAG_TO_LEFT, buffer=slab.recv_from_right)
             self.mpi.waitall([req])
             slab.unpack_from_right(req.data)
 
@@ -145,15 +213,28 @@ class DistributedSimulation:
         for rank in range(self.num_ranks):
             left = self.decomp.left_neighbor(rank)
             right = self.decomp.right_neighbor(rank)
-            from_left = self.mpi.irecv(rank, left, TAG_TO_RIGHT)
-            from_right = self.mpi.irecv(rank, right, TAG_TO_LEFT)
+            slab = self.slabs[rank]
+            from_left = self.mpi.irecv(
+                rank, left, TAG_TO_RIGHT, buffer=slab.recv_from_left
+            )
+            from_right = self.mpi.irecv(
+                rank, right, TAG_TO_LEFT, buffer=slab.recv_from_right
+            )
             recvs.append((rank, from_left, from_right))
         for rank, slab in enumerate(self.slabs):
             self.mpi.isend(
-                rank, self.decomp.right_neighbor(rank), TAG_TO_RIGHT, slab.pack_to_right()
+                rank,
+                self.decomp.right_neighbor(rank),
+                TAG_TO_RIGHT,
+                slab.pack_to_right(),
+                copy=False,
             )
             self.mpi.isend(
-                rank, self.decomp.left_neighbor(rank), TAG_TO_LEFT, slab.pack_to_left()
+                rank,
+                self.decomp.left_neighbor(rank),
+                TAG_TO_LEFT,
+                slab.pack_to_left(),
+                copy=False,
             )
         for rank, from_left, from_right in recvs:
             self.mpi.waitall([from_left, from_right])
@@ -162,17 +243,26 @@ class DistributedSimulation:
 
     # -- stepping -----------------------------------------------------------------
 
+    def slab_kernel_for(self, slab: HaloSlab) -> PlannedSlabKernel | None:
+        """The planned kernel serving ``slab``, or ``None`` on the
+        legacy path (what :class:`PhaseProfiler` dispatches on)."""
+        return self._slab_kernels.get(slab.local_nx) if self._slab_kernels else None
+
     def step(self) -> None:
         """One global time step (exchanging first if halos are exhausted)."""
         if any(slab.validity < self.spec.k for slab in self.slabs):
             self.exchange()
-        for slab in self.slabs:
-            stream_padded(self.lattice, slab.data, out=slab.scratch)
-            slab.consume_step()
-            window = slab.compute_window()
-            view = slab.scratch[:, window]
-            self.collision.apply(view, out=view)
-            slab.data, slab.scratch = slab.scratch, slab.data
+        if self._slab_kernels:
+            for slab in self.slabs:
+                self._slab_kernels[slab.local_nx].step(slab)
+        else:
+            for slab in self.slabs:
+                stream_padded(self.lattice, slab.data, out=slab.scratch)
+                slab.consume_step()
+                window = slab.compute_window()
+                view = slab.scratch[:, window]
+                self.collision.apply(view, out=view)
+                slab.data, slab.scratch = slab.scratch, slab.data
         self.time_step += 1
 
     def run(self, steps: int) -> None:

@@ -18,7 +18,11 @@ plus an explicit :class:`~repro.errors.HaloValidityError` guard here.
 The exchange itself ships, per side, the outermost ``H`` *interior*
 planes to the neighbor (the same total bytes per macro-cycle as depth-1;
 ``depth``-fold fewer messages — asserted against the message ledger in
-tests, matching the paper's §VI-A claim).
+tests, matching the paper's §VI-A claim).  Payloads travel through
+per-slab preallocated contiguous send/receive buffers at the slab's
+population dtype, so the exchange makes no per-call heap allocations
+and the message ledger's byte counts reflect the real payload width
+(float32 halves them, exactly as the paper's B(Q) analysis predicts).
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ import dataclasses
 
 import numpy as np
 
+from ..core.fields import resolve_dtype
 from ..errors import HaloValidityError
 from ..lattice import VelocitySet
 
@@ -69,7 +74,9 @@ class HaloSlab:
     """A halo-padded slab of populations for one rank.
 
     Storage shape is ``(Q, 2*width + L, ny, nz)``; the interior (owned)
-    region is ``[width, width + L)`` along x.
+    region is ``[width, width + L)`` along x.  ``dtype`` follows the
+    repo's population dtype policy (``None`` = float64); it sizes the
+    storage, the scratch buffer and the exchange payload buffers alike.
     """
 
     def __init__(
@@ -79,6 +86,7 @@ class HaloSlab:
         ny: int,
         nz: int,
         spec: HaloSpec,
+        dtype: "np.dtype | str | None" = None,
     ) -> None:
         if local_nx < spec.width:
             raise HaloValidityError(
@@ -88,11 +96,36 @@ class HaloSlab:
         self.lattice = lattice
         self.local_nx = local_nx
         self.spec = spec
+        self.dtype = resolve_dtype(dtype)
         shape = (lattice.q, local_nx + 2 * spec.width, ny, nz)
-        self.data = np.full(shape, np.nan)
-        self.scratch = np.empty_like(self.data)
+        self.data = np.full(shape, np.nan, dtype=self.dtype)
+        # The legacy stream_padded path double-buffers through `scratch`;
+        # the planned slab kernel writes back in place and never touches
+        # it, so it is allocated on first use.
+        self._scratch: np.ndarray | None = None
+        # Exchange payload buffers, one contiguous (Q, width, ny, nz)
+        # block per direction: packs copy live border planes in (so the
+        # fabric may hold a stable reference instead of re-copying) and
+        # receives land here before being unpacked into the ghosts.
+        payload_shape = (lattice.q, spec.width, ny, nz)
+        self._send_right = np.empty(payload_shape, dtype=self.dtype)
+        self._send_left = np.empty(payload_shape, dtype=self.dtype)
+        #: Preallocated receive buffers (hand these to ``SimMPI.irecv``).
+        self.recv_from_left = np.empty(payload_shape, dtype=self.dtype)
+        self.recv_from_right = np.empty(payload_shape, dtype=self.dtype)
         #: Remaining valid ghost planes per side (0 .. width).
         self.validity = 0
+
+    @property
+    def scratch(self) -> np.ndarray:
+        """Streaming double-buffer (legacy path only), lazily allocated."""
+        if self._scratch is None:
+            self._scratch = np.empty_like(self.data)
+        return self._scratch
+
+    @scratch.setter
+    def scratch(self, value: np.ndarray) -> None:
+        self._scratch = value
 
     # -- geometry ------------------------------------------------------------
 
@@ -120,28 +153,44 @@ class HaloSlab:
 
     # -- exchange payloads ------------------------------------------------------
 
-    def pack_to_right(self) -> np.ndarray:
-        """Border planes the right neighbor needs (my last ``width`` planes)."""
-        return self.data[:, self.width + self.local_nx - self.width : self.width + self.local_nx]
-
-    def pack_to_left(self) -> np.ndarray:
-        """Border planes the left neighbor needs (my first ``width`` planes)."""
-        return self.data[:, self.width : 2 * self.width]
-
-    def unpack_from_left(self, payload: np.ndarray) -> None:
-        """Fill my left ghost planes with the left neighbor's border."""
+    def _check_payload(self, payload: np.ndarray) -> None:
         if payload.shape != (self.lattice.q, self.width, *self.data.shape[2:]):
             raise HaloValidityError(
                 f"bad halo payload shape {payload.shape}"
             )
+        if payload.dtype != self.dtype:
+            raise HaloValidityError(
+                f"halo payload dtype {payload.dtype.name} != slab dtype "
+                f"{self.dtype.name} (the dtype policy must reach both "
+                "ends of an exchange)"
+            )
+
+    def pack_to_right(self) -> np.ndarray:
+        """Border planes the right neighbor needs (my last ``width``
+        interior planes), copied into the preallocated contiguous send
+        buffer — a stable, honestly-sized payload (``nbytes`` is exactly
+        what crosses the wire at this slab's dtype), not a strided view
+        of live ``data``."""
+        np.copyto(
+            self._send_right,
+            self.data[:, self.local_nx : self.width + self.local_nx],
+        )
+        return self._send_right
+
+    def pack_to_left(self) -> np.ndarray:
+        """Border planes the left neighbor needs (my first ``width``
+        interior planes), copied into the preallocated send buffer."""
+        np.copyto(self._send_left, self.data[:, self.width : 2 * self.width])
+        return self._send_left
+
+    def unpack_from_left(self, payload: np.ndarray) -> None:
+        """Fill my left ghost planes with the left neighbor's border."""
+        self._check_payload(payload)
         self.data[:, : self.width] = payload
 
     def unpack_from_right(self, payload: np.ndarray) -> None:
         """Fill my right ghost planes with the right neighbor's border."""
-        if payload.shape != (self.lattice.q, self.width, *self.data.shape[2:]):
-            raise HaloValidityError(
-                f"bad halo payload shape {payload.shape}"
-            )
+        self._check_payload(payload)
         self.data[:, self.width + self.local_nx :] = payload
 
     def mark_exchanged(self) -> None:

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import dataclasses
 
+import numpy as np
+
 __all__ = ["HybridConfig"]
 
 
@@ -52,6 +54,26 @@ class HybridConfig:
         sections of the number of domains multiplied by 2n").
         """
         return self.total_ranks * 2 * depth * k * cross_section
+
+    def ghost_bytes_total(
+        self,
+        cross_section: int,
+        depth: int,
+        k: int,
+        q: int,
+        dtype: "np.dtype | str | type" = np.float64,
+    ) -> int:
+        """Population bytes held in ghost cells under the dtype policy.
+
+        ``ghost_cells_total`` × Q populations × the population dtype's
+        itemsize — the storage-side counterpart of the halo exchange's
+        ledger bytes, which ``dtype="float32"`` halves.
+        """
+        return (
+            self.ghost_cells_total(cross_section, depth, k)
+            * q
+            * np.dtype(dtype).itemsize
+        )
 
     @property
     def label(self) -> str:

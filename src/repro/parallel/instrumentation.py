@@ -47,8 +47,10 @@ class PhaseProfile:
 class PhaseProfiler:
     """Instrumented driver around a :class:`DistributedSimulation`.
 
-    Re-implements the step loop with per-rank timers; physics is
-    identical to the uninstrumented driver (unit-tested).
+    Re-implements the step loop with per-rank timers, dispatching on the
+    simulation's kernel selection (legacy pair or planned slab kernel);
+    physics is identical to the uninstrumented driver (unit-tested for
+    both kernels).
     """
 
     def __init__(self, simulation: DistributedSimulation) -> None:
@@ -69,6 +71,12 @@ class PhaseProfiler:
         if any(slab.validity < sim.spec.k for slab in sim.slabs):
             self._timed_exchange()
         for rank, slab in enumerate(sim.slabs):
+            kernel = sim.slab_kernel_for(slab)
+            if kernel is not None:
+                streamed, collided = kernel.timed_step(slab)
+                self.profile.seconds["stream"][rank] += streamed
+                self.profile.seconds["collide"][rank] += collided
+                continue
             t0 = time.perf_counter()
             stream_padded(sim.lattice, slab.data, out=slab.scratch)
             t1 = time.perf_counter()

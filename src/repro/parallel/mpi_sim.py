@@ -17,7 +17,12 @@ substrate with mpi4py-like semantics:
   messages allows for easier masking of the messaging latency", §VI-A).
 
 Payloads are copied on send (value semantics, like a real network) so a
-rank cannot observe its neighbor's later in-place mutations.
+rank cannot observe its neighbor's later in-place mutations.  Callers
+that manage their own stable payload buffers — the halo exchange packs
+into per-slab preallocated send buffers — may pass ``copy=False`` to
+skip that defensive copy, and hand :meth:`SimMPI.irecv` a preallocated
+``buffer`` to land the payload in (the ``MPI_Irecv(buf, ...)`` shape),
+making a whole exchange free of heap allocations.
 """
 
 from __future__ import annotations
@@ -81,7 +86,10 @@ class Request:
     """Handle for a pending non-blocking operation.
 
     ``kind`` is ``"send"`` or ``"recv"``.  Receives resolve at
-    :meth:`SimMPI.waitall`, storing the payload in :attr:`data`.
+    :meth:`SimMPI.waitall`, storing the payload in :attr:`data` — into
+    the caller-provided :attr:`buffer` when one was posted with the
+    receive (then ``data is buffer``), else as the matched payload
+    array itself.
     """
 
     kind: str
@@ -90,6 +98,7 @@ class Request:
     tag: int
     data: np.ndarray | None = None
     complete: bool = False
+    buffer: np.ndarray | None = None
 
 
 class SimMPI:
@@ -119,11 +128,27 @@ class SimMPI:
 
     # -- non-blocking API ---------------------------------------------------
 
-    def isend(self, source: int, dest: int, tag: int, payload: np.ndarray) -> Request:
-        """Post a send; the payload is copied immediately (buffered send)."""
+    def isend(
+        self,
+        source: int,
+        dest: int,
+        tag: int,
+        payload: np.ndarray,
+        copy: bool = True,
+    ) -> Request:
+        """Post a send; the payload is copied immediately (buffered send).
+
+        ``copy=False`` enqueues the caller's array by reference — the
+        zero-allocation path for callers whose payload buffer is stable
+        until the matching receive completes (like a real ``MPI_Isend``
+        contract).  The ledger records the same bytes either way.
+        """
         self._check_rank(source)
         self._check_rank(dest)
-        payload = np.array(payload, copy=True)
+        if copy:
+            payload = np.array(payload, copy=True)
+        else:
+            payload = np.asarray(payload)
         self._mailboxes[(source, dest, tag)].append(payload)
         self.ledger.log(
             MessageRecord(
@@ -136,11 +161,22 @@ class SimMPI:
         )
         return Request(kind="send", rank=source, peer=dest, tag=tag, complete=True)
 
-    def irecv(self, dest: int, source: int, tag: int) -> Request:
-        """Post a receive; completes at :meth:`waitall`."""
+    def irecv(
+        self,
+        dest: int,
+        source: int,
+        tag: int,
+        buffer: np.ndarray | None = None,
+    ) -> Request:
+        """Post a receive; completes at :meth:`waitall`.
+
+        With ``buffer``, the payload is copied into it on completion
+        (``MPI_Irecv(buf, ...)`` semantics) and ``request.data`` aliases
+        the buffer — no fresh array is created for the receive.
+        """
         self._check_rank(source)
         self._check_rank(dest)
-        return Request(kind="recv", rank=dest, peer=source, tag=tag)
+        return Request(kind="recv", rank=dest, peer=source, tag=tag, buffer=buffer)
 
     def waitall(self, requests: Iterable[Request]) -> None:
         """Complete all requests; raises if a receive has no matching send.
@@ -161,7 +197,18 @@ class SimMPI:
                     f"deadlock: rank {req.rank} waiting on message from "
                     f"{req.peer} tag {req.tag} that was never sent"
                 )
-            req.data = box.popleft()
+            payload = box.popleft()
+            if req.buffer is not None:
+                if req.buffer.shape != payload.shape or req.buffer.dtype != payload.dtype:
+                    raise ValueError(
+                        f"receive buffer {req.buffer.dtype.name}{req.buffer.shape} "
+                        f"does not match payload "
+                        f"{payload.dtype.name}{payload.shape}"
+                    )
+                np.copyto(req.buffer, payload)
+                req.data = req.buffer
+            else:
+                req.data = payload
             req.complete = True
 
     # -- convenience blocking wrappers ---------------------------------------

@@ -87,6 +87,28 @@ def _mass_rtol(result: CaseResult) -> float:
     return 1e-10 if result.spec.dtype == "float64" else 1e-4
 
 
+def _distributed_kernel(spec: CaseSpec) -> str:
+    """Map the spec's single-domain kernel onto the slab path.
+
+    The distributed solver has two implementations: the planned
+    windowed kernel (selected when the spec runs planned) and the
+    legacy pair (everything else — roll/fused-gather/naive share the
+    legacy pair's arithmetic to rounding, so it is the faithful
+    counterpart for them).
+    """
+    return "planned" if spec.kernel == "planned" else "legacy"
+
+
+def _gather_tol(spec: CaseSpec) -> float:
+    """Distributed-vs-single-domain population tolerance per dtype.
+
+    float64 keeps the historic near-bit-exact 1e-13 bound; float32
+    carries ~1e-7 relative rounding per step, so a short run is bounded
+    by 2e-5.
+    """
+    return 1e-13 if spec.dtype == "float64" else 2e-5
+
+
 # -- taylor-green: analytic decay norms ------------------------------------
 
 
@@ -621,6 +643,8 @@ def _deep_halo_analysis(result: CaseResult) -> dict:
     rho, u = spec.initial(spec)
     metrics: dict = {}
     # Functional equivalence: deep halos change messages, not physics.
+    # The distributed runs ride the spec's kernel/dtype selection, so a
+    # planned/float32 case exercises the planned slab path end-to-end.
     for depth in (1, 2):
         dist = DistributedSimulation(
             lattice,
@@ -628,13 +652,18 @@ def _deep_halo_analysis(result: CaseResult) -> dict:
             tau=spec.tau,
             num_ranks=int(spec.params["num_ranks"]),
             ghost_depth=depth,
+            kernel=_distributed_kernel(spec),
+            dtype=spec.dtype,
         )
         dist.initialize(rho, u)
         dist.run(steps)
         metrics[f"halo_error_depth{depth}"] = float(
-            np.abs(dist.gather() - sim.f).max()
+            np.abs(
+                dist.gather().astype(np.float64) - sim.f.astype(np.float64)
+            ).max()
         )
         metrics[f"messages_depth{depth}"] = dist.message_count()
+        metrics[f"comm_bytes_depth{depth}"] = dist.total_comm_bytes()
     # Model tuning: runtime-optimal depth for a large production run.
     params = tuned_params_for_depth_study(
         dict(ladder_states(BLUE_GENE_Q, lattice))[OptimizationLevel.SIMD]
@@ -654,7 +683,7 @@ def _deep_halo_checks(result: CaseResult) -> dict:
         "halo_depth_preserves_physics": max(
             m["halo_error_depth1"], m["halo_error_depth2"]
         )
-        < 1e-13,
+        < _gather_tol(result.spec),
         "fewer_messages_with_depth": m["messages_depth2"]
         < m["messages_depth1"],
         "model_picks_a_depth": m["optimal_depth"] >= 1,
@@ -758,10 +787,37 @@ def _scaling_model_data(lattice_name: str):
 
 
 def _scaling_analysis(result: CaseResult) -> dict:
+    import time
+
+    from ..parallel import DistributedSimulation
+
     data = _scaling_model_data(result.simulation.lattice.name)
     ladder_best = max(value for _, value in data["ladder"])
     efficiency = {nodes: eff for nodes, _, eff in data["scaling"]}
     best = data["hybrid_best"]
+    # Measured counterpart of the model study: re-run the same workload
+    # on the in-process slab solver under the spec's kernel/dtype and
+    # verify the gathered state against the single-domain run — the
+    # end-to-end hook the CI distributed smoke job drives.
+    spec = result.spec
+    sim = result.simulation
+    dist = DistributedSimulation(
+        sim.lattice,
+        spec.shape,
+        tau=spec.tau,
+        num_ranks=int(spec.params.get("num_ranks", 2)),
+        ghost_depth=int(spec.params.get("ghost_depth", 1)),
+        kernel=_distributed_kernel(spec),
+        dtype=spec.dtype,
+    )
+    rho, u = spec.initial(spec)
+    dist.initialize(rho, u)
+    start = time.perf_counter()
+    dist.run(sim.time_step)
+    elapsed = time.perf_counter() - start
+    gather_error = float(
+        np.abs(dist.gather().astype(np.float64) - sim.f.astype(np.float64)).max()
+    )
     return {
         "ladder_best_mflups": ladder_best,
         "model_peak_mflups": data["peak"],
@@ -770,6 +826,12 @@ def _scaling_analysis(result: CaseResult) -> dict:
         "scaling_efficiency_128": efficiency[128],
         "hybrid_best": best.label,
         "hybrid_best_runtime_s": best.runtime_s,
+        "distributed_mflups": sim.time_step
+        * sim.num_cells
+        / max(elapsed, 1e-12)
+        / 1e6,
+        "distributed_gather_error": gather_error,
+        "distributed_comm_bytes": dist.total_comm_bytes(),
     }
 
 
@@ -784,6 +846,8 @@ def _scaling_checks(result: CaseResult) -> dict:
         > 0.0,
         "mid_scale_efficiency_reasonable": m["scaling_efficiency_32"] > 0.5,
         "hybrid_has_feasible_best": m["hybrid_best_runtime_s"] is not None,
+        "distributed_matches_single_domain": m["distributed_gather_error"]
+        < _gather_tol(result.spec),
     }
 
 
@@ -830,7 +894,10 @@ SCALING = register_case(
             "Small measured run plus the calibrated Blue Gene/Q models: "
             "expected throughput per optimization level, strong-scaling "
             "efficiency, and the best hybrid tasks x threads placement "
-            "(sweep `lattice` to compare D3Q19 vs D3Q39)."
+            "(sweep `lattice` to compare D3Q19 vs D3Q39).  Also re-runs "
+            "the workload on the in-process slab solver (`num_ranks`, "
+            "`ghost_depth` params) under the case's kernel/dtype and "
+            "checks the gathered state against the single-domain run."
         ),
         lattice="D3Q19",
         shape=(32, 32, 4),
@@ -842,8 +909,8 @@ SCALING = register_case(
         analysis=_scaling_analysis,
         checks=_scaling_checks,
         report=_scaling_report,
-        params={"u0": 1e-3},
-        tags=("model", "fast"),
+        params={"u0": 1e-3, "num_ranks": 2, "ghost_depth": 1},
+        tags=("model", "parallel", "fast"),
     )
 )
 

@@ -11,7 +11,7 @@ import argparse
 import sys
 from typing import Any, Sequence
 
-from ..errors import ScenarioError
+from ..errors import ReproError, ScenarioError
 from .executor import SweepExecutor
 from .registry import catalog_table
 from .runner import CaseRunner
@@ -65,6 +65,39 @@ def _parse_grid(pairs: Sequence[str]) -> dict[str, list[Any]]:
     return grid
 
 
+def _resolve_auto_kernel(
+    name: str, overrides: dict[str, Any], use_cache: bool
+) -> str:
+    """Resolve ``--kernel auto`` to a concrete name *before* the spec.
+
+    A fingerprinted :class:`CaseSpec` must stay deterministic, so
+    ``"auto"`` never enters it; instead the timing race (or its cached
+    per-host verdict, see :func:`repro.core.plan.auto_select_kernel`)
+    runs here on the case's actual lattice/shape/dtype, and the winner's
+    name is what the spec records.
+    """
+    from ..core.plan import auto_select_kernel
+    from ..lattice import get_lattice
+    from .registry import get_case
+
+    spec = get_case(name)
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+    # Collision-factory cases own tau; fall back to a safe timing tau.
+    tau = float(spec.tau) if float(spec.tau) > 0.5 else 0.8
+    winner = auto_select_kernel(
+        get_lattice(spec.lattice),
+        spec.shape,
+        tau,
+        order=spec.order,
+        dtype=spec.dtype,
+        cache=use_cache,
+    )
+    provenance = "cached verdict" if getattr(winner, "auto_cached", False) else "measured"
+    print(f"kernel auto -> {winner.name} ({provenance})")
+    return winner.name
+
+
 def run_case_cli(
     name: str,
     *,
@@ -75,15 +108,18 @@ def run_case_cli(
     resume: str | None = None,
     kernel: str | None = None,
     dtype: str | None = None,
+    kernel_cache: bool = True,
 ) -> int:
     """Run one case, print its summary (and report), return an exit code."""
     kwargs = dict(overrides or {})
     if steps is not None:
         kwargs["steps"] = steps
-    if kernel is not None:
-        kwargs["kernel"] = kernel
     if dtype is not None:
         kwargs["dtype"] = dtype
+    if kernel == "auto":
+        kernel = _resolve_auto_kernel(name, kwargs, kernel_cache)
+    if kernel is not None:
+        kwargs["kernel"] = kernel
     runner = CaseRunner(name, **kwargs)
     result = runner.run(
         checkpoint=checkpoint,
@@ -267,7 +303,15 @@ def build_parser() -> argparse.ArgumentParser:
     case.add_argument(
         "--kernel",
         default=None,
-        help="stream/collide kernel: naive, roll, fused-gather, planned",
+        help="stream/collide kernel: naive, roll, fused-gather, planned, "
+        "or auto (measured selection, verdict cached per host/shape/"
+        "lattice/dtype)",
+    )
+    case.add_argument(
+        "--no-kernel-cache",
+        action="store_true",
+        help="with --kernel auto: always re-time the candidates instead "
+        "of reading/writing the per-host verdict cache",
     )
     case.add_argument(
         "--dtype",
@@ -457,6 +501,7 @@ def main(argv: Sequence[str]) -> int:
                 resume=args.resume,
                 kernel=args.kernel,
                 dtype=args.dtype,
+                kernel_cache=not args.no_kernel_cache,
             )
         if args.command == "sweep-status":
             return run_status_cli(args.cache_dir)
@@ -486,6 +531,8 @@ def main(argv: Sequence[str]) -> int:
             kernel=args.kernel,
             dtype=args.dtype,
         )
-    except (ScenarioError, OSError) as exc:
+    except (ReproError, OSError) as exc:
+        # ReproError covers ScenarioError plus the LatticeError family an
+        # auto-kernel resolution can raise.
         print(f"error: {exc}", file=sys.stderr)
         return 2

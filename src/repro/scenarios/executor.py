@@ -53,7 +53,9 @@ __all__ = [
 
 #: Metrics derived from wall-clock timing: meaningless to cache, fatal
 #: to determinism, so the executor drops them from every payload.
-NONDETERMINISTIC_METRICS = frozenset({"mflups"})
+#: ``distributed_mflups`` is the scaling-study case's measured slab
+#: throughput (PR 5), as host-dependent as the driver's own ``mflups``.
+NONDETERMINISTIC_METRICS = frozenset({"mflups", "distributed_mflups"})
 
 
 @dataclasses.dataclass(frozen=True)

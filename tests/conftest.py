@@ -8,6 +8,25 @@ import pytest
 from repro.lattice import get_lattice
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_kernel_cache(tmp_path_factory):
+    """Point the kernel-auto verdict cache at a throwaway directory.
+
+    Tests must neither read a developer's ~/.cache verdicts (they would
+    change which kernel "auto" picks) nor write into it.
+    """
+    import os
+
+    path = tmp_path_factory.mktemp("kernel-auto-cache")
+    old = os.environ.get("REPRO_KERNEL_CACHE_DIR")
+    os.environ["REPRO_KERNEL_CACHE_DIR"] = str(path)
+    yield
+    if old is None:
+        os.environ.pop("REPRO_KERNEL_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_KERNEL_CACHE_DIR"] = old
+
+
 @pytest.fixture(params=["D3Q15", "D3Q19", "D3Q27", "D3Q39"])
 def lattice(request):
     """Every registered lattice."""

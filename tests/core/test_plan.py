@@ -202,9 +202,10 @@ class TestSelection:
 
         # Each candidate's (start, stop) reads advance the fake clock by
         # the same amount, so the tie-break picks the first name in
-        # sorted order among equals -> deterministic.
+        # sorted order among equals -> deterministic.  cache=False keeps
+        # this a pure argmin (no verdict read or written).
         kernel = auto_select_kernel(
-            q19, (4, 4, 4), tau=0.8, clock=clock, warmup=1, trials=1
+            q19, (4, 4, 4), tau=0.8, clock=clock, warmup=1, trials=1, cache=False
         )
         assert kernel.name in AUTO_CANDIDATES
         assert set(kernel.auto_timings) == set(AUTO_CANDIDATES)
@@ -361,3 +362,67 @@ class TestKernelPlanObject:
     def test_order_above_lattice_rejected(self, q19):
         with pytest.raises(LatticeError):
             KernelPlan(q19, (4, 4, 4), order=3)
+
+
+class TestAutoVerdictCache:
+    """kernel='auto' caches its verdict per (host, shape, lattice,
+    order, dtype, candidates) so repeated builds skip re-timing."""
+
+    def test_verdict_cached_and_reused(self, q19, tmp_path):
+        first = auto_select_kernel(q19, (6, 6, 6), tau=0.8, cache_dir=tmp_path)
+        assert first.auto_cached is False
+        files = list(tmp_path.glob("*.json"))
+        assert len(files) == 1
+        second = auto_select_kernel(q19, (6, 6, 6), tau=0.8, cache_dir=tmp_path)
+        assert second.auto_cached is True
+        assert second.name == first.name
+        assert second.auto_timings == first.auto_timings
+
+    def test_key_distinguishes_shape_and_dtype(self, q19, tmp_path):
+        auto_select_kernel(q19, (6, 6, 6), tau=0.8, cache_dir=tmp_path)
+        auto_select_kernel(q19, (7, 6, 6), tau=0.8, cache_dir=tmp_path)
+        auto_select_kernel(
+            q19, (6, 6, 6), tau=0.8, dtype="float32", cache_dir=tmp_path
+        )
+        assert len(list(tmp_path.glob("*.json"))) == 3
+
+    def test_tau_does_not_change_the_key(self, q19, tmp_path):
+        """tau scales the arithmetic, not the memory behaviour being
+        raced, so verdicts are shared across tau values."""
+        auto_select_kernel(q19, (6, 6, 6), tau=0.8, cache_dir=tmp_path)
+        hit = auto_select_kernel(q19, (6, 6, 6), tau=0.9, cache_dir=tmp_path)
+        assert hit.auto_cached is True
+        assert hit.collision.tau == 0.9
+
+    def test_corrupt_record_retimes(self, q19, tmp_path):
+        auto_select_kernel(q19, (6, 6, 6), tau=0.8, cache_dir=tmp_path)
+        (record,) = tmp_path.glob("*.json")
+        record.write_text("{not json")
+        kernel = auto_select_kernel(q19, (6, 6, 6), tau=0.8, cache_dir=tmp_path)
+        assert kernel.auto_cached is False
+
+    def test_cache_false_neither_reads_nor_writes(self, q19, tmp_path):
+        kernel = auto_select_kernel(
+            q19, (6, 6, 6), tau=0.8, cache=False, cache_dir=tmp_path
+        )
+        assert kernel.auto_cached is False
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_env_disable(self, q19, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_KERNEL_CACHE", "1")
+        auto_select_kernel(q19, (6, 6, 6), tau=0.8, cache_dir=tmp_path)
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_cache_dir_env_override(self, q19, tmp_path, monkeypatch):
+        from repro.core import kernel_cache_dir
+
+        monkeypatch.setenv("REPRO_KERNEL_CACHE_DIR", str(tmp_path / "kc"))
+        assert kernel_cache_dir() == tmp_path / "kc"
+        auto_select_kernel(q19, (6, 6, 6), tau=0.8)
+        assert len(list((tmp_path / "kc").glob("*.json"))) == 1
+
+    def test_simulation_auto_uses_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_CACHE_DIR", str(tmp_path))
+        Simulation("D3Q19", (6, 6, 6), tau=0.8, kernel="auto")
+        sim = Simulation("D3Q19", (6, 6, 6), tau=0.8, kernel="auto")
+        assert sim.kernel.auto_cached is True

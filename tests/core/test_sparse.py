@@ -122,3 +122,49 @@ class TestSparseSimulation:
         assert np.abs(u[1]).max() > 1e-7
         # and the mean axial flow is positive
         assert u[0].mean() > 0
+
+
+class TestSparseDtypePolicy:
+    def test_default_is_float64(self, q19):
+        sim = SparseSimulation("D3Q19", np.zeros((4, 4, 4), dtype=bool))
+        sim.initialize(1.0)
+        assert sim.f.dtype == np.float64
+
+    def test_float32_populations_and_memory(self):
+        mask = np.zeros((6, 6, 6), dtype=bool)
+        mask[:, 0, :] = mask[:, -1, :] = True
+        f64 = SparseSimulation("D3Q19", mask, tau=0.8)
+        f32 = SparseSimulation("D3Q19", mask, tau=0.8, dtype="float32")
+        f64.initialize(1.0)
+        f32.initialize(1.0)
+        assert f32.f.dtype == np.float32
+        assert f64.memory_bytes == 2 * f32.memory_bytes
+
+    def test_float32_tracks_float64(self):
+        """The sparse solver under the dtype policy stays within single
+        precision of the float64 run (forced channel, walls, steps)."""
+        mask = np.zeros((6, 8, 6), dtype=bool)
+        mask[:, 0, :] = mask[:, -1, :] = True
+        runs = {}
+        for dtype in ("float64", "float32"):
+            sim = SparseSimulation(
+                "D3Q19", mask, tau=0.9, force=(1e-5, 0, 0), dtype=dtype
+            )
+            sim.initialize(1.0)
+            sim.run(50)
+            assert sim.f.dtype == np.dtype(dtype)
+            runs[dtype] = sim.f.astype(np.float64)
+        assert np.allclose(runs["float32"], runs["float64"], atol=1e-5)
+
+    def test_float32_scatter_preserves_dtype(self):
+        mask = np.zeros((4, 4, 4), dtype=bool)
+        sim = SparseSimulation("D3Q19", mask, tau=0.8, dtype="float32")
+        sim.initialize(1.0)
+        assert sim.density_dense().dtype == np.float32
+        assert sim.velocity_dense().dtype == np.float32
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(LatticeError, match="unsupported"):
+            SparseSimulation(
+                "D3Q19", np.zeros((4, 4, 4), dtype=bool), dtype="int32"
+            )

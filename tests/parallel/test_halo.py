@@ -90,3 +90,69 @@ class TestHaloSlab:
         slab.consume_step()
         assert slab.validity == 3
         assert slab.steps_until_exchange == 1
+
+
+class TestDtypePolicy:
+    def test_default_is_float64(self, q19):
+        slab = HaloSlab(q19, 8, 4, 4, HaloSpec.for_lattice(q19, 1))
+        assert slab.dtype == np.float64
+        assert slab.data.dtype == np.float64
+
+    def test_float32_sizes_every_buffer(self, q19):
+        slab = HaloSlab(q19, 8, 4, 4, HaloSpec.for_lattice(q19, 2), dtype="float32")
+        assert slab.data.dtype == np.float32
+        assert slab.scratch.dtype == np.float32
+        assert slab.pack_to_left().dtype == np.float32
+        assert slab.recv_from_left.dtype == np.float32
+        assert slab.recv_from_right.dtype == np.float32
+
+    def test_unsupported_dtype_rejected(self, q19):
+        from repro.errors import LatticeError
+
+        with pytest.raises(LatticeError, match="unsupported"):
+            HaloSlab(q19, 8, 4, 4, HaloSpec.for_lattice(q19, 1), dtype="float16")
+
+    def test_payload_dtype_mismatch_rejected(self, q19):
+        slab = HaloSlab(q19, 8, 4, 4, HaloSpec.for_lattice(q19, 1), dtype="float32")
+        with pytest.raises(HaloValidityError, match="dtype"):
+            slab.unpack_from_left(np.zeros((19, 1, 4, 4)))  # float64
+
+    def test_scratch_is_lazy(self, q19):
+        """The planned slab path never streams through scratch; the
+        double-buffer must not cost memory until the legacy path asks."""
+        slab = HaloSlab(q19, 8, 4, 4, HaloSpec.for_lattice(q19, 1))
+        assert slab._scratch is None
+        _ = slab.scratch
+        assert slab._scratch is not None
+
+
+class TestPackBuffers:
+    def test_packs_are_contiguous_copies_with_honest_nbytes(self, q19):
+        """A pack must be a stable contiguous buffer whose nbytes is
+        exactly the wire payload — not a strided view of live data."""
+        spec = HaloSpec.for_lattice(q19, 2)
+        slab = HaloSlab(q19, 8, 4, 4, spec, dtype="float32")
+        for payload in (slab.pack_to_left(), slab.pack_to_right()):
+            assert payload.flags.c_contiguous
+            assert payload.base is not slab.data
+            assert payload.nbytes == 19 * spec.width * 4 * 4 * 4
+
+    def test_pack_is_decoupled_from_later_mutation(self, q19):
+        """Mutating slab.data after packing must not change the payload
+        (the exchange sends pack buffers by reference, copy=False)."""
+        slab = HaloSlab(q19, 6, 4, 4, HaloSpec.for_lattice(q19, 1))
+        slab.interior_view()[...] = np.arange(6)[None, :, None, None]
+        payload = slab.pack_to_right()
+        assert (payload == 5).all()
+        slab.interior_view()[...] = -1.0
+        assert (payload == 5).all()
+
+    def test_pack_to_right_reads_last_interior_planes(self, q19):
+        """Regression for the dead arithmetic `width + local - width`:
+        the right pack is the last `width` interior planes for any
+        width, including width > 1."""
+        spec = HaloSpec.for_lattice(q19, 3)  # width 3
+        slab = HaloSlab(q19, 8, 2, 2, spec)
+        slab.interior_view()[...] = np.arange(8)[None, :, None, None]
+        assert (slab.pack_to_right()[:, :, 0, 0] == np.array([5, 6, 7])).all()
+        assert (slab.pack_to_left()[:, :, 0, 0] == np.array([0, 1, 2])).all()

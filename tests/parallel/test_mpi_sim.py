@@ -74,6 +74,50 @@ class TestPointToPoint:
             SimMPI(0)
 
 
+class TestBufferedPath:
+    """The zero-allocation exchange contract: stable-buffer sends and
+    preallocated receive buffers (MPI_Isend/MPI_Irecv semantics)."""
+
+    def test_recv_into_buffer(self):
+        mpi = SimMPI(2)
+        mpi.isend(0, 1, tag=4, payload=np.arange(6.0).reshape(2, 3))
+        buf = np.empty((2, 3))
+        req = mpi.irecv(1, 0, tag=4, buffer=buf)
+        mpi.waitall([req])
+        assert req.data is buf
+        assert np.array_equal(buf, np.arange(6.0).reshape(2, 3))
+
+    def test_buffer_mismatch_raises(self):
+        mpi = SimMPI(2)
+        mpi.isend(0, 1, tag=4, payload=np.zeros((2, 3)))
+        req = mpi.irecv(1, 0, tag=4, buffer=np.empty((3, 2)))
+        with pytest.raises(ValueError, match="does not match"):
+            mpi.waitall([req])
+        mpi.isend(0, 1, tag=5, payload=np.zeros(3, dtype=np.float64))
+        req = mpi.irecv(1, 0, tag=5, buffer=np.empty(3, dtype=np.float32))
+        with pytest.raises(ValueError, match="does not match"):
+            mpi.waitall([req])
+
+    def test_nocopy_send_enqueues_reference(self):
+        """copy=False hands the fabric the caller's buffer: mutations
+        before the receive ARE visible — the caller promises stability
+        (which the halo pack buffers provide)."""
+        mpi = SimMPI(2)
+        payload = np.zeros(3)
+        mpi.isend(0, 1, tag=1, payload=payload, copy=False)
+        payload[:] = 7.0
+        req = mpi.irecv(1, 0, tag=1)
+        mpi.waitall([req])
+        assert (req.data == 7.0).all()
+
+    def test_nocopy_send_same_ledger_bytes(self):
+        mpi = SimMPI(2)
+        mpi.isend(0, 1, tag=1, payload=np.zeros(10, dtype=np.float32), copy=False)
+        mpi.isend(0, 1, tag=1, payload=np.zeros(10, dtype=np.float32), copy=True)
+        a, b = mpi.ledger.records
+        assert a.nbytes == b.nbytes == 40
+
+
 class TestLedger:
     def test_counts_and_bytes(self):
         mpi = SimMPI(2)

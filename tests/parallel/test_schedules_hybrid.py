@@ -59,3 +59,13 @@ class TestHybridConfig:
         vn = HybridConfig(nodes=32, tasks_per_node=4, threads_per_task=1)
         hybrid = HybridConfig(nodes=32, tasks_per_node=1, threads_per_task=4)
         assert hybrid.ghost_cells_total(100, 2, 3) == vn.ghost_cells_total(100, 2, 3) // 4
+
+    def test_ghost_bytes_follow_dtype_policy(self):
+        """float32 halves ghost-cell storage, mirroring the halo
+        exchange's ledger bytes."""
+        cfg = HybridConfig(nodes=8, tasks_per_node=4, threads_per_task=2)
+        cells = cfg.ghost_cells_total(100, 2, 3)
+        f64 = cfg.ghost_bytes_total(100, 2, 3, q=39)
+        f32 = cfg.ghost_bytes_total(100, 2, 3, q=39, dtype="float32")
+        assert f64 == cells * 39 * 8
+        assert f64 == 2 * f32

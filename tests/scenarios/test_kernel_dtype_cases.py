@@ -132,3 +132,56 @@ class TestKernelSweeps:
         assert cold.runs_executed == 4
         assert warm.runs_executed == 0
         assert warm.to_csv() == cold.to_csv()
+
+
+class TestDistributedCases:
+    """The two parallel cases ride the spec's kernel/dtype selection
+    end-to-end into DistributedSimulation."""
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {},
+            {"kernel": "planned", "dtype": "float32"},
+        ],
+        ids=["legacy-float64", "planned-float32"],
+    )
+    def test_deep_halo_tuning(self, overrides):
+        result = run_case("deep-halo-tuning", **overrides)
+        assert result.passed, result.checks
+        # the functional-equivalence metric is dtype-tolerance bounded
+        tol = 1e-13 if result.spec.dtype == "float64" else 2e-5
+        assert result.metrics["halo_error_depth2"] < tol
+
+    def test_scaling_study_distributed_metrics(self):
+        result = run_case(
+            "scaling-study", steps=20, kernel="planned", dtype="float32"
+        )
+        assert result.passed, result.checks
+        assert result.metrics["distributed_gather_error"] < 2e-5
+        assert result.metrics["distributed_comm_bytes"] > 0
+        assert result.checks["distributed_matches_single_domain"]
+
+    def test_scaling_study_float32_halves_comm_bytes(self):
+        f64 = run_case("scaling-study", steps=10)
+        f32 = run_case("scaling-study", steps=10, dtype="float32")
+        assert (
+            f64.metrics["distributed_comm_bytes"]
+            == 2 * f32.metrics["distributed_comm_bytes"]
+        )
+
+    def test_distributed_mflups_stripped_from_sweep_payloads(self, tmp_path):
+        """Measured slab throughput is wall-clock, so the executor must
+        drop it (like `mflups`) or sweep tables lose byte-identity
+        across --jobs and cache states."""
+        from repro.scenarios.executor import (
+            NONDETERMINISTIC_METRICS,
+            SweepExecutor,
+        )
+
+        assert "distributed_mflups" in NONDETERMINISTIC_METRICS
+        sweep = Sweep("scaling-study", {"dtype": ["float32"]}, steps=5)
+        result = SweepExecutor(sweep, cache_dir=tmp_path / "c").run()
+        header = result.to_csv().splitlines()[0]
+        assert "distributed_mflups" not in header
+        assert "distributed_comm_bytes" in header

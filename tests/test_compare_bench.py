@@ -1,0 +1,85 @@
+"""The CI benchmark regression gate (benchmarks/compare_bench.py)."""
+
+import importlib.util
+from pathlib import Path
+
+COMPARATOR = Path(__file__).resolve().parent.parent / "benchmarks" / "compare_bench.py"
+
+
+def load_comparator():
+    spec = importlib.util.spec_from_file_location("compare_bench", COMPARATOR)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+RECORD = {
+    "kernels": {
+        "test_kernel_throughput[roll-float64-D3Q19]": {"mflups": 3.0},
+        "test_kernel_throughput[roll-float32-D3Q19]": {"mflups": 8.0},
+        "test_kernel_throughput[planned-float64-D3Q19]": {"mflups": 6.0},
+        "test_distributed_throughput[planned-float64-D3Q19]": {"mflups": 5.0},
+        "test_distributed_throughput[planned-float64-D3Q39]": {"mflups": 1.5},
+        "test_distributed_throughput[planned-float32-D3Q19]": {"mflups": 9.0},
+        "test_distributed_overhead": {"mean_s": 0.004},
+    }
+}
+
+
+class TestSelection:
+    def test_single_token_excludes_float32(self):
+        module = load_comparator()
+        assert module.kernel_mflups(RECORD, "roll") == {"D3Q19": 3.0}
+
+    def test_plus_tokens_must_all_match(self):
+        """planned+distributed separates the slab rows from the
+        single-domain planned rows (both contain 'planned')."""
+        module = load_comparator()
+        assert module.kernel_mflups(RECORD, "planned+distributed") == {
+            "D3Q19": 5.0,
+            "D3Q39": 1.5,
+        }
+
+    def test_plain_planned_would_collide_by_design(self):
+        """Documenting why the gate uses the + form: a bare 'planned'
+        matches both suites (last match wins per lattice)."""
+        module = load_comparator()
+        found = module.kernel_mflups(RECORD, "planned")
+        assert set(found) == {"D3Q19", "D3Q39"}
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        module = load_comparator()
+        current = {
+            "kernels": {
+                "test_distributed_throughput[planned-float64-D3Q19]": {
+                    "mflups": 4.0
+                },
+                "test_distributed_throughput[planned-float64-D3Q39]": {
+                    "mflups": 1.2
+                },
+            }
+        }
+        ok, lines = module.compare(RECORD, current, "planned+distributed", 0.30)
+        assert ok
+        assert len(lines) == 2
+
+    def test_regression_beyond_tolerance_fails(self):
+        module = load_comparator()
+        current = {
+            "kernels": {
+                "test_distributed_throughput[planned-float64-D3Q19]": {
+                    "mflups": 2.0
+                },
+            }
+        }
+        ok, lines = module.compare(RECORD, current, "planned+distributed", 0.30)
+        assert not ok
+        assert any("REGRESSION" in line for line in lines)
+
+    def test_no_comparable_entries_fails_loudly(self):
+        module = load_comparator()
+        ok, lines = module.compare(RECORD, {"kernels": {}}, "roll", 0.30)
+        assert not ok
+        assert "no comparable" in lines[0]

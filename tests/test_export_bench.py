@@ -37,7 +37,7 @@ REPORT = {
 class TestExport:
     def test_record_shape(self):
         record = load_exporter().export(REPORT)
-        assert record["schema"] == 2
+        assert record["schema"] == 3
         assert record["suite"] == "bench_kernels_real"
         assert record["cpu"] == "Test CPU"
         kernels = record["kernels"]
@@ -63,7 +63,7 @@ class TestMain:
         assert "2 benchmark(s)" in captured
         assert "3.28 MFLUP/s" in captured
         record = json.loads(out.read_text())
-        assert record["schema"] == 2
+        assert record["schema"] == 3
         assert len(record["kernels"]) == 2
 
     def test_usage_error(self, capsys):
