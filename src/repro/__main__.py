@@ -28,6 +28,10 @@ Usage::
         --adaptive final_kinetic_energy           # sample, don't enumerate
     python -m repro sweep-status --cache-dir shared  # progress + leases
 
+    python -m repro sweep taylor-green --param tau=0.6,0.7,0.8 \
+        --workers 2 --cache-dir shared --telemetry  # record JSONL events
+    python -m repro events --cache-dir shared --name variant --tail 20
+
     python -m repro case taylor-green --kernel planned --dtype float32
     python -m repro sweep taylor-green --param kernel=roll,planned \
         --param dtype=float32,float64 --steps 50  # sweep the kernel ladder
@@ -39,7 +43,14 @@ import sys
 
 from .experiments import available_experiments, run_experiment
 
-SCENARIO_COMMANDS = ("case", "cases", "sweep", "sweep-worker", "sweep-status")
+SCENARIO_COMMANDS = (
+    "case",
+    "cases",
+    "sweep",
+    "sweep-worker",
+    "sweep-status",
+    "events",
+)
 
 
 def main(argv: list[str] | None = None) -> int:

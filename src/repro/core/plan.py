@@ -44,6 +44,7 @@ import numpy as np
 
 from ..errors import LatticeError
 from ..lattice import VelocitySet
+from ..telemetry.recorder import get_telemetry
 from .equilibrium import equilibrium_order_for
 from .fields import resolve_dtype
 from .kernels import FusedGatherKernel, LBMKernel, NaiveKernel, RollKernel
@@ -544,6 +545,43 @@ def _write_auto_cache(path: Path, key: dict, best: str, timings: dict) -> None:
         pass
 
 
+def _emit_auto_verdict(
+    winner: str,
+    provenance: str,
+    lattice: VelocitySet,
+    shape: tuple[int, ...],
+    dtype: np.dtype,
+    timings: dict,
+) -> None:
+    """Record a ``kernel.auto`` verdict event on the ambient recorder.
+
+    Each candidate's timing (mean seconds per step) is also expressed
+    as measured MFLUP/s via the paper's Eq. 4 — the number the roofline
+    discussion compares kernels by.
+    """
+    telemetry = get_telemetry()
+    if not telemetry.enabled:
+        return
+    from ..perf.metrics import mflups  # late: perf builds on core
+
+    cells = int(np.prod(shape))
+    rates = {
+        str(name): mflups(1, cells, float(seconds))
+        for name, seconds in timings.items()
+        if float(seconds) > 0
+    }
+    telemetry.event(
+        "kernel.auto",
+        winner=winner,
+        provenance=provenance,
+        lattice=lattice.name,
+        shape=list(shape),
+        dtype=dtype.name,
+        step_seconds={str(k): float(v) for k, v in timings.items()},
+        mflups=rates,
+    )
+
+
 def auto_select_kernel(
     lattice: VelocitySet,
     shape: Sequence[int],
@@ -595,6 +633,10 @@ def auto_select_kernel(
                 str(k): float(v) for k, v in record.get("timings", {}).items()
             }
             winner.auto_cached = True
+            _emit_auto_verdict(
+                record["kernel"], "cached", lattice, shape, dtype,
+                winner.auto_timings,
+            )
             return winner
     # Equilibrium at rest (rho=1, u=0): f_i = w_i, numerically inert, so
     # timing steps cannot go unstable no matter the tau.
@@ -618,4 +660,5 @@ def auto_select_kernel(
     winner.auto_cached = False
     if cache_path is not None:
         _write_auto_cache(cache_path, key, best, timings)
+    _emit_auto_verdict(best, "measured", lattice, shape, dtype, timings)
     return winner

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..errors import LatticeError, StabilityError
 from ..lattice import VelocitySet, get_lattice
+from ..telemetry.recorder import NullTelemetry, Telemetry, get_telemetry
 from .boundary import BoundaryCondition
 from .collision import BGKCollision
 from .fields import DistributionField, resolve_dtype
@@ -88,6 +89,13 @@ class Simulation:
     dtype:
         Population dtype policy, ``"float64"`` (default) or
         ``"float32"`` (halves B(Q) bytes per cell; see README).
+    telemetry:
+        Structured-event recorder (:class:`~repro.telemetry.Telemetry`).
+        ``None`` uses the ambient recorder
+        (:func:`repro.telemetry.get_telemetry` — the no-op default
+        unless enabled).  When enabled, :meth:`run` emits per-phase
+        spans (``phase.stream``/``phase.collide``/``phase.boundary``)
+        derived from the same :class:`StepTimings` clocks as ever.
     """
 
     def __init__(
@@ -101,6 +109,7 @@ class Simulation:
         forcing: GuoForcing | None = None,
         kernel: "str | LBMKernel | None" = None,
         dtype: "str | np.dtype | None" = None,
+        telemetry: "Telemetry | NullTelemetry | None" = None,
     ) -> None:
         self.lattice = get_lattice(lattice) if isinstance(lattice, str) else lattice
         self.shape = tuple(int(s) for s in shape)
@@ -133,8 +142,13 @@ class Simulation:
         self._adv = DistributionField.zeros(self.lattice, self.shape, dtype=self.dtype)
         self.time_step = 0
         self.timings = StepTimings()
+        self.telemetry = get_telemetry() if telemetry is None else telemetry
 
     # -- setup ------------------------------------------------------------
+
+    def set_telemetry(self, telemetry: "Telemetry | NullTelemetry") -> None:
+        """Install a structured-event recorder on this simulation."""
+        self.telemetry = telemetry
 
     def initialize(self, rho: np.ndarray | float, u: np.ndarray) -> None:
         """Set populations to the equilibrium of ``(rho, u)``; reset clock."""
@@ -233,15 +247,46 @@ class Simulation:
         check_stability_every:
             If positive, verify all populations are finite at that period
             and raise :class:`StabilityError` otherwise.
+
+        With an enabled recorder, one span per phase is emitted for the
+        steps this call actually ran (sourced from the :class:`StepTimings`
+        deltas, so the hot :meth:`step` path carries no telemetry code
+        and its zero-allocation guarantee is untouched).
         """
-        for n in range(steps):
-            self.step()
-            if monitor is not None and (n + 1) % monitor_every == 0:
-                monitor(self)
-            if check_stability_every and (n + 1) % check_stability_every == 0:
-                if not self.field.is_finite():
-                    raise StabilityError(
-                        f"non-finite populations at step {self.time_step} "
-                        f"(tau={getattr(self.collision, 'tau', '?')}, "
-                        f"lattice={self.lattice.name})"
-                    )
+        if not self.telemetry.enabled:
+            for n in range(steps):
+                self.step()
+                if monitor is not None and (n + 1) % monitor_every == 0:
+                    monitor(self)
+                if check_stability_every and (n + 1) % check_stability_every == 0:
+                    self._check_finite()
+            return
+        t = self.timings
+        base = (t.stream_seconds, t.collide_seconds, t.boundary_seconds, t.steps)
+        try:
+            for n in range(steps):
+                self.step()
+                if monitor is not None and (n + 1) % monitor_every == 0:
+                    monitor(self)
+                if check_stability_every and (n + 1) % check_stability_every == 0:
+                    self._check_finite()
+        finally:
+            done = t.steps - base[3]
+            if done:
+                self.telemetry.record_span(
+                    "phase.stream", t.stream_seconds - base[0], rank=0, steps=done
+                )
+                self.telemetry.record_span(
+                    "phase.collide", t.collide_seconds - base[1], rank=0, steps=done
+                )
+                self.telemetry.record_span(
+                    "phase.boundary", t.boundary_seconds - base[2], rank=0, steps=done
+                )
+
+    def _check_finite(self) -> None:
+        if not self.field.is_finite():
+            raise StabilityError(
+                f"non-finite populations at step {self.time_step} "
+                f"(tau={getattr(self.collision, 'tau', '?')}, "
+                f"lattice={self.lattice.name})"
+            )

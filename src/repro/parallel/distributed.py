@@ -24,6 +24,7 @@ byte counts exactly as the paper's B(Q) bandwidth analysis predicts.
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 import numpy as np
@@ -34,6 +35,7 @@ from ..core.fields import resolve_dtype
 from ..core.streaming import stream_padded
 from ..errors import DecompositionError, LatticeError
 from ..lattice import VelocitySet, get_lattice
+from ..telemetry.recorder import NullTelemetry, Telemetry, get_telemetry
 from .decomposition import Slab1D
 from .halo import TAG_TO_LEFT, TAG_TO_RIGHT, HaloSlab, HaloSpec
 from .mpi_sim import Request, SimMPI
@@ -76,6 +78,14 @@ class DistributedSimulation:
     dtype:
         Population dtype policy, ``"float64"`` (default) or
         ``"float32"`` (halves storage *and* halo payload bytes).
+    telemetry:
+        Structured-event recorder (:class:`~repro.telemetry.Telemetry`).
+        ``None`` uses the ambient recorder
+        (:func:`repro.telemetry.get_telemetry` — the no-op default
+        unless ``$REPRO_TELEMETRY_DIR`` or an installed recorder enables
+        it).  When enabled, every step emits per-rank
+        ``phase.stream``/``phase.collide`` spans plus ``phase.exchange``
+        spans, and the fabric counts ``comm.bytes``/``comm.messages``.
     """
 
     def __init__(
@@ -90,6 +100,7 @@ class DistributedSimulation:
         fabric: SimMPI | None = None,
         kernel: str | None = None,
         dtype: "np.dtype | str | None" = None,
+        telemetry: "Telemetry | NullTelemetry | None" = None,
     ) -> None:
         self.lattice = get_lattice(lattice) if isinstance(lattice, str) else lattice
         self.global_shape = tuple(int(s) for s in global_shape)
@@ -139,8 +150,17 @@ class DistributedSimulation:
                     )
         self.time_step = 0
         self.exchange_count = 0
+        self.telemetry = get_telemetry() if telemetry is None else telemetry
+        if self.telemetry.enabled:
+            self.mpi.telemetry = self.telemetry
 
     # -- setup ---------------------------------------------------------------
+
+    def set_telemetry(self, telemetry: "Telemetry | NullTelemetry") -> None:
+        """Install a recorder on this simulation *and* its fabric, so
+        phase spans and comm counters land in the same event stream."""
+        self.telemetry = telemetry
+        self.mpi.telemetry = telemetry
 
     @property
     def num_ranks(self) -> int:
@@ -249,7 +269,14 @@ class DistributedSimulation:
         return self._slab_kernels.get(slab.local_nx) if self._slab_kernels else None
 
     def step(self) -> None:
-        """One global time step (exchanging first if halos are exhausted)."""
+        """One global time step (exchanging first if halos are exhausted).
+
+        The disabled-telemetry cost of the instrumentation hook is this
+        one attribute check — the hot path below it is untouched and
+        stays allocation-free (tracemalloc-asserted in the tests).
+        """
+        if self.telemetry.enabled:
+            return self._step_instrumented()
         if any(slab.validity < self.spec.k for slab in self.slabs):
             self.exchange()
         if self._slab_kernels:
@@ -263,6 +290,41 @@ class DistributedSimulation:
                 view = slab.scratch[:, window]
                 self.collision.apply(view, out=view)
                 slab.data, slab.scratch = slab.scratch, slab.data
+        self.time_step += 1
+
+    def _step_instrumented(self) -> None:
+        """One step with per-rank phase spans (physics identical).
+
+        The SPMD emulation executes ranks sequentially, so per-rank
+        stream/collide seconds are measured directly; the exchange runs
+        once for *all* ranks, so its span carries a ``ranks`` attribute
+        and readers split it evenly (the Fig. 9 attribution rule shared
+        with :meth:`PhaseProfile.from_events`).
+        """
+        telemetry = self.telemetry
+        clock = time.perf_counter
+        if any(slab.validity < self.spec.k for slab in self.slabs):
+            t0 = clock()
+            self.exchange()
+            telemetry.record_span(
+                "phase.exchange", clock() - t0, ranks=self.num_ranks
+            )
+        for rank, slab in enumerate(self.slabs):
+            kernel = self.slab_kernel_for(slab)
+            if kernel is not None:
+                streamed, collided = kernel.timed_step(slab)
+            else:
+                t0 = clock()
+                stream_padded(self.lattice, slab.data, out=slab.scratch)
+                t1 = clock()
+                slab.consume_step()
+                window = slab.compute_window()
+                view = slab.scratch[:, window]
+                self.collision.apply(view, out=view)
+                streamed, collided = t1 - t0, clock() - t1
+                slab.data, slab.scratch = slab.scratch, slab.data
+            telemetry.record_span("phase.stream", streamed, rank=rank)
+            telemetry.record_span("phase.collide", collided, rank=rank)
         self.time_step += 1
 
     def run(self, steps: int) -> None:

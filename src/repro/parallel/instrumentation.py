@@ -2,19 +2,27 @@
 
 The paper instruments its production runs with the IBM HPM to attribute
 time to stream/collide/communication per rank (Fig. 9's raw data).  The
-in-process distributed solver can be instrumented the same way: wrap it
-in a :class:`PhaseProfiler` and every rank's wall-clock seconds per
-phase are recorded, yielding the same min/median/max views for *real*
-(host) execution.
+in-process distributed solver is instrumented through the telemetry
+subsystem: with an enabled recorder,
+:meth:`~repro.parallel.distributed.DistributedSimulation.step` emits one
+``phase.stream``/``phase.collide`` span per rank per step and one
+``phase.exchange`` span per halo exchange.  :class:`PhaseProfiler` is a
+*reader* over those events — it installs an in-memory recorder on the
+simulation, drives it, and folds the spans into a :class:`PhaseProfile`
+with the same min/median/max API as ever.  The same fold serves
+persisted JSONL event files through
+:meth:`repro.telemetry.RunAggregate.phase_profile`, so a live profile
+and an after-the-fact aggregation of the same run are identical by
+construction.
 """
 
 from __future__ import annotations
 
-import time
+from typing import Any, Iterable
 
 import numpy as np
 
-from ..core.streaming import stream_padded
+from ..telemetry.recorder import MemorySink, Telemetry
 from .distributed import DistributedSimulation
 
 __all__ = ["PhaseProfile", "PhaseProfiler"]
@@ -29,6 +37,43 @@ class PhaseProfile:
         self.seconds = {phase: np.zeros(num_ranks) for phase in PHASES}
         self.steps = 0
 
+    @classmethod
+    def from_events(
+        cls, events: Iterable[dict[str, Any]], num_ranks: int
+    ) -> "PhaseProfile":
+        """Fold ``phase.*`` telemetry spans into a profile.
+
+        Per-rank spans (``rank`` attribute) accumulate into that rank's
+        row; exchange spans carry a ``ranks`` attribute and their
+        elapsed time is split evenly — the SPMD emulation executes the
+        whole exchange once for all ranks, so an even split is the
+        per-rank attribution (matching the live profiler exactly).
+        Phases outside :data:`PHASES` (e.g. the single-domain driver's
+        ``phase.boundary``) are ignored.
+        """
+        profile = cls(num_ranks)
+        steps = np.zeros(num_ranks, dtype=np.int64)
+        for event in events:
+            if event.get("type") != "span":
+                continue
+            name = str(event.get("name", ""))
+            if not name.startswith("phase."):
+                continue
+            phase = name[len("phase."):]
+            attrs = event.get("attrs") or {}
+            elapsed = float(event.get("seconds", 0.0))
+            if phase == "exchange":
+                ranks = int(attrs.get("ranks", num_ranks) or num_ranks)
+                profile.seconds["exchange"] += elapsed / ranks
+            elif phase in profile.seconds:
+                rank = int(attrs.get("rank", 0))
+                if 0 <= rank < num_ranks:
+                    profile.seconds[phase][rank] += elapsed
+                    if phase == "stream":
+                        steps[rank] += int(attrs.get("steps", 1))
+        profile.steps = int(steps.max()) if num_ranks else 0
+        return profile
+
     def summary(self, phase: str) -> tuple[float, float, float]:
         """(min, median, max) over ranks — the Fig. 9 triplet."""
         values = self.seconds[phase]
@@ -39,60 +84,62 @@ class PhaseProfile:
         return float(sum(v.sum() for v in self.seconds.values()))
 
     def comm_fraction(self) -> float:
-        """Share of total time spent exchanging halos."""
+        """Share of total time spent exchanging halos.
+
+        ``nan`` when nothing was profiled (no steps, all-zero clocks):
+        an empty profile has no communication share, and reporting 0.0
+        would let aggregated dashboards display a fake "0% comm" run.
+        """
         total = self.total_seconds
-        return float(self.seconds["exchange"].sum() / total) if total else 0.0
+        if total == 0.0:
+            return float("nan")
+        return float(self.seconds["exchange"].sum() / total)
 
 
 class PhaseProfiler:
     """Instrumented driver around a :class:`DistributedSimulation`.
 
-    Re-implements the step loop with per-rank timers, dispatching on the
-    simulation's kernel selection (legacy pair or planned slab kernel);
-    physics is identical to the uninstrumented driver (unit-tested for
-    both kernels).
+    Installs a telemetry recorder with an in-memory sink on the
+    simulation (tee-ing into any sinks an already-enabled recorder had,
+    so a JSONL file and this live view observe the *same* events) and
+    folds the emitted spans into a :class:`PhaseProfile` on access.
+    Physics is identical to the uninstrumented driver — the instrumented
+    step path runs the same kernels (unit-tested for both).
     """
 
     def __init__(self, simulation: DistributedSimulation) -> None:
         self.sim = simulation
-        self.profile = PhaseProfile(simulation.num_ranks)
+        self._memory = MemorySink()
+        base = simulation.telemetry
+        sinks = [self._memory]
+        if base.enabled:
+            sinks.extend(base.sinks)
+        self._recorder = Telemetry(
+            *sinks,
+            run=getattr(base, "run", None),
+            process=getattr(base, "process", None),
+        )
+        simulation.set_telemetry(self._recorder)
 
-    def _timed_exchange(self) -> None:
-        # The SPMD emulation executes ranks sequentially; attribute the
-        # pack/unpack cost to each rank and split the fabric time evenly.
-        sim = self.sim
-        t0 = time.perf_counter()
-        sim.exchange()
-        elapsed = time.perf_counter() - t0
-        self.profile.seconds["exchange"] += elapsed / sim.num_ranks
+    @property
+    def telemetry(self) -> Telemetry:
+        """The recorder installed on the simulation."""
+        return self._recorder
+
+    @property
+    def events(self) -> list[dict[str, Any]]:
+        """The raw telemetry events observed so far."""
+        return self._memory.events
+
+    @property
+    def profile(self) -> PhaseProfile:
+        """The accumulated profile (folded from the events on access)."""
+        return PhaseProfile.from_events(self._memory.events, self.sim.num_ranks)
 
     def step(self) -> None:
-        sim = self.sim
-        if any(slab.validity < sim.spec.k for slab in sim.slabs):
-            self._timed_exchange()
-        for rank, slab in enumerate(sim.slabs):
-            kernel = sim.slab_kernel_for(slab)
-            if kernel is not None:
-                streamed, collided = kernel.timed_step(slab)
-                self.profile.seconds["stream"][rank] += streamed
-                self.profile.seconds["collide"][rank] += collided
-                continue
-            t0 = time.perf_counter()
-            stream_padded(sim.lattice, slab.data, out=slab.scratch)
-            t1 = time.perf_counter()
-            slab.consume_step()
-            window = slab.compute_window()
-            view = slab.scratch[:, window]
-            sim.collision.apply(view, out=view)
-            t2 = time.perf_counter()
-            slab.data, slab.scratch = slab.scratch, slab.data
-            self.profile.seconds["stream"][rank] += t1 - t0
-            self.profile.seconds["collide"][rank] += t2 - t1
-        sim.time_step += 1
-        self.profile.steps += 1
+        self.sim.step()
 
     def run(self, steps: int) -> PhaseProfile:
         """Advance ``steps`` steps and return the accumulated profile."""
-        for _ in range(steps):
-            self.step()
+        self.sim.run(steps)
         return self.profile

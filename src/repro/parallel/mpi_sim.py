@@ -33,6 +33,8 @@ from typing import Iterable
 
 import numpy as np
 
+from ..telemetry.recorder import NULL_TELEMETRY
+
 __all__ = ["MessageRecord", "MessageLedger", "Request", "SimMPI"]
 
 
@@ -121,6 +123,11 @@ class SimMPI:
         )
         self.ledger = MessageLedger()
         self.step_clock = 0  # advanced by the driver; stamps ledger records
+        # Structured-event recorder; the driver installs an enabled one
+        # (DistributedSimulation.set_telemetry).  Counters are emitted
+        # from the same `payload.nbytes` the ledger logs, so the summed
+        # `comm.bytes` counter equals `ledger.total_bytes` exactly.
+        self.telemetry = NULL_TELEMETRY
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.num_ranks:
@@ -159,6 +166,9 @@ class SimMPI:
                 nbytes=payload.nbytes,
             )
         )
+        if self.telemetry.enabled:
+            self.telemetry.count("comm.bytes", payload.nbytes)
+            self.telemetry.count("comm.messages", 1)
         return Request(kind="send", rank=source, peer=dest, tag=tag, complete=True)
 
     def irecv(

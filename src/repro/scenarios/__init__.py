@@ -22,7 +22,7 @@ CLI: ``python -m repro cases`` / ``case <name>`` / ``sweep <name>`` /
 ``sweep-worker --cache-dir DIR`` / ``sweep-status --cache-dir DIR``.
 """
 
-from .cache import CacheDiff, ResultCache, SweepManifest
+from .cache import CacheDiff, CacheLookup, ResultCache, SweepManifest
 from .executor import SweepExecutor, SweepPlan
 from .registry import available_cases, catalog_table, get_case, register_case
 from .runner import CaseResult, CaseRunner, run_case
@@ -42,6 +42,7 @@ __all__ = [
     "AdaptiveSampler",
     "available_cases",
     "CacheDiff",
+    "CacheLookup",
     "CaseResult",
     "CaseRunner",
     "CaseSpec",

@@ -19,14 +19,24 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from ..core.io import canonical_json
 from ..errors import ScenarioError
+from ..telemetry.recorder import NULL_TELEMETRY, NullTelemetry, Telemetry
 
-__all__ = ["CacheDiff", "ResultCache", "SweepManifest", "sweep_key"]
+__all__ = [
+    "CacheDiff",
+    "CacheLookup",
+    "ResultCache",
+    "SweepManifest",
+    "sweep_key",
+]
+
+logger = logging.getLogger(__name__)
 
 _ENTRY_VERSION = 1
 
@@ -54,6 +64,25 @@ def sweep_key(case: str, fingerprints: Sequence[str]) -> str:
     return _checksum({"case": case, "fingerprints": list(fingerprints)})
 
 
+@dataclasses.dataclass(frozen=True)
+class CacheLookup:
+    """One cache probe's outcome: a status plus the payload on a hit.
+
+    ``status`` distinguishes what :meth:`ResultCache.get` historically
+    conflated: ``"hit"`` (valid entry), ``"miss"`` (no entry at all) and
+    ``"corrupt"`` (an entry exists but is truncated, tampered, or filed
+    under the wrong key) — so corrupt counters are truthful and corrupt
+    paths get logged instead of silently re-run.
+    """
+
+    status: str  # "hit" | "miss" | "corrupt"
+    payload: dict[str, Any] | None = None
+
+    @property
+    def hit(self) -> bool:
+        return self.status == "hit"
+
+
 class ResultCache:
     """Content-addressed store of per-variant sweep results.
 
@@ -64,25 +93,40 @@ class ResultCache:
     where ``data`` holds the serialisable outcome payload and
     ``checksum`` is the SHA-256 of its canonical JSON.  :meth:`get`
     returns ``None`` for missing, truncated, tampered or mismatched
-    entries — the caller simply re-runs those variants.
+    entries — the caller simply re-runs those variants.  :meth:`lookup`
+    is the observable variant: it distinguishes missing from corrupt,
+    logs corrupt entry paths, and counts ``cache.hit`` /
+    ``cache.miss`` / ``cache.corrupt`` on the attached recorder.
     """
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(
+        self,
+        root: str | Path,
+        telemetry: "Telemetry | NullTelemetry | None" = None,
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.telemetry = NULL_TELEMETRY if telemetry is None else telemetry
 
     def entry_path(self, fingerprint: str) -> Path:
         return self.root / f"{fingerprint}.json"
 
-    def get(self, fingerprint: str) -> dict[str, Any] | None:
-        """The cached payload for one variant, or ``None`` if unusable."""
+    def _load(self, fingerprint: str) -> CacheLookup:
+        """Read and validate one entry (no counters — the shared
+        validator behind both :meth:`get` and :meth:`lookup`)."""
         path = self.entry_path(fingerprint)
         try:
-            envelope = json.loads(path.read_text())
-        except (OSError, ValueError):
-            return None
+            text = path.read_text()
+        except FileNotFoundError:
+            return CacheLookup("miss")
+        except OSError:
+            return CacheLookup("corrupt")
+        try:
+            envelope = json.loads(text)
+        except ValueError:
+            return CacheLookup("corrupt")
         if not isinstance(envelope, dict):
-            return None
+            return CacheLookup("corrupt")
         data = envelope.get("data")
         if (
             envelope.get("version") != _ENTRY_VERSION
@@ -90,8 +134,29 @@ class ResultCache:
             or not isinstance(data, dict)
             or envelope.get("checksum") != _checksum(data)
         ):
-            return None
-        return data
+            return CacheLookup("corrupt")
+        return CacheLookup("hit", data)
+
+    def get(self, fingerprint: str) -> dict[str, Any] | None:
+        """The cached payload for one variant, or ``None`` if unusable."""
+        return self._load(fingerprint).payload
+
+    def lookup(self, fingerprint: str) -> CacheLookup:
+        """Probe one entry, counting and logging the outcome.
+
+        Counters record storage-level probe outcomes (``cache.hit``,
+        ``cache.miss``, ``cache.corrupt``); a corrupt entry additionally
+        logs its path — a tampered or torn entry is worth an operator's
+        attention even though it is transparently re-run.
+        """
+        found = self._load(fingerprint)
+        if found.status == "corrupt":
+            path = self.entry_path(fingerprint)
+            logger.warning("corrupt cache entry at %s (will re-run)", path)
+            self.telemetry.count("cache.corrupt", path=str(path))
+        else:
+            self.telemetry.count(f"cache.{found.status}")
+        return found
 
     def put(self, fingerprint: str, data: Mapping[str, Any]) -> Path:
         """Store one variant's payload (atomically; overwrites)."""

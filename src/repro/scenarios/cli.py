@@ -1,17 +1,20 @@
 """Command-line front end for the scenario subsystem.
 
 Wired into ``python -m repro`` as the ``cases``/``case``/``sweep``/
-``sweep-worker`` subcommands; the thin ``examples/*.py`` wrappers call
-:func:`run_case_cli` / :func:`run_sweep_cli` directly.
+``sweep-worker``/``sweep-status``/``events`` subcommands; the thin
+``examples/*.py`` wrappers call :func:`run_case_cli` /
+:func:`run_sweep_cli` directly.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Any, Sequence
 
 from ..errors import ReproError, ScenarioError
+from ..telemetry.recorder import TELEMETRY_DIRNAME
 from .executor import SweepExecutor
 from .registry import catalog_table
 from .runner import CaseRunner
@@ -23,10 +26,16 @@ from .workers import run_worker
 __all__ = [
     "main",
     "run_case_cli",
+    "run_events_cli",
     "run_status_cli",
     "run_sweep_cli",
     "run_worker_cli",
 ]
+
+
+def _telemetry_dir(cache_dir: str) -> str:
+    """The run's event directory: ``<cache-dir>/telemetry``."""
+    return str(Path(cache_dir) / TELEMETRY_DIRNAME)
 
 
 def _parse_value(text: str) -> Any:
@@ -150,6 +159,7 @@ def run_sweep_cli(
     refine_fraction: float = 0.5,
     kernel: str | None = None,
     dtype: str | None = None,
+    telemetry: bool = False,
 ) -> int:
     """Run a sweep, print the comparison table, return an exit code.
 
@@ -162,6 +172,9 @@ def run_sweep_cli(
     ``sweep-worker`` processes can do the running).  ``adaptive``
     samples the grid — coarse pass, then refinement where the named
     observable changes fastest — instead of exhaustive expansion.
+    ``telemetry`` records structured JSONL events (variant spans, cache
+    counters, heartbeats) under ``<cache-dir>/telemetry`` for
+    ``repro events`` / ``sweep-status`` to aggregate.
 
     Always executes through the executor machinery — even plain serial
     sweeps — so the CLI's data columns are deterministic (wall-clock
@@ -190,6 +203,17 @@ def run_sweep_cli(
             "--adaptive picks variants from intermediate results, so it "
             "cannot be combined with --workers/--publish/--resume"
         )
+    if telemetry and cache_dir is None:
+        raise ScenarioError(
+            "--telemetry needs --cache-dir: events are recorded under "
+            "<cache-dir>/telemetry"
+        )
+    if telemetry and adaptive is not None:
+        raise ScenarioError(
+            "--telemetry is not supported with --adaptive (the sampler "
+            "re-enters the executor per stage; instrument a plain sweep)"
+        )
+    telemetry_dir = _telemetry_dir(cache_dir) if telemetry else None
 
     if publish:
         scheduler = SweepScheduler(
@@ -199,9 +223,10 @@ def run_sweep_cli(
         print(
             f"published {len(plan)} variant(s) of {plan.case} to {cache_dir}"
         )
+        hint = " --telemetry" if telemetry else ""
         print(
             f"run workers with: python -m repro sweep-worker "
-            f"--cache-dir {cache_dir}"
+            f"--cache-dir {cache_dir}{hint}"
         )
         return 0
 
@@ -222,11 +247,16 @@ def run_sweep_cli(
             workers=workers,
             lease_ttl=lease_ttl,
             resume=resume,
+            telemetry_dir=telemetry_dir,
         )
         result = scheduler.run()
     else:
         executor = SweepExecutor(
-            sweep, jobs=jobs, cache_dir=cache_dir, resume=resume
+            sweep,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            resume=resume,
+            telemetry_dir=telemetry_dir,
         )
         result = executor.run()
 
@@ -266,6 +296,7 @@ def run_worker_cli(
     poll: float = 0.5,
     max_variants: int | None = None,
     wait: bool = False,
+    telemetry: bool = False,
 ) -> int:
     """Run one sweep worker against a published sweep; print its report."""
     report = run_worker(
@@ -275,8 +306,42 @@ def run_worker_cli(
         poll=poll,
         max_variants=max_variants,
         wait=wait,
+        telemetry_dir=_telemetry_dir(cache_dir) if telemetry else None,
     )
     print(report.summary())
+    return 0
+
+
+def run_events_cli(
+    cache_dir: str,
+    *,
+    name: str | None = None,
+    etype: str | None = None,
+    process: str | None = None,
+    tail: int | None = None,
+) -> int:
+    """Print a run's recorded events (filtered, one line each)."""
+    from ..telemetry.aggregate import tail_events
+
+    lines, aggregate = tail_events(
+        cache_dir, name=name, etype=etype, process=process, tail=tail
+    )
+    if not aggregate.files:
+        print(
+            f"no telemetry under {cache_dir} (record some with "
+            "`repro sweep ... --telemetry`)"
+        )
+        return 1
+    for line in lines:
+        print(line)
+    shown = len(lines)
+    summary = (
+        f"{shown} of {len(aggregate.events)} event(s) from "
+        f"{len(aggregate.files)} file(s)"
+    )
+    if aggregate.dropped:
+        summary += f", {aggregate.dropped} corrupt line(s) dropped"
+    print(summary)
     return 0
 
 
@@ -422,6 +487,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of refinable segments, fastest-changing first, "
         "to fill in (default: 0.5)",
     )
+    sweep.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record structured JSONL events (variant spans, cache "
+        "counters, worker heartbeats) under <cache-dir>/telemetry; "
+        "inspect with `events` and `sweep-status` (requires --cache-dir)",
+    )
 
     status = sub.add_parser(
         "sweep-status",
@@ -481,6 +553,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="poll until the sweep completes instead of exiting when only "
         "peer-held work remains (also reclaims stale leases of dead peers)",
     )
+    worker.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record this worker's structured events under "
+        "<cache-dir>/telemetry (one JSONL file per worker process)",
+    )
+
+    events = sub.add_parser(
+        "events",
+        help="tail a run's structured telemetry events "
+        "(read-only view over --cache-dir)",
+    )
+    events.add_argument(
+        "--cache-dir",
+        required=True,
+        metavar="DIR",
+        help="the run's cache directory (events live under DIR/telemetry)",
+    )
+    events.add_argument(
+        "--name",
+        default=None,
+        help="only events whose name contains this substring "
+        "(e.g. phase., cache., variant)",
+    )
+    events.add_argument(
+        "--type",
+        dest="etype",
+        default=None,
+        choices=("meta", "span", "count", "event"),
+        help="only events of this type",
+    )
+    events.add_argument(
+        "--process",
+        default=None,
+        help="only events from processes whose label contains this "
+        "substring (worker ids, host:pid)",
+    )
+    events.add_argument(
+        "--tail",
+        type=int,
+        default=None,
+        metavar="N",
+        help="only the last N matching events (default: all)",
+    )
     return parser
 
 
@@ -505,6 +621,14 @@ def main(argv: Sequence[str]) -> int:
             )
         if args.command == "sweep-status":
             return run_status_cli(args.cache_dir)
+        if args.command == "events":
+            return run_events_cli(
+                args.cache_dir,
+                name=args.name,
+                etype=args.etype,
+                process=args.process,
+                tail=args.tail,
+            )
         if args.command == "sweep-worker":
             return run_worker_cli(
                 args.cache_dir,
@@ -513,6 +637,7 @@ def main(argv: Sequence[str]) -> int:
                 poll=args.poll,
                 max_variants=args.max_variants,
                 wait=args.wait,
+                telemetry=args.telemetry,
             )
         return run_sweep_cli(
             args.name,
@@ -530,6 +655,7 @@ def main(argv: Sequence[str]) -> int:
             refine_fraction=args.refine_fraction,
             kernel=args.kernel,
             dtype=args.dtype,
+            telemetry=args.telemetry,
         )
     except (ReproError, OSError) as exc:
         # ReproError covers ScenarioError plus the LatticeError family an

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 import pickle
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from pathlib import Path
@@ -36,6 +37,12 @@ from typing import Any, Callable, Iterable, Mapping
 
 from ..core.io import serialize_result_data
 from ..errors import ScenarioError
+from ..telemetry.recorder import (
+    NullTelemetry,
+    Telemetry,
+    get_telemetry,
+    process_recorder,
+)
 from .cache import ResultCache, SweepManifest
 from .registry import get_case
 from .runner import CaseResult, CaseRunner
@@ -66,6 +73,24 @@ class _VariantTask:
     overrides: tuple[tuple[str, Any], ...]
     analyze: bool
     fingerprint: str
+    #: Per-run telemetry directory; set, the executing process emits a
+    #: ``variant`` span + counters into its own event file there.  A
+    #: plain string so the task pickles across pool forks unchanged.
+    telemetry_dir: str | None = None
+
+
+def _task_telemetry(task: _VariantTask) -> "Telemetry | NullTelemetry":
+    """The recorder ``_execute_variant`` reports through.
+
+    Resolved *in the executing process*: with ``task.telemetry_dir``
+    the per-process file recorder (pool children forked from an
+    instrumented parent get their own file, keyed by pid), else the
+    ambient recorder — the no-op default, or whatever the surrounding
+    worker installed.
+    """
+    if task.telemetry_dir:
+        return process_recorder(task.telemetry_dir)
+    return get_telemetry()
 
 
 def _execute_variant(task: _VariantTask) -> dict[str, Any]:
@@ -73,7 +98,10 @@ def _execute_variant(task: _VariantTask) -> dict[str, Any]:
 
     Module-level so process pools can pickle it; recomputing the
     fingerprint in the worker doubles as a cross-process stability
-    check on :meth:`CaseSpec.fingerprint`.
+    check on :meth:`CaseSpec.fingerprint`.  With telemetry enabled the
+    run is wrapped in a ``variant`` span (fingerprint, case, steps,
+    cells) and counted — the raw material for per-worker MFLUP/s
+    rollups; the payload itself stays byte-identical either way.
     """
     runner = CaseRunner(task.case, **dict(task.overrides))
     fingerprint = runner.spec.fingerprint()
@@ -83,7 +111,25 @@ def _execute_variant(task: _VariantTask) -> dict[str, Any]:
             f"scheduler saw {task.fingerprint[:12]}, worker computed "
             f"{fingerprint[:12]} — CaseSpec.fingerprint is not process-stable"
         )
-    result = runner.run(analyze=task.analyze)
+    telemetry = _task_telemetry(task)
+    with telemetry.span(
+        "variant", fingerprint=fingerprint, case=runner.spec.name
+    ) as span:
+        result = runner.run(analyze=task.analyze)
+        if telemetry.enabled:
+            # Late attrs, known only after the run; recorded when the
+            # span closes right below.
+            steps = int(result.metrics.get("steps_run", 0))
+            cells = (
+                int(result.simulation.num_cells)
+                if result.simulation is not None
+                else int(math.prod(runner.spec.shape))
+            )
+            span.set(steps=steps, cells=cells)
+    if telemetry.enabled:
+        telemetry.count("variant.completed")
+        telemetry.count("variant.updates", steps * cells)
+        telemetry.count("variant.seconds", span.seconds or 0.0)
     metrics = {
         k: v for k, v in result.metrics.items()
         if k not in NONDETERMINISTIC_METRICS
@@ -127,14 +173,23 @@ def result_from_payload(
 
 
 def usable_entry(
-    cache: ResultCache | None, fingerprint: str, analyze: bool
+    cache: ResultCache | None,
+    fingerprint: str,
+    analyze: bool,
+    count: bool = True,
 ) -> dict[str, Any] | None:
     """The cached payload for one variant iff it matches this sweep's
     ``analyze`` mode (an analyze=False smoke payload has no analysis
-    metrics and vacuous checks, so it must never satisfy a full run)."""
+    metrics and vacuous checks, so it must never satisfy a full run).
+
+    The default probe goes through :meth:`ResultCache.lookup`, which
+    records ``cache.hit``/``cache.miss``/``cache.corrupt`` counters on
+    the cache's recorder; ``count=False`` probes silently
+    (:meth:`ResultCache.get`) for read-only status checks and
+    under-lease re-checks that would otherwise inflate the counters."""
     if cache is None:
         return None
-    entry = cache.get(fingerprint)
+    entry = cache.lookup(fingerprint).payload if count else cache.get(fingerprint)
     if entry is not None and entry.get("analyze") == analyze:
         return entry
     return None
@@ -181,13 +236,16 @@ class SweepPlan:
     def __len__(self) -> int:
         return len(self.variants)
 
-    def task(self, index: int, analyze: bool) -> _VariantTask:
+    def task(
+        self, index: int, analyze: bool, telemetry_dir: str | None = None
+    ) -> _VariantTask:
         """The picklable work order for one variant."""
         return _VariantTask(
             case=self.case_ref,
             overrides=tuple(sorted(self.overrides[index].items())),
             analyze=analyze,
             fingerprint=self.fingerprints[index],
+            telemetry_dir=telemetry_dir,
         )
 
     def result(
@@ -309,12 +367,19 @@ class SweepExecutor:
         Require a manifest from an earlier interrupted run of this
         same sweep (a safety latch: resuming a *different* sweep over
         the same directory is an error, not a silent cache mixup).
+    telemetry_dir:
+        Directory of append-only JSONL event files; setting it enables
+        structured telemetry for the run — a per-process recorder here,
+        per-variant spans in every pool worker, and cache hit/miss
+        counters.  ``None`` (default) leaves the ambient recorder in
+        charge (usually the no-op).
     """
 
     sweep: Sweep
     jobs: int = 1
     cache_dir: str | Path | None = None
     resume: bool = False
+    telemetry_dir: str | Path | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -327,6 +392,12 @@ class SweepExecutor:
     def run(self, *, analyze: bool = True) -> SweepResult:
         """Execute missing variants, reuse cached ones, keep grid order."""
         plan = SweepPlan.of(self.sweep)
+        telemetry_dir = (
+            str(self.telemetry_dir) if self.telemetry_dir is not None else None
+        )
+        recorder = (
+            process_recorder(telemetry_dir) if telemetry_dir else get_telemetry()
+        )
         cache, manifest = open_cache(
             self.cache_dir,
             plan.case,
@@ -334,6 +405,8 @@ class SweepExecutor:
             plan.fingerprints,
             resume=self.resume,
         )
+        if cache is not None:
+            cache.telemetry = recorder
         payloads: list[dict[str, Any] | None] = [None] * len(plan)
         provenance = ["run"] * len(plan)
         if cache is not None:
@@ -342,6 +415,10 @@ class SweepExecutor:
                 if entry is not None:
                     payloads[index] = entry
                     provenance[index] = "cached"
+                    # Per-variant outcome (vs the raw storage probes the
+                    # cache itself counts): feeds the fleet hit rate.
+                    if recorder.enabled:
+                        recorder.count("variant.cached")
             if manifest is not None:
                 for fingerprint, payload in zip(plan.fingerprints, payloads):
                     if payload is not None and fingerprint not in manifest.completed:
@@ -349,7 +426,7 @@ class SweepExecutor:
                 manifest.save()
 
         pending = [i for i, payload in enumerate(payloads) if payload is None]
-        tasks = {i: plan.task(i, analyze) for i in pending}
+        tasks = {i: plan.task(i, analyze, telemetry_dir) for i in pending}
 
         def commit(index: int, payload: dict[str, Any]) -> None:
             self._commit(cache, manifest, plan.fingerprints[index], payload)

@@ -50,6 +50,7 @@ from ..core.io import (
     write_claim,
 )
 from ..errors import ScenarioError
+from ..telemetry.recorder import TELEMETRY_DIRNAME
 from .cache import QUEUE_FILENAME, ResultCache, sweep_key
 from .executor import (
     SweepPlan,
@@ -100,12 +101,15 @@ class WorkItem:
     overrides: dict[str, Any]
     fingerprint: str
 
-    def task(self, case: str, analyze: bool) -> _VariantTask:
+    def task(
+        self, case: str, analyze: bool, telemetry_dir: str | None = None
+    ) -> _VariantTask:
         return _VariantTask(
             case=case,
             overrides=tuple(sorted(self.overrides.items())),
             analyze=analyze,
             fingerprint=self.fingerprint,
+            telemetry_dir=telemetry_dir,
         )
 
 
@@ -332,6 +336,10 @@ class SweepStatus:
     published: bool
     live_leases: tuple[ClaimRecord, ...]
     stale_leases: tuple[ClaimRecord, ...]
+    #: Pre-rendered telemetry rollup lines (cache hit rate, per-worker
+    #: throughput, ETA) when the directory has structured-event files;
+    #: empty when the fleet ran without telemetry.
+    telemetry: tuple[str, ...] = ()
 
     @property
     def missing(self) -> int:
@@ -372,6 +380,7 @@ class SweepStatus:
                 f"  stale leases: {len(self.stale_leases)} "
                 "(reclaimable by any worker)"
             )
+        lines.extend(self.telemetry)
         return "\n".join(lines)
 
 
@@ -406,16 +415,29 @@ def sweep_status(cache_dir: str | Path) -> SweepStatus:
     if manifest is not None:
         for owner in manifest.workers.values():
             workers[owner] = workers.get(owner, 0) + 1
+    total = len(manifest.fingerprints) if manifest is not None else 0
+    completed = len(set(manifest.completed)) if manifest is not None else 0
+    telemetry: tuple[str, ...] = ()
+    telemetry_dir = root / TELEMETRY_DIRNAME
+    if telemetry_dir.is_dir():
+        # Read-only like everything else here: load_run only globs and
+        # parses the event files.
+        from ..telemetry.aggregate import load_run
+
+        telemetry = tuple(
+            load_run(telemetry_dir).summary_lines(remaining=total - completed)
+        )
     return SweepStatus(
         root=str(root),
         case=manifest.case if manifest is not None else None,
         parameters=tuple(manifest.parameters) if manifest is not None else (),
-        total=len(manifest.fingerprints) if manifest is not None else 0,
-        completed=len(set(manifest.completed)) if manifest is not None else 0,
+        total=total,
+        completed=completed,
         workers=workers,
         published=published,
         live_leases=tuple(live),
         stale_leases=tuple(stale),
+        telemetry=telemetry,
     )
 
 
@@ -453,6 +475,11 @@ class SweepScheduler:
     resume:
         Require the manifest of an earlier interrupted run of this
         same sweep.
+    telemetry_dir:
+        Directory of structured-event JSONL files; set, every launched
+        worker records its spans/counters/heartbeats there (one file
+        per process) and inline merge runs do too.  ``None`` disables
+        fleet telemetry.
     """
 
     sweep: Sweep
@@ -461,6 +488,7 @@ class SweepScheduler:
     analyze: bool = True
     lease_ttl: float = DEFAULT_LEASE_TTL
     resume: bool = False
+    telemetry_dir: str | Path | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -490,11 +518,17 @@ class SweepScheduler:
 
         plan, _queue = self.publish()
         cache = ResultCache(self.cache_dir)
+        # Silent probes (count=False): this pre-scan classifies
+        # provenance, it is not a fleet cache outcome — the workers
+        # count their own hits.
         cached_before = {
             fingerprint
             for fingerprint in plan.fingerprints
-            if usable_entry(cache, fingerprint, self.analyze) is not None
+            if usable_entry(cache, fingerprint, self.analyze, count=False) is not None
         }
+        telemetry_dir = (
+            str(self.telemetry_dir) if self.telemetry_dir is not None else None
+        )
         if self.workers and len(cached_before) < len(plan):
             processes = [
                 multiprocessing.Process(
@@ -503,6 +537,7 @@ class SweepScheduler:
                     kwargs={
                         "worker_id": f"w{rank + 1}",
                         "lease_ttl": self.lease_ttl,
+                        "telemetry_dir": telemetry_dir,
                     },
                     daemon=False,
                 )
@@ -534,12 +569,16 @@ class SweepScheduler:
             plan = SweepPlan.of(self.sweep)
         cache = ResultCache(self.cache_dir)
         manifest = SweepManifest.load(cache.root)
+        telemetry_dir = (
+            str(self.telemetry_dir) if self.telemetry_dir is not None else None
+        )
         payloads: dict[int, Mapping[str, Any]] = {}
         provenance: dict[int, str] = {}
         for index, fingerprint in enumerate(plan.fingerprints):
-            entry = usable_entry(cache, fingerprint, self.analyze)
+            # Merge reads are silent probes too (count=False).
+            entry = usable_entry(cache, fingerprint, self.analyze, count=False)
             if entry is None:
-                task = plan.task(index, self.analyze)
+                task = plan.task(index, self.analyze, telemetry_dir)
                 entry = _execute_variant(task)
                 cache.put(fingerprint, entry)
                 if manifest is not None and manifest.fingerprints == plan.fingerprints:

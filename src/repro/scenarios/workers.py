@@ -29,12 +29,20 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+import math
 import threading
 import time
 from pathlib import Path
 from typing import Iterator
 
 from ..errors import ScenarioError
+from ..telemetry.recorder import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    get_telemetry,
+    process_recorder,
+)
 from . import executor as _executor
 from .cache import ResultCache, SweepManifest
 from .scheduler import DEFAULT_LEASE_TTL, LeaseBoard, WorkQueue
@@ -43,7 +51,11 @@ __all__ = ["WorkerReport", "lease_heartbeat", "run_worker", "worker_entry"]
 
 
 @contextlib.contextmanager
-def lease_heartbeat(board: LeaseBoard, fingerprint: str) -> Iterator[None]:
+def lease_heartbeat(
+    board: LeaseBoard,
+    fingerprint: str,
+    telemetry: "Telemetry | NullTelemetry" = NULL_TELEMETRY,
+) -> Iterator[None]:
     """Renew one held lease periodically while the body runs.
 
     A variant that outlives the lease TTL would otherwise go stale
@@ -53,6 +65,10 @@ def lease_heartbeat(board: LeaseBoard, fingerprint: str) -> Iterator[None]:
     lease expires on schedule.  If the lease is lost anyway (stolen
     after a pause longer than the TTL), the heartbeat just stops — the
     commit is idempotent, so finishing the run stays correct.
+
+    With an enabled ``telemetry`` recorder, every renewal also emits a
+    ``worker.heartbeat`` event (worker, fingerprint) — the liveness
+    signal ``repro events`` and ``sweep-status`` surface for a fleet.
     """
     stop = threading.Event()
     interval = max(board.ttl / 4.0, 0.05)
@@ -61,6 +77,10 @@ def lease_heartbeat(board: LeaseBoard, fingerprint: str) -> Iterator[None]:
         while not stop.wait(interval):
             if not board.renew(fingerprint):
                 return  # lease lost: stop heartbeating, keep computing
+            if telemetry.enabled:
+                telemetry.event(
+                    "worker.heartbeat", worker=board.owner, fingerprint=fingerprint
+                )
 
     thread = threading.Thread(target=beat, daemon=True)
     thread.start()
@@ -73,12 +93,20 @@ def lease_heartbeat(board: LeaseBoard, fingerprint: str) -> Iterator[None]:
 
 @dataclasses.dataclass
 class WorkerReport:
-    """What one worker did before exiting."""
+    """What one worker did before exiting.
+
+    ``cache_hits`` and ``mflups`` are sourced from the worker's
+    telemetry counters (``variant.cached`` observations and
+    ``variant.updates`` / ``variant.seconds``); without an enabled
+    recorder they stay at their defaults (0 and NaN).
+    """
 
     worker_id: str
     completed: list[str] = dataclasses.field(default_factory=list)
     reclaimed: list[str] = dataclasses.field(default_factory=list)
     already_cached: int = 0
+    cache_hits: int = 0
+    mflups: float = float("nan")
 
     def summary(self) -> str:
         reclaim = (
@@ -86,10 +114,42 @@ class WorkerReport:
             if self.reclaimed
             else ""
         )
+        extras = ""
+        if self.cache_hits:
+            extras += f", {self.cache_hits} cache hit(s)"
+        if not math.isnan(self.mflups):
+            extras += f", {self.mflups:.2f} MFLUP/s"
         return (
             f"worker {self.worker_id}: ran {len(self.completed)} variant(s)"
-            f"{reclaim}, {self.already_cached} already cached"
+            f"{reclaim}, {self.already_cached} already cached{extras}"
         )
+
+
+def _finalize_report(
+    report: WorkerReport,
+    recorder: "Telemetry | NullTelemetry",
+    base: dict,
+) -> None:
+    """Fold the recorder's counter deltas into the exiting report.
+
+    ``base`` is a snapshot of the counters at worker start, so a
+    recorder shared across successive ``run_worker`` calls in one
+    process attributes each call only its own work.  MFLUP/s follows
+    paper Eq. 4 over everything this worker ran: total lattice-point
+    updates over total variant seconds.
+    """
+    if not recorder.enabled:
+        return
+
+    def delta(name: str) -> float:
+        return recorder.counters.get(name, 0) - base.get(name, 0)
+
+    report.cache_hits = int(delta("variant.cached"))
+    updates = delta("variant.updates")
+    seconds = delta("variant.seconds")
+    if updates and seconds > 0:
+        report.mflups = updates / (seconds * 1e6)
+    recorder.flush()
 
 
 def run_worker(
@@ -100,6 +160,7 @@ def run_worker(
     poll: float = 0.5,
     max_variants: int | None = None,
     wait: bool = False,
+    telemetry_dir: str | Path | None = None,
 ) -> WorkerReport:
     """Claim and run variants of the sweep published under ``cache_dir``.
 
@@ -121,6 +182,12 @@ def run_worker(
     wait:
         Keep polling until the sweep completes instead of exiting when
         only peer-held work remains.
+    telemetry_dir:
+        Directory for this worker's structured-event JSONL file.  Set,
+        the worker records variant spans, cache counters and lease
+        heartbeats there (process label = the worker id) and the
+        returned report's ``cache_hits``/``mflups`` are filled in; the
+        default leaves the ambient recorder in charge.
     """
     root = Path(cache_dir)
     queue = WorkQueue.load(root)
@@ -128,53 +195,85 @@ def run_worker(
     manifest = SweepManifest.load(root)
     board = LeaseBoard(root, owner=worker_id, ttl=lease_ttl)
     report = WorkerReport(worker_id=board.owner)
+    telemetry_path = str(telemetry_dir) if telemetry_dir is not None else None
+    recorder = (
+        process_recorder(telemetry_path, process=board.owner)
+        if telemetry_path
+        else get_telemetry()
+    )
+    cache.telemetry = recorder
+    counters_base = dict(recorder.counters)
+    seen_cached: set[str] = set()
+
+    def note_cached(fingerprint: str) -> None:
+        """Count a variant someone *else* already finished — once,
+        however many passes re-observe it (raw ``cache.hit`` probes do
+        repeat), and never for this worker's own completions showing up
+        cached on the next scan."""
+        if (
+            recorder.enabled
+            and fingerprint not in seen_cached
+            and fingerprint not in report.completed
+        ):
+            seen_cached.add(fingerprint)
+            recorder.count("variant.cached")
 
     def count_cached() -> int:
         cached = 0
         for item in queue.items:
-            if _executor.usable_entry(cache, item.fingerprint, queue.analyze):
+            if _executor.usable_entry(
+                cache, item.fingerprint, queue.analyze, count=False
+            ):
                 cached += 1
         return cached - len(report.completed)
 
-    while True:
-        ran_this_pass = 0
-        blocked = 0
-        for item in queue.items:
-            if max_variants is not None and len(report.completed) >= max_variants:
-                report.already_cached = count_cached()
-                return report
-            if _executor.usable_entry(cache, item.fingerprint, queue.analyze):
-                continue
-            if not board.acquire(item.fingerprint):
-                if board.reclaim(item.fingerprint):
-                    report.reclaimed.append(item.fingerprint)
-                if not board.acquire(item.fingerprint):
-                    blocked += 1
-                    continue
-            try:
-                # Re-check under the lease: a peer may have committed
-                # between our cache probe and the acquire.
+    try:
+        while True:
+            ran_this_pass = 0
+            blocked = 0
+            for item in queue.items:
+                if max_variants is not None and len(report.completed) >= max_variants:
+                    report.already_cached = count_cached()
+                    return report
                 if _executor.usable_entry(cache, item.fingerprint, queue.analyze):
+                    note_cached(item.fingerprint)
                     continue
-                task = item.task(queue.case, queue.analyze)
-                with lease_heartbeat(board, item.fingerprint):
-                    payload = _executor._execute_variant(task)
-                cache.put(item.fingerprint, payload)
-                if manifest is not None and manifest.key == queue.key:
-                    manifest.record_completion(item.fingerprint, worker=board.owner)
-                report.completed.append(item.fingerprint)
-                ran_this_pass += 1
-            finally:
-                board.release(item.fingerprint)
+                if not board.acquire(item.fingerprint):
+                    if board.reclaim(item.fingerprint):
+                        report.reclaimed.append(item.fingerprint)
+                    if not board.acquire(item.fingerprint):
+                        blocked += 1
+                        continue
+                try:
+                    # Re-check under the lease: a peer may have committed
+                    # between our cache probe and the acquire.  Silent
+                    # (count=False): the probe above already counted.
+                    if _executor.usable_entry(
+                        cache, item.fingerprint, queue.analyze, count=False
+                    ):
+                        note_cached(item.fingerprint)
+                        continue
+                    task = item.task(queue.case, queue.analyze, telemetry_path)
+                    with lease_heartbeat(board, item.fingerprint, recorder):
+                        payload = _executor._execute_variant(task)
+                    cache.put(item.fingerprint, payload)
+                    if manifest is not None and manifest.key == queue.key:
+                        manifest.record_completion(item.fingerprint, worker=board.owner)
+                    report.completed.append(item.fingerprint)
+                    ran_this_pass += 1
+                finally:
+                    board.release(item.fingerprint)
 
-        report.already_cached = count_cached()
-        if blocked == 0 and ran_this_pass == 0:
-            return report  # every variant has a usable entry
-        if blocked and ran_this_pass == 0:
-            if not wait:
-                return report  # live peers hold the rest; let them finish
-            time.sleep(poll)
-        # made progress (or reclaimed): scan again immediately
+            report.already_cached = count_cached()
+            if blocked == 0 and ran_this_pass == 0:
+                return report  # every variant has a usable entry
+            if blocked and ran_this_pass == 0:
+                if not wait:
+                    return report  # live peers hold the rest; let them finish
+                time.sleep(poll)
+            # made progress (or reclaimed): scan again immediately
+    finally:
+        _finalize_report(report, recorder, counters_base)
 
 
 def worker_entry(
@@ -182,6 +281,7 @@ def worker_entry(
     worker_id: str | None = None,
     lease_ttl: float = DEFAULT_LEASE_TTL,
     wait: bool = False,
+    telemetry_dir: str | None = None,
 ) -> None:
     """Process entry point for scheduler-launched local workers."""
     try:
@@ -190,6 +290,7 @@ def worker_entry(
             worker_id=worker_id,
             lease_ttl=lease_ttl,
             wait=wait,
+            telemetry_dir=telemetry_dir,
         )
     except ScenarioError as exc:  # pragma: no cover - defensive
         print(f"worker error: {exc}")

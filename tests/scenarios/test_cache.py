@@ -211,3 +211,48 @@ class TestCacheDiff:
         assert diff.only_self == ("f1",)
         assert a.checksum("f1") is not None
         assert b.checksum("f1") is None
+
+
+class TestCacheLookup:
+    def make_cache(self, tmp_path):
+        from repro.telemetry import Telemetry
+
+        return ResultCache(tmp_path, telemetry=Telemetry.in_memory())
+
+    def test_statuses(self, tmp_path):
+        cache = self.make_cache(tmp_path)
+        assert cache.lookup("absent").status == "miss"
+        cache.put("abc123", PAYLOAD)
+        found = cache.lookup("abc123")
+        assert found.status == "hit" and found.hit
+        assert found.payload == PAYLOAD
+        cache.entry_path("abc123").write_text("{torn")
+        torn = cache.lookup("abc123")
+        assert torn.status == "corrupt"
+        assert torn.payload is None and not torn.hit
+
+    def test_corrupt_entry_logged_and_counted(self, tmp_path, caplog):
+        cache = self.make_cache(tmp_path)
+        cache.put("abc123", PAYLOAD)
+        path = cache.entry_path("abc123")
+        path.write_text("{torn")
+        with caplog.at_level("WARNING", logger="repro.scenarios.cache"):
+            assert cache.lookup("abc123").status == "corrupt"
+        assert "corrupt cache entry" in caplog.text
+        t = cache.telemetry
+        assert t.counters["cache.corrupt"] == 1
+        corrupt = [
+            e
+            for e in t.events()
+            if e["type"] == "count" and e["name"] == "cache.corrupt"
+        ]
+        assert corrupt[0]["attrs"]["path"] == str(path)
+
+    def test_get_probes_silently_lookup_counts(self, tmp_path):
+        cache = self.make_cache(tmp_path)
+        assert cache.get("absent") is None
+        assert cache.telemetry.counters == {}
+        assert cache.lookup("absent").status == "miss"
+        cache.put("abc123", PAYLOAD)
+        assert cache.lookup("abc123").hit
+        assert cache.telemetry.counters == {"cache.miss": 1, "cache.hit": 1}

@@ -272,3 +272,43 @@ class TestAutoKernelResolution:
         )
         assert code == 2
         assert "timing-dependent" in capsys.readouterr().err
+
+
+class TestTelemetryFlags:
+    def test_telemetry_without_cache_dir(self, capsys):
+        code = main(["sweep", "taylor-green", "--param", "tau=0.6",
+                     "--steps", "10", "--telemetry"])
+        assert code == 2
+        assert "--telemetry needs --cache-dir" in capsys.readouterr().err
+
+    def test_telemetry_conflicts_with_adaptive(self, tmp_path, capsys):
+        code = main(["sweep", "taylor-green", "--param", "tau=0.6,0.7,0.8",
+                     "--steps", "10", "--adaptive", "steps_run",
+                     "--cache-dir", str(tmp_path), "--telemetry"])
+        assert code == 2
+        assert "not supported with --adaptive" in capsys.readouterr().err
+
+
+class TestEventsCommand:
+    def test_no_telemetry_recorded(self, tmp_path, capsys):
+        code = main(["events", "--cache-dir", str(tmp_path)])
+        assert code == 1
+        assert "no telemetry under" in capsys.readouterr().out
+
+    def test_tails_a_recorded_sweep(self, tmp_path, capsys):
+        assert main(["sweep", "taylor-green", "--param", "tau=0.6,0.8",
+                     "--steps", "10", "--cache-dir", str(tmp_path),
+                     "--telemetry"]) == 0
+        capsys.readouterr()
+        code = main(["events", "--cache-dir", str(tmp_path),
+                     "--name", "variant", "--tail", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "variant" in out
+        assert "event(s) from" in out
+
+    def test_type_filter_validated_by_parser(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["events", "--cache-dir", str(tmp_path),
+                  "--type", "bogus"])
+        assert "invalid choice" in capsys.readouterr().err

@@ -1,0 +1,199 @@
+"""Telemetry recorder units: spans, counters, JSONL schema, the
+disabled recorder's no-op surface, and ambient/process registries."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    EVENT_VERSION,
+    NULL_TELEMETRY,
+    TELEMETRY_DIR_ENV,
+    NullTelemetry,
+    Telemetry,
+    get_telemetry,
+    process_recorder,
+    read_events_file,
+    set_telemetry,
+)
+
+
+@pytest.fixture
+def restore_ambient():
+    """Run the test with a clean ambient recorder, restoring after."""
+    previous = set_telemetry(NULL_TELEMETRY)
+    yield
+    set_telemetry(previous)
+
+
+class TestRecorder:
+    def test_meta_event_leads(self):
+        t = Telemetry.in_memory(run="r1", process="p1")
+        first = t.events()[0]
+        assert first["type"] == "meta"
+        assert first["attrs"]["run"] == "r1"
+        assert first["process"] == "p1"
+
+    def test_span_context_manager(self):
+        t = Telemetry.in_memory()
+        with t.span("phase.test", rank=1) as span:
+            pass
+        event = t.events()[-1]
+        assert event["type"] == "span"
+        assert event["name"] == "phase.test"
+        assert event["seconds"] >= 0
+        assert event["attrs"]["rank"] == 1
+        assert span.seconds == event["seconds"]
+
+    def test_span_late_attrs_recorded(self):
+        """Attrs set inside the with body (known only after the work)
+        must land on the emitted event."""
+        t = Telemetry.in_memory()
+        with t.span("variant") as span:
+            span.set(steps=7, cells=64)
+        attrs = t.events()[-1]["attrs"]
+        assert attrs == {"steps": 7, "cells": 64}
+
+    def test_record_span_pre_measured(self):
+        t = Telemetry.in_memory()
+        t.record_span("phase.stream", 0.25, rank=2)
+        event = t.events()[-1]
+        assert event["seconds"] == 0.25
+        assert event["attrs"] == {"rank": 2}
+
+    def test_counters_accumulate(self):
+        t = Telemetry.in_memory()
+        t.count("cache.hit")
+        t.count("cache.hit", 2)
+        assert t.counters["cache.hit"] == 3
+        values = [e["value"] for e in t.events() if e["type"] == "count"]
+        assert values == [1, 2]
+
+    def test_negative_increment_rejected(self):
+        t = Telemetry.in_memory()
+        with pytest.raises(ValueError, match="cache.hit"):
+            t.count("cache.hit", -1)
+
+    def test_requires_a_sink(self):
+        with pytest.raises(ValueError, match="sink"):
+            Telemetry()
+
+    def test_thread_safe_counting(self):
+        t = Telemetry.in_memory()
+
+        def work():
+            for _ in range(200):
+                t.count("n")
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert t.counters["n"] == 800
+        assert sum(1 for e in t.events() if e["type"] == "count") == 800
+
+
+class TestJsonlRoundTrip:
+    def test_schema_round_trip(self, tmp_path):
+        with Telemetry.to_dir(tmp_path, run="sweep-1", process="w1") as t:
+            path = t.path
+            with t.span("variant", fingerprint="abc"):
+                pass
+            t.count("comm.bytes", np.int64(4096))
+            t.event("kernel.auto", winner="planned", shape=[8, 8, 4])
+        events, dropped = read_events_file(path)
+        assert dropped == 0
+        assert [e["type"] for e in events] == ["meta", "span", "count", "event"]
+        assert all(e["v"] == EVENT_VERSION for e in events)
+        assert all(e["process"] == "w1" for e in events)
+        assert events[1]["attrs"]["fingerprint"] == "abc"
+        # numpy scalars coerced to plain JSON numbers
+        assert events[2]["value"] == 4096
+        assert isinstance(events[2]["value"], int)
+        assert events[3]["attrs"] == {"winner": "planned", "shape": [8, 8, 4]}
+
+    def test_colliding_labels_get_distinct_files(self, tmp_path):
+        a = Telemetry.to_dir(tmp_path, process="w1")
+        b = Telemetry.to_dir(tmp_path, process="w1")
+        assert a.path != b.path
+        a.close()
+        b.close()
+        assert len(list(tmp_path.glob("*.jsonl"))) == 2
+
+    def test_lines_durable_without_flush(self, tmp_path):
+        """Line buffering: a killed process loses at most a torn line."""
+        t = Telemetry.to_dir(tmp_path)
+        t.count("x")
+        events, dropped = read_events_file(t.path)
+        t.close()
+        assert dropped == 0
+        assert [e["name"] for e in events] == ["meta", "x"]
+
+    def test_torn_line_dropped_not_fatal(self, tmp_path):
+        t = Telemetry.to_dir(tmp_path)
+        t.count("ok")
+        t.close()
+        with open(t.path, "a") as handle:
+            handle.write('{"v": 1, "type": "count", "na')
+        events, dropped = read_events_file(t.path)
+        assert dropped == 1
+        assert [e["name"] for e in events] == ["meta", "ok"]
+
+
+class TestNullRecorder:
+    def test_noop_surface(self):
+        n = NullTelemetry()
+        assert n.enabled is False
+        with n.span("x", a=1) as span:
+            span.set(b=2)
+        assert span.seconds is None
+        n.count("c")
+        n.record_span("s", 0.1)
+        n.event("e")
+        assert n.events() == []
+        assert n.counters == {}
+
+    def test_null_span_is_shared(self):
+        """The disabled span path allocates no per-call object."""
+        n = NullTelemetry()
+        assert n.span("a") is n.span("b") is NULL_TELEMETRY.span("c")
+
+
+class TestAmbientRecorder:
+    def test_default_is_null(self, restore_ambient, monkeypatch):
+        monkeypatch.delenv(TELEMETRY_DIR_ENV, raising=False)
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_set_and_clear(self, restore_ambient):
+        t = Telemetry.in_memory()
+        set_telemetry(t)
+        assert get_telemetry() is t
+        set_telemetry(NULL_TELEMETRY)
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_env_var_enables_file_recorder(
+        self, restore_ambient, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(TELEMETRY_DIR_ENV, str(tmp_path))
+        t = get_telemetry()
+        try:
+            assert t.enabled
+            assert t.path is not None and t.path.parent == tmp_path
+            assert get_telemetry() is t  # cached, one file per process
+        finally:
+            t.close()
+            set_telemetry(NULL_TELEMETRY)
+
+
+class TestProcessRecorder:
+    def test_shared_per_directory(self, tmp_path):
+        a = process_recorder(tmp_path)
+        try:
+            assert process_recorder(tmp_path) is a
+        finally:
+            a.close()
+        b = process_recorder(tmp_path)  # re-created after close
+        b.close()
+        assert b is not a
