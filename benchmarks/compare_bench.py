@@ -11,16 +11,38 @@ roll kernel, present in every suite revision) per lattice, at float64,
 and fails only on a drop larger than ``--max-regression`` — wide enough
 to absorb host-to-host and run-to-run noise, tight enough to catch a
 real hot-loop regression.  Stdlib-only, like the exporter.
+
+``--model CALIBRATION.json`` adds a second, baseline-free gate: every
+throughput row of the *current* record is compared against the fitted
+perf-model calibration (``repro perf-model fit``), and a measurement
+far below its prediction (``--model-slack``, default 50%) fails even
+when no baseline record has a row for that (kernel, lattice, dtype)
+cell.  The calibration file is plain JSON — effective bandwidth
+``beta`` per fitted cell — so this stays stdlib-only too::
+
+    python benchmarks/compare_bench.py BENCH_PR5.json \
+        --model calibration.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
 
 LATTICES = ("D3Q19", "D3Q39")
+
+_LATTICE_RE = re.compile(r"D3Q\d+", re.IGNORECASE)
+
+#: Schema-1 records name kernels by class (mirrors repro.perf.model).
+_LEGACY_KERNEL_NAMES = {
+    "naivekernel": "naive",
+    "rollkernel": "roll",
+    "fusedgatherkernel": "fused-gather",
+    "plannedkernel": "planned",
+}
 
 
 def kernel_mflups(record: dict, kernel: str) -> dict[str, float]:
@@ -81,10 +103,96 @@ def compare(
     return ok, lines
 
 
+def _row_cell(name: str, entry: dict) -> "tuple[str, str, str, str] | None":
+    """The fitted-model key of one bench row: (kernel, mode, dtype, lattice).
+
+    Mirrors ``repro.perf.model.samples_from_bench`` — extra-info fields
+    when stamped (schema >= 2), name parsing for legacy rows — but in
+    stdlib form.  ``None`` for rows that are not attributable
+    throughput measurements.
+    """
+    if "mflups" not in entry:
+        return None
+    lowered = name.lower()
+    kernel = entry.get("kernel")
+    if not kernel:
+        for legacy, mapped in _LEGACY_KERNEL_NAMES.items():
+            if legacy in lowered:
+                kernel = mapped
+                break
+    match = _LATTICE_RE.search(name)
+    if not kernel or not match:
+        return None
+    dtype = str(
+        entry.get("dtype") or ("float32" if "float32" in lowered else "float64")
+    )
+    mode = "distributed" if "distributed" in lowered else "single"
+    return (str(kernel), mode, dtype, match.group(0).upper())
+
+
+def model_check(
+    record: dict, calibration: dict, slack: float
+) -> tuple[bool, list[str]]:
+    """(ok, report lines): flag rows measured far below their prediction.
+
+    A row fails when ``measured < predicted * (1 - slack)``.  Only rows
+    with an *exact* fitted cell in the calibration participate — the
+    pooled extrapolation levels live in :mod:`repro.perf.model`, and a
+    regression gate should only ever compare against a direct fit.
+    Measuring *above* prediction never fails (that is an improvement, or
+    a stale calibration to refit).
+    """
+    fitted = {
+        (e["kernel"], e["mode"], e["dtype"], e["lattice"]): e
+        for e in calibration.get("entries", [])
+    }
+    lines: list[str] = []
+    ok = True
+    checked = 0
+    for name, entry in sorted(record.get("kernels", {}).items()):
+        cell = _row_cell(name, entry)
+        if cell is None or cell not in fitted:
+            continue
+        fit = fitted[cell]
+        b = float(entry.get("bytes_per_cell") or fit["bytes_per_cell"])
+        predicted = float(fit["beta"]) / (b * 1e6)
+        measured = float(entry["mflups"])
+        if predicted <= 0:
+            continue
+        checked += 1
+        ratio = measured / predicted
+        verdict = "ok"
+        if ratio < 1.0 - slack:
+            verdict = f"MEASURED FAR BELOW MODEL (> {slack:.0%} short)"
+            ok = False
+        kernel, mode, dtype, lattice = cell
+        lines.append(
+            f"model {kernel} {mode} {dtype} {lattice}: measured "
+            f"{measured:.2f} vs predicted {predicted:.2f} MFLUP/s "
+            f"({ratio:.2f}x) {verdict}"
+        )
+    if not checked:
+        return False, lines + [
+            "model gate: no current rows matched a fitted calibration cell"
+        ]
+    return ok, lines
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", type=Path, help="committed reference record")
-    parser.add_argument("current", type=Path, help="freshly measured record")
+    parser.add_argument(
+        "baseline",
+        type=Path,
+        help="committed reference record (with --model and no current "
+        "record, this is the record the model gate checks)",
+    )
+    parser.add_argument(
+        "current",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="freshly measured record (optional with --model)",
+    )
     parser.add_argument(
         "--kernel",
         default="roll",
@@ -97,12 +205,39 @@ def main(argv: list[str]) -> int:
         metavar="FRACTION",
         help="maximum tolerated MFLUP/s drop (default: 0.30)",
     )
+    parser.add_argument(
+        "--model",
+        type=Path,
+        default=None,
+        metavar="CALIBRATION.json",
+        help="also gate the current record against this fitted perf-model "
+        "calibration (measured far below predicted fails)",
+    )
+    parser.add_argument(
+        "--model-slack",
+        type=float,
+        default=0.50,
+        metavar="FRACTION",
+        help="maximum tolerated shortfall below the model prediction "
+        "(default: 0.50)",
+    )
     args = parser.parse_args(argv)
+    if args.current is None and args.model is None:
+        parser.error("a current record is required unless --model is given")
     baseline = json.loads(args.baseline.read_text())
-    current = json.loads(args.current.read_text())
-    ok, lines = compare(baseline, current, args.kernel, args.max_regression)
-    for line in lines:
-        print(line)
+    current = json.loads(args.current.read_text()) if args.current else baseline
+    ok = True
+    if args.current is not None:
+        ok, lines = compare(baseline, current, args.kernel, args.max_regression)
+        for line in lines:
+            print(line)
+    if args.model is not None:
+        model_ok, lines = model_check(
+            current, json.loads(args.model.read_text()), args.model_slack
+        )
+        for line in lines:
+            print(line)
+        ok = ok and model_ok
     if not ok:
         print("bench regression gate FAILED", file=sys.stderr)
         return 1

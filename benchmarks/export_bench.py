@@ -17,14 +17,18 @@ run the benchmarks.
 from __future__ import annotations
 
 import json
+import os
+import platform
 import sys
 from pathlib import Path
 
-#: Schema 3 (PR 5): entries may additionally carry ``comm_bytes`` and
-#: distributed-ladder names (``test_distributed_throughput[...]``) now
-#: that the suite measures the slab-parallel path across kernels and
-#: dtypes.  Schema 2 (PR 4) added ``kernel``/``dtype`` extra-info keys.
-SCHEMA = 3
+#: Schema 4: the record carries the measuring ``host`` and ``cpu_count``
+#: (the perf-model fitter keys calibrations per host; a record without a
+#: host stamp fits as unattributed history) and every throughput row is
+#: stamped with its ``dtype`` so the fitter never has to parse names.
+#: Schema 3 (PR 5) added ``comm_bytes`` and distributed-ladder names;
+#: schema 2 (PR 4) added ``kernel``/``dtype`` extra-info keys.
+SCHEMA = 4
 
 
 def export(report: dict) -> dict:
@@ -33,6 +37,12 @@ def export(report: dict) -> dict:
     for bench in report.get("benchmarks", []):
         extra = dict(bench.get("extra_info", {}))
         entry = {"mean_s": float(bench["stats"]["mean"]), **extra}
+        if "mflups" in entry and "dtype" not in entry:
+            # Old suite revisions only stamped dtype on reduced-precision
+            # rows; make it explicit on every throughput row.
+            entry["dtype"] = (
+                "float32" if "float32" in str(bench["name"]).lower() else "float64"
+            )
         kernels[str(bench["name"])] = entry
     machine = report.get("machine_info", {})
     return {
@@ -40,6 +50,8 @@ def export(report: dict) -> dict:
         "suite": "bench_kernels_real",
         "python": machine.get("python_version"),
         "cpu": (machine.get("cpu") or {}).get("brand_raw"),
+        "host": machine.get("node") or platform.node(),
+        "cpu_count": os.cpu_count(),
         "kernels": kernels,
     }
 

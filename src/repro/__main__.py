@@ -35,6 +35,11 @@ Usage::
     python -m repro case taylor-green --kernel planned --dtype float32
     python -m repro sweep taylor-green --param kernel=roll,planned \
         --param dtype=float32,float64 --steps 50  # sweep the kernel ladder
+
+    python -m repro perf-model fit BENCH_PR4.json BENCH_PR5.json
+    python -m repro perf-model show
+    python -m repro perf-model predict --kernel planned --lattice D3Q19 \
+        --dtype float32 --shape 32,32,32 --steps 500
 """
 
 from __future__ import annotations
@@ -50,6 +55,7 @@ SCENARIO_COMMANDS = (
     "sweep-worker",
     "sweep-status",
     "events",
+    "perf-model",
 )
 
 

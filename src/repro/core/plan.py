@@ -25,9 +25,20 @@ says roughly doubles bandwidth-bound throughput.
 :func:`make_kernel` is the registry every layer above selects kernels
 through (``Simulation(kernel=...)``, ``CaseSpec.kernel``, the CLI
 ``--kernel`` flag), and :func:`auto_select_kernel` implements
-``kernel="auto"``: time a few steps of each candidate on the actual
-shape/lattice/dtype and keep the fastest — the measured counterpart of
-:mod:`repro.perf.tuner`'s model-driven sweep-and-pick-min.
+``kernel="auto"`` with a three-rung resolution ladder:
+
+1. **model** — a fitted :class:`~repro.perf.model.FittedPerfModel`
+   calibration for this host (see ``repro perf-model fit``) predicts
+   every candidate's MFLUP/s from the roofline's B(Q) arithmetic; when
+   it covers all candidates the winner is chosen without running a
+   single timed step (``$REPRO_NO_PERF_MODEL`` opts out);
+2. **cached** — a previously measured verdict for this exact (host,
+   shape, lattice, order, dtype, candidates) identity replays;
+3. **measured** — the cold-start timing race: a few steps of each
+   candidate on the actual shape/lattice/dtype, keep the fastest.
+   These races are what feed the model's fit (their verdict events
+   carry ``provenance="measured"``), so measurement never disappears —
+   it just stops being on the hot path once a calibration exists.
 """
 
 from __future__ import annotations
@@ -60,6 +71,7 @@ __all__ = [
     "build_slab_gather_table",
     "kernel_cache_dir",
     "make_kernel",
+    "model_select_kernel",
 ]
 
 
@@ -476,6 +488,11 @@ KERNEL_CACHE_ENV = "REPRO_KERNEL_CACHE_DIR"
 #: ``--no-kernel-cache``.
 KERNEL_CACHE_DISABLE_ENV = "REPRO_NO_KERNEL_CACHE"
 
+#: Environment variable disabling model-based ``kernel="auto"``
+#: resolution (any non-empty value): selection falls back to the
+#: measured verdict cache / timing race even when a calibration exists.
+PERF_MODEL_DISABLE_ENV = "REPRO_NO_PERF_MODEL"
+
 
 def kernel_cache_dir() -> Path:
     """Directory holding cached ``kernel="auto"`` verdicts.
@@ -582,6 +599,48 @@ def _emit_auto_verdict(
     )
 
 
+def model_select_kernel(
+    lattice: VelocitySet,
+    shape: Sequence[int],
+    tau: float,
+    order: int | None = None,
+    dtype: "np.dtype | str | None" = None,
+    candidates: Sequence[str] = AUTO_CANDIDATES,
+) -> LBMKernel | None:
+    """Resolve ``kernel="auto"`` from this host's fitted calibration.
+
+    Returns the predicted-fastest candidate as a ready instance, or
+    ``None`` when no calibration exists or it does not cover *every*
+    candidate (a partial model could only crown a winner by ignoring
+    the kernels it has never seen — that question belongs to the
+    measured race).  The winner carries the prediction as
+    ``auto_timings`` (predicted seconds per step, comparable to the
+    race's measured figures) and ``auto_provenance = "model"``.
+    """
+    from ..perf.model import load_calibration  # late: perf builds on core
+
+    calibration = load_calibration()
+    if calibration is None:
+        return None
+    dtype = resolve_dtype(dtype)
+    shape = tuple(int(s) for s in shape)
+    rates = calibration.rank_kernels(
+        candidates, lattice.name, dtype.name, shape=shape
+    )
+    if set(rates) != set(candidates):
+        return None
+    cells = int(np.prod(shape))
+    # Predicted mean seconds per step, the same unit the race measures.
+    timings = {name: cells / (rate * 1e6) for name, rate in rates.items()}
+    best = min(timings, key=lambda name: (timings[name], name))
+    winner = make_kernel(best, lattice, tau, order=order, dtype=dtype, shape=shape)
+    winner.auto_timings = dict(timings)
+    winner.auto_cached = False
+    winner.auto_provenance = "model"
+    _emit_auto_verdict(best, "model", lattice, shape, dtype, timings)
+    return winner
+
+
 def auto_select_kernel(
     lattice: VelocitySet,
     shape: Sequence[int],
@@ -594,28 +653,44 @@ def auto_select_kernel(
     clock: Callable[[], float] = time.perf_counter,
     cache: bool | None = None,
     cache_dir: "str | Path | None" = None,
+    model: bool | None = None,
 ) -> LBMKernel:
-    """Time each candidate on the actual shape/lattice and keep the fastest.
+    """Resolve ``kernel="auto"``: model, then cached verdict, then race.
 
-    The same sweep-and-pick-min idiom as :mod:`repro.perf.tuner`'s ghost
-    depth tuning, but measured instead of modelled: ``warmup`` steps
-    build each kernel's tables/buffers, then ``trials`` steps are timed
-    on an equilibrium rest state.  The winning *instance* is returned
-    (already warm), with the per-candidate mean step seconds attached as
-    ``kernel.auto_timings``.
+    With a fitted calibration on this host (``repro perf-model fit``)
+    that covers every candidate, the winner comes straight from
+    :func:`model_select_kernel` — no timed steps at all.  Otherwise a
+    previously cached measured verdict for this exact identity replays;
+    otherwise the cold-start timing race runs: the same
+    sweep-and-pick-min idiom as :mod:`repro.perf.tuner`'s ghost depth
+    tuning, but measured — ``warmup`` steps build each kernel's
+    tables/buffers, then ``trials`` steps are timed on an equilibrium
+    rest state.  The winning *instance* is returned (already warm),
+    with per-candidate mean step seconds (measured or predicted)
+    attached as ``kernel.auto_timings`` and the resolution rung as
+    ``kernel.auto_provenance`` (``"model"``/``"cached"``/``"measured"``).
 
-    Verdicts are cached per (host, shape, lattice, order, dtype,
-    candidates) under :func:`kernel_cache_dir`, so repeated builds of
-    the same problem skip the timing race; a hit returns a fresh warm
-    instance of the recorded winner with ``kernel.auto_cached = True``.
-    ``cache=False`` (or a set ``$REPRO_NO_KERNEL_CACHE``) disables both
-    the lookup and the write-back; ``cache=None`` means "on unless the
+    Measured verdicts are cached per (host, shape, lattice, order,
+    dtype, candidates) under :func:`kernel_cache_dir`; a hit returns a
+    fresh warm instance of the recorded winner with
+    ``kernel.auto_cached = True``.  ``cache=False`` (or a set
+    ``$REPRO_NO_KERNEL_CACHE``) disables both the lookup and the
+    write-back; ``model=False`` (or a set ``$REPRO_NO_PERF_MODEL``)
+    skips the calibration rung; ``None`` means "on unless the
     environment disables it".
     """
     if not candidates:
         raise LatticeError("auto kernel selection needs at least one candidate")
     dtype = resolve_dtype(dtype)
     shape = tuple(int(s) for s in shape)
+    if model is None:
+        model = not os.environ.get(PERF_MODEL_DISABLE_ENV)
+    if model:
+        winner = model_select_kernel(
+            lattice, shape, tau, order=order, dtype=dtype, candidates=candidates
+        )
+        if winner is not None:
+            return winner
     if cache is None:
         cache = not os.environ.get(KERNEL_CACHE_DISABLE_ENV)
     cache_path = None
@@ -633,6 +708,7 @@ def auto_select_kernel(
                 str(k): float(v) for k, v in record.get("timings", {}).items()
             }
             winner.auto_cached = True
+            winner.auto_provenance = "cached"
             _emit_auto_verdict(
                 record["kernel"], "cached", lattice, shape, dtype,
                 winner.auto_timings,
@@ -644,21 +720,31 @@ def auto_select_kernel(
     f0[...] = lattice.weights_as(dtype).reshape((lattice.q,) + (1,) * len(shape))
     kernels: dict[str, LBMKernel] = {}
     timings: dict[str, float] = {}
-    for name in candidates:
-        kernel = make_kernel(name, lattice, tau, order=order, dtype=dtype, shape=shape)
-        f = f0.copy()
-        for _ in range(max(1, warmup)):
-            f = kernel.step(f)
-        start = clock()
-        for _ in range(max(1, trials)):
-            f = kernel.step(f)
-        timings[name] = (clock() - start) / max(1, trials)
-        kernels[name] = kernel
+    with get_telemetry().span(
+        "kernel.auto.race",
+        lattice=lattice.name,
+        shape=list(shape),
+        dtype=dtype.name,
+        candidates=list(candidates),
+    ):
+        for name in candidates:
+            kernel = make_kernel(
+                name, lattice, tau, order=order, dtype=dtype, shape=shape
+            )
+            f = f0.copy()
+            for _ in range(max(1, warmup)):
+                f = kernel.step(f)
+            start = clock()
+            for _ in range(max(1, trials)):
+                f = kernel.step(f)
+            timings[name] = (clock() - start) / max(1, trials)
+            kernels[name] = kernel
     best = min(timings, key=lambda name: (timings[name], name))
+    if cache_path is not None:
+        _write_auto_cache(cache_path, key, best, timings)
     winner = kernels[best]
     winner.auto_timings = dict(timings)
     winner.auto_cached = False
-    if cache_path is not None:
-        _write_auto_cache(cache_path, key, best, timings)
+    winner.auto_provenance = "measured"
     _emit_auto_verdict(best, "measured", lattice, shape, dtype, timings)
     return winner

@@ -17,6 +17,7 @@ per second, paper Eq. 4).
 
 from __future__ import annotations
 
+import contextlib
 import time
 from typing import Callable, Sequence
 
@@ -253,23 +254,34 @@ class Simulation:
         deltas, so the hot :meth:`step` path carries no telemetry code
         and its zero-allocation guarantee is untouched).
         """
+        # With stability checking on, a diverging run's last step computes
+        # moments of already non-finite populations before _check_finite
+        # can raise; silence numpy's invalid/overflow warnings for that
+        # window so divergence is reported once, as StabilityError.
+        numeric_guard = (
+            np.errstate(invalid="ignore", over="ignore")
+            if check_stability_every
+            else contextlib.nullcontext()
+        )
         if not self.telemetry.enabled:
-            for n in range(steps):
-                self.step()
-                if monitor is not None and (n + 1) % monitor_every == 0:
-                    monitor(self)
-                if check_stability_every and (n + 1) % check_stability_every == 0:
-                    self._check_finite()
+            with numeric_guard:
+                for n in range(steps):
+                    self.step()
+                    if monitor is not None and (n + 1) % monitor_every == 0:
+                        monitor(self)
+                    if check_stability_every and (n + 1) % check_stability_every == 0:
+                        self._check_finite()
             return
         t = self.timings
         base = (t.stream_seconds, t.collide_seconds, t.boundary_seconds, t.steps)
         try:
-            for n in range(steps):
-                self.step()
-                if monitor is not None and (n + 1) % monitor_every == 0:
-                    monitor(self)
-                if check_stability_every and (n + 1) % check_stability_every == 0:
-                    self._check_finite()
+            with numeric_guard:
+                for n in range(steps):
+                    self.step()
+                    if monitor is not None and (n + 1) % monitor_every == 0:
+                        monitor(self)
+                    if check_stability_every and (n + 1) % check_stability_every == 0:
+                        self._check_finite()
         finally:
             done = t.steps - base[3]
             if done:

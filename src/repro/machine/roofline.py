@@ -28,12 +28,36 @@ from .spec import MachineSpec
 __all__ = [
     "Limiter",
     "RooflinePoint",
+    "bytes_per_cell",
     "roofline",
     "torus_lower_bound",
     "hardware_efficiency_bound",
     "FLOPS_PER_CELL",
     "flops_per_cell",
 ]
+
+#: Bytes per stored population value at each supported precision; the
+#: paper's B(Q) figures assume double precision (8 bytes).
+DTYPE_ITEMSIZE = {"float32": 4, "float64": 8}
+
+
+def bytes_per_cell(lattice: VelocitySet, dtype: str = "float64") -> int:
+    """B(Q) at a given population precision.
+
+    The paper's Table II bytes-per-cell figures (two loads + one store
+    of all Q populations: 456 for D3Q19, 936 for D3Q39) assume double
+    precision; float32 storage halves them — the dtype-policy knob the
+    roofline says roughly doubles bandwidth-bound throughput.
+    """
+    itemsize = DTYPE_ITEMSIZE.get(str(dtype))
+    if itemsize is None:
+        raise KeyError(
+            f"unknown population dtype {dtype!r} "
+            f"(known: {', '.join(sorted(DTYPE_ITEMSIZE))})"
+        )
+    # Scale the canonical double-precision figure; exact by construction
+    # (B is a multiple of 8).
+    return lattice.bytes_per_cell * itemsize // 8
 
 #: Core floating-point operations per lattice update in the paper's
 #: implementation (§III-B): "our implementation has 178 core
@@ -100,9 +124,16 @@ class RooflinePoint:
         return self.p_bandwidth_mflups / self.p_peak_mflups
 
 
-def roofline(machine: MachineSpec, lattice: VelocitySet) -> RooflinePoint:
-    """Evaluate Eq. 5 for one machine/lattice pair (a Table II row)."""
-    b = lattice.bytes_per_cell
+def roofline(
+    machine: MachineSpec, lattice: VelocitySet, dtype: str = "float64"
+) -> RooflinePoint:
+    """Evaluate Eq. 5 for one machine/lattice pair (a Table II row).
+
+    ``dtype`` positions reduced-precision variants on the same roofline:
+    float32 halves B, doubling the bandwidth-bound term while leaving
+    the compute term untouched (the paper's figures are all float64).
+    """
+    b = bytes_per_cell(lattice, dtype)
     f = flops_per_cell(lattice)
     p_bw = machine.memory_bandwidth / b / 1e6
     p_peak = machine.peak_flops / f / 1e6

@@ -11,6 +11,18 @@ from .cost_model import CostModel, Placement, StepBreakdown, Workload
 from .event_sim import CommSimResult, simulate_comm_times
 from .hybrid_model import HybridSweepPoint, best_point, sweep_hybrid
 from .metrics import mflups, parallel_efficiency, runtime_for_mflups, speedup
+from .model import (
+    FittedPerfModel,
+    MeasuredSample,
+    ModelEntry,
+    Prediction,
+    calibration_path,
+    fit_samples,
+    load_calibration,
+    samples_from_bench,
+    samples_from_events,
+    save_calibration,
+)
 from .noise import JitterModel
 from .optimization import (
     LADDER,
@@ -44,6 +56,16 @@ __all__ = [
     "depth_table",
     "DepthSweepResult",
     "effect_note",
+    "calibration_path",
+    "fit_samples",
+    "FittedPerfModel",
+    "load_calibration",
+    "MeasuredSample",
+    "ModelEntry",
+    "Prediction",
+    "samples_from_bench",
+    "samples_from_events",
+    "save_calibration",
     "HybridSweepPoint",
     "JitterModel",
     "LADDER",

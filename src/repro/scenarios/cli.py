@@ -1,7 +1,8 @@
 """Command-line front end for the scenario subsystem.
 
 Wired into ``python -m repro`` as the ``cases``/``case``/``sweep``/
-``sweep-worker``/``sweep-status``/``events`` subcommands; the thin
+``sweep-worker``/``sweep-status``/``events``/``perf-model``
+subcommands; the thin
 ``examples/*.py`` wrappers call :func:`run_case_cli` /
 :func:`run_sweep_cli` directly.
 """
@@ -9,6 +10,7 @@ Wired into ``python -m repro`` as the ``cases``/``case``/``sweep``/
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Any, Sequence
@@ -27,6 +29,7 @@ __all__ = [
     "main",
     "run_case_cli",
     "run_events_cli",
+    "run_perf_model_cli",
     "run_status_cli",
     "run_sweep_cli",
     "run_worker_cli",
@@ -80,9 +83,10 @@ def _resolve_auto_kernel(
     """Resolve ``--kernel auto`` to a concrete name *before* the spec.
 
     A fingerprinted :class:`CaseSpec` must stay deterministic, so
-    ``"auto"`` never enters it; instead the timing race (or its cached
-    per-host verdict, see :func:`repro.core.plan.auto_select_kernel`)
-    runs here on the case's actual lattice/shape/dtype, and the winner's
+    ``"auto"`` never enters it; instead the resolution ladder (fitted
+    perf-model calibration, then cached per-host verdict, then the
+    timing race — see :func:`repro.core.plan.auto_select_kernel`) runs
+    here on the case's actual lattice/shape/dtype, and the winner's
     name is what the spec records.
     """
     from ..core.plan import auto_select_kernel
@@ -102,8 +106,11 @@ def _resolve_auto_kernel(
         dtype=spec.dtype,
         cache=use_cache,
     )
-    provenance = "cached verdict" if getattr(winner, "auto_cached", False) else "measured"
-    print(f"kernel auto -> {winner.name} ({provenance})")
+    provenance = getattr(winner, "auto_provenance", None) or (
+        "cached" if getattr(winner, "auto_cached", False) else "measured"
+    )
+    labels = {"model": "perf model", "cached": "cached verdict"}
+    print(f"kernel auto -> {winner.name} ({labels.get(provenance, provenance)})")
     return winner.name
 
 
@@ -342,6 +349,92 @@ def run_events_cli(
     if aggregate.dropped:
         summary += f", {aggregate.dropped} corrupt line(s) dropped"
     print(summary)
+    return 0
+
+
+def run_perf_model_cli(
+    action: str,
+    *,
+    bench: Sequence[str] = (),
+    telemetry: Sequence[str] = (),
+    host: str | None = None,
+    path: str | None = None,
+    kernel: str | None = None,
+    lattice: str | None = None,
+    dtype: str = "float64",
+    shape: str | None = None,
+    steps: int | None = None,
+    ranks: int = 1,
+) -> int:
+    """The ``repro perf-model fit|show|predict`` workflow.
+
+    ``fit`` least-squares the calibration from committed bench records
+    (plus optional telemetry runs) and persists it to the per-host
+    calibration file; ``show`` prints what is persisted; ``predict``
+    answers one (kernel, lattice, dtype, shape, ranks) query from it.
+    """
+    from ..perf import model as perf_model
+
+    if action == "fit":
+        if not bench and not telemetry:
+            raise ScenarioError(
+                "perf-model fit needs at least one BENCH_*.json record "
+                "or --telemetry directory"
+            )
+        fitted = perf_model.fit(bench, telemetry_roots=telemetry, host=host)
+        for line in fitted.summary_lines():
+            print(line)
+        written = perf_model.save_calibration(fitted, path)
+        print(f"wrote {written}")
+        return 0
+
+    where = Path(path) if path else perf_model.calibration_path(host)
+    if action == "show":
+        try:
+            raw = json.loads(where.read_text())
+        except OSError:
+            print(
+                f"no calibration at {where} — fit one with "
+                "`repro perf-model fit BENCH_*.json`"
+            )
+            return 1
+        except ValueError as exc:
+            raise ScenarioError(f"corrupt calibration {where}: {exc}") from exc
+        model = perf_model.FittedPerfModel.from_json(raw)
+        for line in model.summary_lines():
+            print(line)
+        print(f"({where})")
+        return 0
+
+    # predict
+    if not kernel or not lattice:
+        raise ScenarioError("perf-model predict needs --kernel and --lattice")
+    model = perf_model.load_calibration(where)
+    if model is None:
+        print(
+            f"no calibration at {where} — fit one with "
+            "`repro perf-model fit BENCH_*.json`"
+        )
+        return 1
+    grid = tuple(int(s) for s in shape.split(",")) if shape else None
+    prediction = model.predict(kernel, lattice, dtype, shape=grid, ranks=ranks)
+    if prediction is None:
+        print(
+            f"model has no coverage for kernel={kernel} lattice={lattice} "
+            f"dtype={dtype} ranks={ranks}"
+        )
+        return 1
+    line = (
+        f"{kernel} {lattice} {dtype}"
+        + (f" ranks={ranks}" if ranks > 1 else "")
+        + f": {prediction.mflups:.2f} MFLUP/s predicted ({prediction.level} fit)"
+    )
+    if grid is not None and steps:
+        seconds = model.predict_case_seconds(
+            kernel, lattice, dtype, grid, steps, ranks=ranks
+        )
+        line += f", ~{seconds:.2f}s for {steps} steps on {'x'.join(map(str, grid))}"
+    print(line)
     return 0
 
 
@@ -597,6 +690,75 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="only the last N matching events (default: all)",
     )
+
+    perf_model = sub.add_parser(
+        "perf-model",
+        help="fit, inspect, or query the per-host performance calibration "
+        "that resolves kernel=auto and packs sweeps by predicted cost",
+    )
+    perf_model.add_argument(
+        "action",
+        choices=("fit", "show", "predict"),
+        help="fit: least-squares the calibration from bench records; "
+        "show: print the persisted calibration; predict: one query",
+    )
+    perf_model.add_argument(
+        "bench",
+        nargs="*",
+        metavar="BENCH.json",
+        help="exported bench records to fit from (fit)",
+    )
+    perf_model.add_argument(
+        "--telemetry",
+        action="append",
+        default=[],
+        metavar="DIR",
+        help="telemetry event directory whose measured kernel.auto "
+        "verdicts also feed the fit (repeatable)",
+    )
+    perf_model.add_argument(
+        "--host",
+        default=None,
+        help="calibrate/query for this host (default: this machine)",
+    )
+    perf_model.add_argument(
+        "--path",
+        default=None,
+        metavar="FILE",
+        help="calibration file (default: the per-host file under the "
+        "kernel cache directory)",
+    )
+    perf_model.add_argument(
+        "--kernel", default=None, help="kernel to predict for (predict)"
+    )
+    perf_model.add_argument(
+        "--lattice", default=None, help="lattice to predict for (predict)"
+    )
+    perf_model.add_argument(
+        "--dtype",
+        default="float64",
+        choices=("float32", "float64"),
+        help="population precision to predict for (predict)",
+    )
+    perf_model.add_argument(
+        "--shape",
+        default=None,
+        metavar="X,Y,Z",
+        help="grid shape, for predicted wall-clock (predict)",
+    )
+    perf_model.add_argument(
+        "--steps",
+        type=int,
+        default=None,
+        help="step count, for predicted wall-clock (predict)",
+    )
+    perf_model.add_argument(
+        "--ranks",
+        type=int,
+        default=1,
+        help="rank count: >1 predicts the distributed slab kernels "
+        "(predict)",
+    )
     return parser
 
 
@@ -628,6 +790,20 @@ def main(argv: Sequence[str]) -> int:
                 etype=args.etype,
                 process=args.process,
                 tail=args.tail,
+            )
+        if args.command == "perf-model":
+            return run_perf_model_cli(
+                args.action,
+                bench=args.bench,
+                telemetry=args.telemetry,
+                host=args.host,
+                path=args.path,
+                kernel=args.kernel,
+                lattice=args.lattice,
+                dtype=args.dtype,
+                shape=args.shape,
+                steps=args.steps,
+                ranks=args.ranks,
             )
         if args.command == "sweep-worker":
             return run_worker_cli(

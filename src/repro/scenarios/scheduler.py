@@ -68,6 +68,7 @@ __all__ = [
     "SweepStatus",
     "WorkItem",
     "WorkQueue",
+    "predict_variant_costs",
     "sweep_status",
 ]
 
@@ -95,11 +96,18 @@ def _retuple(value: Any) -> Any:
 
 @dataclasses.dataclass(frozen=True)
 class WorkItem:
-    """One variant of a published sweep, as a worker sees it."""
+    """One variant of a published sweep, as a worker sees it.
+
+    ``cost`` is the publisher's predicted wall-clock seconds for the
+    variant (from the host's fitted perf-model calibration, see
+    :mod:`repro.perf.model`); ``None`` when no calibration covered it.
+    Costs are advisory — they order claims, never gate them.
+    """
 
     index: int
     overrides: dict[str, Any]
     fingerprint: str
+    cost: float | None = None
 
     def task(
         self, case: str, analyze: bool, telemetry_dir: str | None = None
@@ -134,18 +142,38 @@ class WorkQueue:
         return sweep_key(self.case, [item.fingerprint for item in self.items])
 
     @classmethod
-    def publish(cls, root: str | Path, plan: SweepPlan, analyze: bool) -> "WorkQueue":
-        """Atomically write the work order for ``plan`` under ``root``."""
+    def publish(
+        cls,
+        root: str | Path,
+        plan: SweepPlan,
+        analyze: bool,
+        costs: "list[float | None] | None" = None,
+    ) -> "WorkQueue":
+        """Atomically write the work order for ``plan`` under ``root``.
+
+        ``costs`` (index-aligned with the plan) stamps each item with
+        its predicted wall-clock seconds so workers can claim
+        longest-first; omitted or ``None`` entries publish uncosted.
+        """
         if not isinstance(plan.case_ref, str):
             raise ScenarioError(
                 f"distributed sweeps need a registered case; "
                 f"{plan.case!r} does not resolve through the registry"
+            )
+        if costs is not None and len(costs) != len(plan.fingerprints):
+            raise ScenarioError(
+                f"costs must align with the plan: got {len(costs)} for "
+                f"{len(plan.fingerprints)} variants"
             )
         try:
             items_json = [
                 {"overrides": overrides, "fingerprint": fingerprint}
                 for overrides, fingerprint in zip(plan.overrides, plan.fingerprints)
             ]
+            if costs is not None:
+                for item, cost in zip(items_json, costs):
+                    if cost is not None:
+                        item["cost"] = float(cost)
             text = json.dumps(
                 {
                     "version": _QUEUE_VERSION,
@@ -189,6 +217,9 @@ class WorkQueue:
                         for k, v in item["overrides"].items()
                     },
                     fingerprint=str(item["fingerprint"]),
+                    cost=(
+                        float(item["cost"]) if item.get("cost") is not None else None
+                    ),
                 )
                 for index, item in enumerate(raw["items"])
             ]
@@ -206,6 +237,22 @@ class WorkQueue:
             ) from exc
         except (ValueError, KeyError, TypeError) as exc:
             raise ScenarioError(f"corrupt work queue {path}: {exc}") from exc
+
+    def claim_order(self) -> list[WorkItem]:
+        """The order workers should try to claim variants in.
+
+        With a predicted cost on *every* item, claims go longest-first
+        (LPT scheduling: starting the big variants early bounds the
+        makespan at fleet-tail time, where grid order can strand the
+        most expensive variant on the last worker).  Any uncosted item
+        means the ranking would be arbitrary, so the order falls back
+        to grid order wholesale.  Only claiming is reordered — merge
+        (:meth:`SweepScheduler.collect`) always assembles grid order,
+        so result tables stay bit-identical either way.
+        """
+        if any(item.cost is None for item in self.items):
+            return list(self.items)
+        return sorted(self.items, key=lambda item: (-item.cost, item.index))
 
 
 class LeaseBoard:
@@ -441,6 +488,38 @@ def sweep_status(cache_dir: str | Path) -> SweepStatus:
     )
 
 
+def predict_variant_costs(plan: SweepPlan) -> "list[float | None] | None":
+    """Predicted wall-clock seconds per variant, from this host's
+    calibration (:func:`repro.perf.model.load_calibration`).
+
+    Returns ``None`` when no calibration exists (or the model is
+    disabled via ``$REPRO_NO_PERF_MODEL``); individual variants the
+    model has no coverage for come back as ``None`` entries.  Inverse
+    of the paper's Eq. 4: ``steps * cells / (P * 1e6)``.
+    """
+    import os as _os
+
+    if _os.environ.get("REPRO_NO_PERF_MODEL"):
+        return None
+    from ..core.plan import DEFAULT_KERNEL
+    from ..perf.model import load_calibration
+
+    calibration = load_calibration()
+    if calibration is None:
+        return None
+    costs: list[float | None] = []
+    for spec in plan.specs:
+        seconds = calibration.predict_case_seconds(
+            spec.kernel or DEFAULT_KERNEL,
+            spec.lattice,
+            spec.dtype,
+            spec.shape,
+            spec.steps,
+        )
+        costs.append(None if seconds != seconds else seconds)  # NaN -> None
+    return costs
+
+
 @dataclasses.dataclass
 class SweepScheduler:
     """Publish a sweep to a shared cache dir and drive N workers over it.
@@ -499,7 +578,13 @@ class SweepScheduler:
     # -- lifecycle ---------------------------------------------------------
 
     def publish(self) -> tuple[SweepPlan, WorkQueue]:
-        """Expand the sweep and write queue + manifest under the cache dir."""
+        """Expand the sweep and write queue + manifest under the cache dir.
+
+        When this host holds a fitted perf-model calibration, every
+        variant the model covers is stamped with its predicted cost so
+        workers pack longest-first (:meth:`WorkQueue.claim_order`)
+        instead of walking the grid naively.
+        """
         plan = SweepPlan.of(self.sweep)
         cache, manifest = open_cache(
             self.cache_dir,
@@ -509,7 +594,9 @@ class SweepScheduler:
             resume=self.resume,
         )
         assert cache is not None and manifest is not None
-        queue = WorkQueue.publish(cache.root, plan, self.analyze)
+        queue = WorkQueue.publish(
+            cache.root, plan, self.analyze, costs=predict_variant_costs(plan)
+        )
         return plan, queue
 
     def run(self) -> SweepResult:

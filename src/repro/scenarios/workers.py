@@ -8,7 +8,10 @@ coordinator in the loop.  ``python -m repro sweep-worker --cache-dir
 DIR`` runs exactly this; ``repro sweep --workers N`` launches N of
 them locally.
 
-The loop per pass, in the queue's grid order:
+The loop per pass, in the queue's claim order — grid order, unless the
+publisher stamped every variant with a predicted cost from its fitted
+perf-model calibration, in which case claims go longest-first
+(:meth:`~repro.scenarios.scheduler.WorkQueue.claim_order`):
 
 1. skip variants with a usable cache entry (someone finished them);
 2. try to acquire the variant's lease; if held by someone else, check
@@ -227,11 +230,12 @@ def run_worker(
                 cached += 1
         return cached - len(report.completed)
 
+    claim_order = queue.claim_order()
     try:
         while True:
             ran_this_pass = 0
             blocked = 0
-            for item in queue.items:
+            for item in claim_order:
                 if max_variants is not None and len(report.completed) >= max_variants:
                     report.already_cached = count_cached()
                     return report

@@ -1,0 +1,377 @@
+"""The fitted performance model (repro.perf.model).
+
+Fits are exercised against the *committed* BENCH_PR3–PR5 history — the
+same records `repro perf-model fit` consumes — so these tests double as
+a round-trip check that the calibration reproduces the measurements it
+was fitted from.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.perf.model import (
+    FittedPerfModel,
+    MeasuredSample,
+    PerfModelError,
+    calibration_path,
+    fit,
+    fit_samples,
+    load_calibration,
+    samples_from_bench,
+    samples_from_events,
+    save_calibration,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+BENCH_PATHS = [REPO / f"BENCH_PR{n}.json" for n in (3, 4, 5)]
+
+
+def bench_samples():
+    samples = []
+    for path in BENCH_PATHS:
+        found, skipped = samples_from_bench(
+            json.loads(path.read_text()), source=path.name
+        )
+        assert skipped == 0, f"{path.name} rows should all be attributable"
+        samples.extend(found)
+    return samples
+
+
+@pytest.fixture(scope="module")
+def history_model():
+    return fit_samples(bench_samples(), host="fit-host")
+
+
+class TestSampleExtraction:
+    def test_committed_history_yields_samples(self):
+        samples = bench_samples()
+        # 4 rows in PR3, 10 in PR4, 16 in PR5 (2 non-throughput rows).
+        assert len(samples) == 30
+        kernels = {s.kernel for s in samples}
+        assert kernels == {"roll", "fused-gather", "planned", "legacy"}
+        assert all(s.mflups > 0 for s in samples)
+        # Committed records predate host stamping (schema <= 3).
+        assert all(s.host is None for s in samples)
+
+    def test_legacy_class_names_map_to_registry_names(self):
+        record = {
+            "kernels": {
+                "test_kernel_throughput[RollKernel-D3Q19]": {"mflups": 2.5},
+                "test_kernel_throughput[FusedGatherKernel-D3Q39]": {"mflups": 0.8},
+            }
+        }
+        samples, skipped = samples_from_bench(record)
+        assert skipped == 0
+        assert {(s.kernel, s.lattice) for s in samples} == {
+            ("roll", "D3Q19"),
+            ("fused-gather", "D3Q39"),
+        }
+
+    def test_unattributable_rows_are_skipped_not_fatal(self):
+        record = {
+            "kernels": {
+                "test_kernel_throughput[MysteryKernel-noQ]": {"mflups": 1.0},
+                "test_kernel_throughput[roll-D3Q19]": {
+                    "mflups": 2.0,
+                    "kernel": "roll",
+                },
+                "test_flop_ratio": {"measured_ratio": 2.4},
+            }
+        }
+        samples, skipped = samples_from_bench(record)
+        assert skipped == 1  # the mystery row; the ratio row isn't throughput
+        assert len(samples) == 1
+
+    def test_schema4_host_is_carried(self):
+        record = {
+            "host": "bench-host",
+            "kernels": {
+                "test_kernel_throughput[roll-float64-D3Q19]": {
+                    "mflups": 2.0,
+                    "kernel": "roll",
+                    "dtype": "float64",
+                }
+            },
+        }
+        samples, _ = samples_from_bench(record)
+        assert samples[0].host == "bench-host"
+
+    def test_events_only_measured_verdicts_feed_the_fit(self):
+        events = [
+            {
+                "type": "event",
+                "name": "kernel.auto",
+                "attrs": {
+                    "provenance": "measured",
+                    "lattice": "D3Q19",
+                    "dtype": "float64",
+                    "mflups": {"roll": 2.5, "planned": 6.0},
+                },
+            },
+            {
+                "type": "event",
+                "name": "kernel.auto",
+                "attrs": {
+                    "provenance": "cached",
+                    "lattice": "D3Q19",
+                    "dtype": "float64",
+                    "mflups": {"roll": 2.5},
+                },
+            },
+            {
+                "type": "event",
+                "name": "kernel.auto",
+                "attrs": {
+                    "provenance": "model",
+                    "lattice": "D3Q19",
+                    "dtype": "float64",
+                    "mflups": {"planned": 6.0},
+                },
+            },
+            {"type": "span", "name": "kernel.auto.race", "seconds": 0.1},
+        ]
+        samples = samples_from_events(events)
+        assert len(samples) == 2  # one per raced candidate, measured only
+        assert {s.kernel for s in samples} == {"roll", "planned"}
+
+
+class TestFit:
+    def test_round_trip_within_tolerance(self, history_model):
+        """Every measured row predicts back within run-to-run noise.
+
+        The fitted entry is the group mean, so each sample must sit
+        within the group's observed spread; 30% is well above the
+        largest spread in the committed history (~8%) while still tight
+        enough to catch a mis-keyed fit (cross-kernel errors are 2x+).
+        """
+        for sample in bench_samples():
+            predicted = history_model.predict_mflups(
+                sample.kernel,
+                sample.lattice,
+                sample.dtype,
+                ranks=2 if sample.mode == "distributed" else 1,
+            )
+            assert predicted == pytest.approx(sample.mflups, rel=0.30), sample
+
+    def test_exact_cells_reproduce_group_means(self, history_model):
+        entry = next(
+            e
+            for e in history_model.entries
+            if e.key == ("planned", "single", "float64", "D3Q19")
+        )
+        predicted = history_model.predict_mflups("planned", "D3Q19", "float64")
+        assert predicted == pytest.approx(entry.mflups, rel=1e-12)
+
+    def test_unknown_kernel_predicts_nan(self, history_model):
+        assert math.isnan(history_model.predict_mflups("naive", "D3Q19"))
+
+    def test_pooled_fallback_scales_by_bytes_per_cell(self, history_model):
+        """fused-gather was never measured at float32: the prediction
+        pools the float64 fits and rescales along the roofline's B(Q)."""
+        prediction = history_model.predict("fused-gather", "D3Q19", "float32")
+        assert prediction is not None
+        assert prediction.level == "kernel"
+        f64 = history_model.predict_mflups("fused-gather", "D3Q19", "float64")
+        # Halving B should roughly double the bandwidth-bound rate.
+        assert prediction.mflups > f64
+
+    def test_distributed_mode_is_separate(self, history_model):
+        single = history_model.predict_mflups("planned", "D3Q19", "float64")
+        dist = history_model.predict_mflups("planned", "D3Q19", "float64", ranks=4)
+        assert single != dist  # halo overhead fits differently
+
+    def test_other_hosts_samples_are_excluded(self):
+        mine = MeasuredSample("roll", "D3Q19", "float64", 2.0, host="me")
+        theirs = MeasuredSample("roll", "D3Q19", "float64", 9.0, host="them")
+        legacy = MeasuredSample("roll", "D3Q19", "float64", 2.2, host=None)
+        model = fit_samples([mine, theirs, legacy], host="me")
+        assert model.skipped == 1
+        assert model.predict_mflups("roll", "D3Q19") == pytest.approx(2.1)
+
+    def test_fit_from_files_and_empty_error(self, tmp_path):
+        model = fit(BENCH_PATHS, host="h")
+        assert model.entries
+        assert model.sources == tuple(p.name for p in BENCH_PATHS)
+        with pytest.raises(PerfModelError, match="no usable"):
+            empty = tmp_path / "empty.json"
+            empty.write_text('{"kernels": {}}')
+            fit([empty], host="h")
+
+    def test_predict_case_seconds_scales_with_work(self, history_model):
+        one = history_model.predict_case_seconds(
+            "planned", "D3Q19", "float64", (16, 16, 16), 100
+        )
+        four = history_model.predict_case_seconds(
+            "planned", "D3Q19", "float64", (16, 16, 16), 400
+        )
+        assert four == pytest.approx(4 * one)
+        assert math.isnan(
+            history_model.predict_case_seconds(
+                "naive", "D3Q19", "float64", (16, 16, 16), 100
+            )
+        )
+
+    def test_rank_kernels_orders_the_ladder(self, history_model):
+        rates = history_model.rank_kernels(
+            ("roll", "fused-gather", "planned"), "D3Q19", "float64"
+        )
+        # The committed history's single-node ladder: planned on top.
+        assert max(rates, key=rates.get) == "planned"
+        assert rates["planned"] > rates["roll"]
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, history_model, tmp_path):
+        path = save_calibration(history_model, tmp_path / "cal.json")
+        loaded = load_calibration(path)
+        assert loaded is not None
+        assert loaded.entries == history_model.entries
+        assert loaded.host == history_model.host
+
+    def test_default_path_is_host_keyed_under_cache_dir(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_KERNEL_CACHE_DIR", str(tmp_path))
+        path = calibration_path("node-7")
+        assert path == tmp_path / "perf-model" / "node-7.json"
+
+    def test_missing_and_corrupt_read_as_absent(self, tmp_path):
+        assert load_calibration(tmp_path / "nope.json") is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert load_calibration(bad) is None
+        wrong_schema = tmp_path / "schema.json"
+        wrong_schema.write_text('{"schema": 99, "entries": []}')
+        assert load_calibration(wrong_schema) is None
+
+    def test_host_filter_on_load(self, history_model, tmp_path):
+        path = save_calibration(history_model, tmp_path / "cal.json")
+        assert load_calibration(path, host="someone-else") is None
+        assert load_calibration(path, host=history_model.host) is not None
+
+    def test_from_json_rejects_wrong_schema_loudly(self):
+        with pytest.raises(PerfModelError, match="schema"):
+            FittedPerfModel.from_json({"schema": 99})
+
+    def test_fit_from_telemetry_run(self, tmp_path):
+        """A telemetry directory's measured verdicts are fit input."""
+        events = [
+            {"type": "meta", "name": "process.start"},
+            {
+                "type": "event",
+                "name": "kernel.auto",
+                "attrs": {
+                    "provenance": "measured",
+                    "lattice": "D3Q19",
+                    "dtype": "float64",
+                    "mflups": {"roll": 2.5, "planned": 6.0},
+                },
+            },
+        ]
+        run = tmp_path / "telemetry"
+        run.mkdir()
+        (run / "events-p1.jsonl").write_text(
+            "\n".join(json.dumps(e) for e in events) + "\n"
+        )
+        model = fit((), telemetry_roots=[run], host="h")
+        assert model.predict_mflups("planned", "D3Q19") == pytest.approx(6.0)
+
+
+class TestAutoResolution:
+    """kernel='auto' resolves from the calibration without timing."""
+
+    @pytest.fixture
+    def calibrated(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_NO_PERF_MODEL", raising=False)
+        model = fit_samples(bench_samples())  # host defaults to this node
+        save_calibration(model)
+        return model
+
+    @staticmethod
+    def _no_clock():
+        raise AssertionError("timing clock read: a measurement race ran")
+
+    def test_model_resolves_without_measurement(self, calibrated, q19):
+        from repro.core.plan import auto_select_kernel
+        from repro.telemetry.recorder import (
+            NULL_TELEMETRY,
+            Telemetry,
+            set_telemetry,
+        )
+
+        recorder = Telemetry.in_memory()
+        set_telemetry(recorder)
+        try:
+            winner = auto_select_kernel(
+                q19, (8, 8, 8), tau=0.8, clock=self._no_clock
+            )
+        finally:
+            set_telemetry(NULL_TELEMETRY)
+        assert winner.auto_provenance == "model"
+        events = recorder.events()
+        spans = [e for e in events if e.get("type") == "span"]
+        assert spans == []  # acceptance: no measurement spans at all
+        (verdict,) = [e for e in events if e.get("name") == "kernel.auto"]
+        assert verdict["attrs"]["provenance"] == "model"
+        assert winner.name in verdict["attrs"]["mflups"]
+
+    def test_model_agrees_with_measurement_on_d3q19_float64(
+        self, calibrated, q19
+    ):
+        """The ISSUE's winner-agreement cell: the model's pick matches
+        an actual timing race on (D3Q19, float64)."""
+        from repro.core.plan import auto_select_kernel, model_select_kernel
+
+        predicted = model_select_kernel(q19, (16, 16, 16), tau=0.8)
+        assert predicted is not None
+        measured = auto_select_kernel(
+            q19, (16, 16, 16), tau=0.8, model=False, cache=False, trials=4
+        )
+        assert predicted.name == measured.name
+
+    def test_partial_coverage_falls_through_to_race(self, calibrated, q19):
+        from repro.core.plan import model_select_kernel
+
+        # naive was never benchmarked: a candidate set including it is
+        # not fully covered, so the model refuses to crown a winner.
+        assert (
+            model_select_kernel(
+                q19, (8, 8, 8), tau=0.8, candidates=("naive", "planned")
+            )
+            is None
+        )
+
+    def test_env_disable_skips_the_model(self, calibrated, q19, monkeypatch):
+        from repro.core.plan import auto_select_kernel
+
+        monkeypatch.setenv("REPRO_NO_PERF_MODEL", "1")
+        winner = auto_select_kernel(q19, (6, 6, 6), tau=0.8, cache=False)
+        assert winner.auto_provenance == "measured"
+
+    def test_race_emits_span_and_measured_verdict(self, tmp_path, monkeypatch, q19):
+        from repro.core.plan import auto_select_kernel
+        from repro.telemetry.recorder import (
+            NULL_TELEMETRY,
+            Telemetry,
+            set_telemetry,
+        )
+
+        monkeypatch.setenv("REPRO_KERNEL_CACHE_DIR", str(tmp_path))  # no model
+        recorder = Telemetry.in_memory()
+        set_telemetry(recorder)
+        try:
+            auto_select_kernel(q19, (6, 6, 6), tau=0.8, cache=False)
+        finally:
+            set_telemetry(NULL_TELEMETRY)
+        events = recorder.events()
+        assert [e["name"] for e in events if e.get("type") == "span"] == [
+            "kernel.auto.race"
+        ]
+        (verdict,) = [e for e in events if e.get("name") == "kernel.auto"]
+        assert verdict["attrs"]["provenance"] == "measured"

@@ -309,3 +309,79 @@ class TestWorkerLoop:
         run_worker(tmp_path, worker_id="smoke")
         entry = ResultCache(tmp_path).get(SweepPlan.of(make_sweep()).fingerprints[0])
         assert entry["analyze"] is False
+
+
+class TestCostAwarePacking:
+    """Publishers with a fitted calibration stamp predicted costs and
+    workers claim longest-first; everything else stays bit-identical."""
+
+    @staticmethod
+    def ladder_sweep():
+        # Costs genuinely differ across these variants (D3Q39 roll is
+        # ~8x the work of D3Q19 planned); tau alone would tie them all.
+        return Sweep(
+            "taylor-green",
+            {"lattice": ["D3Q19", "D3Q39"], "kernel": ["roll", "planned"]},
+            steps=5,
+        )
+
+    @pytest.fixture
+    def calibrated(self, tmp_path, monkeypatch):
+        from pathlib import Path
+
+        from repro.perf.model import fit, save_calibration
+
+        monkeypatch.setenv("REPRO_KERNEL_CACHE_DIR", str(tmp_path / "calib"))
+        monkeypatch.delenv("REPRO_NO_PERF_MODEL", raising=False)
+        repo = Path(__file__).resolve().parents[2]
+        save_calibration(fit([repo / f"BENCH_PR{n}.json" for n in (3, 4, 5)]))
+
+    def test_publish_stamps_costs_and_orders_claims_lpt(
+        self, tmp_path, calibrated
+    ):
+        scheduler = SweepScheduler(
+            self.ladder_sweep(), tmp_path / "cache", workers=0
+        )
+        _, queue = scheduler.publish()
+        costs = [item.cost for item in queue.items]
+        assert all(c is not None and c > 0 for c in costs)
+        order = queue.claim_order()
+        assert [i.cost for i in order] == sorted(costs, reverse=True)
+        # D3Q39 roll (the most expensive cell in the history) goes first.
+        assert order[0].overrides["lattice"] == "D3Q39"
+        assert order[0].overrides["kernel"] == "roll"
+        # The stamped costs survive the queue.json round trip.
+        reloaded = WorkQueue.load(tmp_path / "cache")
+        assert [i.cost for i in reloaded.items] == costs
+
+    def test_without_calibration_claims_stay_grid_order(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_KERNEL_CACHE_DIR", str(tmp_path / "nocalib"))
+        scheduler = SweepScheduler(
+            self.ladder_sweep(), tmp_path / "cache", workers=0
+        )
+        _, queue = scheduler.publish()
+        assert all(item.cost is None for item in queue.items)
+        assert queue.claim_order() == queue.items
+
+    def test_any_uncosted_item_disables_the_reordering(self, tmp_path):
+        plan = SweepPlan.of(self.ladder_sweep())
+        queue = WorkQueue.publish(
+            tmp_path, plan, analyze=True, costs=[9.0, None, 1.0, 2.0]
+        )
+        assert queue.claim_order() == queue.items
+
+    def test_misaligned_costs_rejected(self, tmp_path):
+        plan = SweepPlan.of(self.ladder_sweep())
+        with pytest.raises(ScenarioError, match="align"):
+            WorkQueue.publish(tmp_path, plan, analyze=True, costs=[1.0])
+
+    def test_costed_run_table_matches_uncosted_reference(
+        self, tmp_path, calibrated
+    ):
+        sweep = self.ladder_sweep()
+        packed = SweepScheduler(sweep, tmp_path / "cache", workers=1).run()
+        reference = SweepExecutor(sweep, jobs=1).run()
+        assert packed.to_table() == reference.to_table()
+        assert packed.to_csv() == reference.to_csv()

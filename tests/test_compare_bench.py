@@ -83,3 +83,102 @@ class TestCompare:
         ok, lines = module.compare(RECORD, {"kernels": {}}, "roll", 0.30)
         assert not ok
         assert "no comparable" in lines[0]
+
+
+#: A minimal fitted calibration (repro.perf.model JSON layout): roll
+#: float64 D3Q19 fitted at 3.0 MFLUP/s over B=456 bytes/cell.
+CALIBRATION = {
+    "schema": 1,
+    "host": "test-host",
+    "entries": [
+        {
+            "kernel": "roll",
+            "mode": "single",
+            "dtype": "float64",
+            "lattice": "D3Q19",
+            "bytes_per_cell": 456,
+            "beta": 3.0 * 456 * 1e6,
+            "mflups": 3.0,
+            "n": 3,
+            "spread": 0.05,
+        }
+    ],
+}
+
+
+def model_record(mflups: float) -> dict:
+    """A schema-4-style record: one fitted row plus rows the gate skips."""
+    return {
+        "kernels": {
+            "test_kernel_throughput[roll-float64-D3Q19]": {
+                "mflups": mflups,
+                "kernel": "roll",
+                "dtype": "float64",
+                "bytes_per_cell": 456,
+            },
+            # float32 cell is not in CALIBRATION -> skipped, not failed.
+            "test_kernel_throughput[roll-float32-D3Q19]": {
+                "mflups": 8.0,
+                "kernel": "roll",
+                "dtype": "float32",
+            },
+            # Non-throughput rows never participate.
+            "test_distributed_overhead": {"mean_s": 0.004},
+        }
+    }
+
+
+class TestModelGate:
+    def test_measured_near_prediction_passes(self):
+        module = load_comparator()
+        ok, lines = module.model_check(model_record(3.0), CALIBRATION, slack=0.50)
+        assert ok
+        assert len(lines) == 1  # only the fitted (roll, f64, D3Q19) cell
+        assert "roll single float64 D3Q19" in lines[0]
+
+    def test_measured_far_below_prediction_fails(self):
+        module = load_comparator()
+        ok, lines = module.model_check(model_record(0.5), CALIBRATION, slack=0.50)
+        assert not ok
+        assert "MEASURED FAR BELOW MODEL" in lines[0]
+
+    def test_measured_above_prediction_never_fails(self):
+        module = load_comparator()
+        ok, _ = module.model_check(model_record(30.0), CALIBRATION, slack=0.50)
+        assert ok
+
+    def test_no_fitted_rows_fails_loudly(self):
+        module = load_comparator()
+        ok, lines = module.model_check(
+            {"kernels": {"test_other": {"mean_s": 0.1}}}, CALIBRATION, 0.50
+        )
+        assert not ok
+        assert "no current rows" in lines[-1]
+
+    def test_legacy_class_names_match_fitted_cells(self):
+        module = load_comparator()
+        record = {
+            "kernels": {
+                "test_kernel_throughput[RollKernel-D3Q19]": {"mflups": 2.9},
+            }
+        }
+        ok, lines = module.model_check(record, CALIBRATION, slack=0.50)
+        assert ok and len(lines) == 1
+
+    def test_main_model_only_invocation(self, tmp_path, capsys):
+        import json
+
+        module = load_comparator()
+        record_path = tmp_path / "bench.json"
+        record_path.write_text(json.dumps(model_record(3.1)))
+        calib_path = tmp_path / "calibration.json"
+        calib_path.write_text(json.dumps(CALIBRATION))
+        assert module.main([str(record_path), "--model", str(calib_path)]) == 0
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_main_requires_current_or_model(self, tmp_path, capsys):
+        import pytest
+
+        module = load_comparator()
+        with pytest.raises(SystemExit):
+            module.main([str(tmp_path / "only.json")])

@@ -18,6 +18,7 @@ REPORT = {
     "machine_info": {
         "python_version": "3.12.0",
         "cpu": {"brand_raw": "Test CPU"},
+        "node": "bench-host",
     },
     "benchmarks": [
         {
@@ -37,16 +38,45 @@ REPORT = {
 class TestExport:
     def test_record_shape(self):
         record = load_exporter().export(REPORT)
-        assert record["schema"] == 3
+        assert record["schema"] == 4
         assert record["suite"] == "bench_kernels_real"
         assert record["cpu"] == "Test CPU"
+        assert record["host"] == "bench-host"
+        assert record["cpu_count"] >= 1
         kernels = record["kernels"]
         assert kernels["test_kernel_throughput[RollKernel-D3Q19]"] == {
             "mean_s": 0.01,
             "mflups": 3.28,
             "bytes_per_cell": 456,
+            "dtype": "float64",
         }
         assert "measured_ratio" in kernels["test_d3q39_costs_about_double"]
+        # Non-throughput rows are not stamped with a dtype.
+        assert "dtype" not in kernels["test_d3q39_costs_about_double"]
+
+    def test_dtype_from_name_and_extra_info(self):
+        report = {
+            "machine_info": {},
+            "benchmarks": [
+                {
+                    "name": "test_kernel_throughput[planned-float32-D3Q19]",
+                    "stats": {"mean": 0.005},
+                    "extra_info": {"mflups": 9.7},
+                },
+                {
+                    "name": "test_kernel_throughput[planned-D3Q19]",
+                    "stats": {"mean": 0.005},
+                    "extra_info": {"mflups": 5.8, "dtype": "float32"},
+                },
+            ],
+        }
+        kernels = load_exporter().export(report)["kernels"]
+        assert (
+            kernels["test_kernel_throughput[planned-float32-D3Q19]"]["dtype"]
+            == "float32"
+        )
+        # An explicit extra-info dtype is never overridden by the name.
+        assert kernels["test_kernel_throughput[planned-D3Q19]"]["dtype"] == "float32"
 
     def test_empty_report_exports_no_kernels(self):
         assert load_exporter().export({"benchmarks": []})["kernels"] == {}
@@ -63,7 +93,8 @@ class TestMain:
         assert "2 benchmark(s)" in captured
         assert "3.28 MFLUP/s" in captured
         record = json.loads(out.read_text())
-        assert record["schema"] == 3
+        assert record["schema"] == 4
+        assert record["host"] == "bench-host"
         assert len(record["kernels"]) == 2
 
     def test_usage_error(self, capsys):
