@@ -35,6 +35,7 @@ from . import (
     perf,
     scenarios,
 )
+from . import api
 from ._version import __version__
 from .core import Simulation
 from .experiments import run_experiment
@@ -44,6 +45,7 @@ from .scenarios import run_case
 
 __all__ = [
     "analysis",
+    "api",
     "core",
     "DistributedSimulation",
     "errors",

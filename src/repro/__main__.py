@@ -36,6 +36,10 @@ Usage::
     python -m repro sweep taylor-green --param kernel=roll,planned \
         --param dtype=float32,float64 --steps 50  # sweep the kernel ladder
 
+    python -m repro serve --cache-dir shared --telemetry  # HTTP front end
+    python -m repro sweep-worker --cache-dir shared --follow  # drain it
+    python -m repro case taylor-green --steps 50 --json --cache-dir shared
+
     python -m repro perf-model fit BENCH_PR4.json BENCH_PR5.json
     python -m repro perf-model show
     python -m repro perf-model predict --kernel planned --lattice D3Q19 \
@@ -54,6 +58,7 @@ SCENARIO_COMMANDS = (
     "sweep",
     "sweep-worker",
     "sweep-status",
+    "serve",
     "events",
     "perf-model",
 )

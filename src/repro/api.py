@@ -1,0 +1,720 @@
+"""Stable programmatic facade over the scenario subsystem.
+
+Everything a caller can do from the command line — run a case, run or
+publish a sweep, drive a worker, inspect a fleet, query the perf model
+— is a keyword-only function here, and the CLI, the ``repro serve``
+HTTP front end and library users all go through the *same* functions.
+That single-path rule is what makes the byte-identity guarantee hold:
+a warm ``POST /v1/case`` body and ``repro case --json`` output are the
+same bytes because both are :func:`run_case` rendered through
+:func:`repro.core.io.render_response`.
+
+Contract notes:
+
+* No function here prints or exits; failures raise
+  :class:`~repro.errors.ReproError` subclasses (the CLI maps those to
+  ``error: ...`` on stderr + exit code 2, the server to structured
+  400 bodies).
+* Results come back as plain dataclasses with ``to_payload``-style
+  JSON-safe forms where a wire shape exists.
+* ``cache_dir`` always means the shared content-addressed sweep cache
+  directory; fingerprints are :meth:`CaseSpec.fingerprint`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from .errors import ScenarioError
+from .scenarios.cache import ResultCache
+from .scenarios.executor import (
+    NONDETERMINISTIC_METRICS,
+    SweepExecutor,
+    SweepPlan,
+    case_payload,
+    result_from_payload,
+    usable_entry,
+)
+from .scenarios.runner import CaseResult, CaseRunner
+from .scenarios.sampling import AdaptiveSampler
+from .scenarios.scheduler import (
+    DEFAULT_LEASE_TTL,
+    SweepScheduler,
+    SweepStatus,
+    WorkQueue,
+    sweep_status as _sweep_status,
+)
+from .scenarios.spec import CaseSpec
+from .scenarios.sweep import Sweep, SweepResult
+from .scenarios.workers import WorkerReport
+from .scenarios.workers import run_worker as _run_worker
+from .core.io import serialize_result_data
+from .telemetry.recorder import TELEMETRY_DIRNAME
+
+__all__ = [
+    "assemble_sweep",
+    "AutoKernel",
+    "build_sweep",
+    "CaseOutcome",
+    "CaseRequest",
+    "case_request",
+    "check_sweep_options",
+    "CostEstimate",
+    "decode_overrides",
+    "decode_value",
+    "open_cache",
+    "predict_cost",
+    "publish_sweep",
+    "resolve_auto_kernel",
+    "run_case",
+    "run_sweep",
+    "run_worker",
+    "sweep_payload",
+    "sweep_request",
+    "sweep_status",
+    "SweepRequest",
+    "telemetry_dir",
+]
+
+
+def telemetry_dir(cache_dir: str | Path) -> str:
+    """A run's structured-event directory: ``<cache-dir>/telemetry``."""
+    return str(Path(cache_dir) / TELEMETRY_DIRNAME)
+
+
+def decode_value(value: Any) -> Any:
+    """Normalise one JSON-decoded override value to its spec type.
+
+    JSON has no tuples, so fixed-arity values (``shape``, ``forcing``)
+    arrive as lists from HTTP bodies and job records; retupling them
+    makes the resulting spec fingerprint identical to what the CLI's
+    ``--set shape=16,16,4`` produces.
+    """
+    from .scenarios.scheduler import _retuple
+
+    return _retuple(value)
+
+
+def decode_overrides(mapping: Mapping[str, Any]) -> dict[str, Any]:
+    """:func:`decode_value` over every value of an override mapping."""
+    return {str(k): decode_value(v) for k, v in mapping.items()}
+
+
+# -- cases ------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class AutoKernel:
+    """How ``kernel="auto"`` resolved for one request.
+
+    ``provenance`` is ``"model"`` (fitted perf-model calibration),
+    ``"cached"`` (per-host verdict cache) or ``"measured"`` (timing
+    race run now).
+    """
+
+    name: str
+    provenance: str
+
+    @property
+    def label(self) -> str:
+        """Human wording for the provenance (what the CLI prints)."""
+        return {"model": "perf model", "cached": "cached verdict"}.get(
+            self.provenance, self.provenance
+        )
+
+
+def resolve_auto_kernel(
+    name: str,
+    overrides: Mapping[str, Any] | None = None,
+    *,
+    use_cache: bool = True,
+) -> AutoKernel:
+    """Resolve ``kernel="auto"`` to a concrete kernel *before* the spec.
+
+    A fingerprinted :class:`CaseSpec` must stay deterministic, so
+    ``"auto"`` never enters it; instead the resolution ladder (fitted
+    perf-model calibration, then cached per-host verdict, then the
+    timing race — see :func:`repro.core.plan.auto_select_kernel`) runs
+    here on the case's actual lattice/shape/dtype, and the winner's
+    name is what the spec records.  Pure: no printing (the CLI renders
+    the returned :class:`AutoKernel` itself).
+    """
+    from .core.plan import auto_select_kernel
+    from .lattice import get_lattice
+    from .scenarios.registry import get_case
+
+    spec = get_case(name)
+    if overrides:
+        spec = spec.with_overrides(**dict(overrides))
+    # Collision-factory cases own tau; fall back to a safe timing tau.
+    tau = float(spec.tau) if float(spec.tau) > 0.5 else 0.8
+    winner = auto_select_kernel(
+        get_lattice(spec.lattice),
+        spec.shape,
+        tau,
+        order=spec.order,
+        dtype=spec.dtype,
+        cache=use_cache,
+    )
+    provenance = getattr(winner, "auto_provenance", None) or (
+        "cached" if getattr(winner, "auto_cached", False) else "measured"
+    )
+    return AutoKernel(name=winner.name, provenance=provenance)
+
+
+@dataclasses.dataclass(frozen=True)
+class CaseRequest:
+    """One validated case request: the spec plus how it was asked for.
+
+    ``overrides`` is the full merged override mapping (steps/dtype and
+    the resolved kernel folded in) — exactly what a remote worker needs
+    to rebuild the same spec from the registry by name, and what goes
+    onto a work queue item.
+    """
+
+    case: str
+    overrides: dict[str, Any]
+    spec: CaseSpec
+    fingerprint: str
+    auto_kernel: AutoKernel | None = None
+
+
+def case_request(
+    name: str,
+    *,
+    steps: int | None = None,
+    overrides: Mapping[str, Any] | None = None,
+    kernel: str | None = None,
+    dtype: str | None = None,
+    kernel_cache: bool = True,
+) -> CaseRequest:
+    """Validate one case invocation into a fingerprinted request.
+
+    Builds (and thereby validates) the spec without running anything.
+    ``kernel="auto"`` is resolved here — the request's ``overrides``
+    record the concrete winner, never ``"auto"``.
+    """
+    kwargs = dict(overrides or {})
+    auto: AutoKernel | None = None
+    if steps is not None:
+        kwargs["steps"] = steps
+    if dtype is not None:
+        kwargs["dtype"] = dtype
+    if kernel == "auto":
+        auto = resolve_auto_kernel(name, kwargs, use_cache=kernel_cache)
+        kernel = auto.name
+    if kernel is not None:
+        kwargs["kernel"] = kernel
+    spec = CaseRunner(name, **kwargs).spec
+    return CaseRequest(
+        case=spec.name,
+        overrides=kwargs,
+        spec=spec,
+        fingerprint=spec.fingerprint(),
+        auto_kernel=auto,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class CaseOutcome:
+    """What :func:`run_case` hands back.
+
+    ``payload`` is the canonical JSON-safe result body — identical
+    bytes (through :func:`repro.core.io.render_response`) whether the
+    run executed here (``cached=False``) or was served from a warm
+    cache entry without a single simulation step (``cached=True``).
+    ``result`` is a full :class:`CaseResult` for fresh runs and a lean
+    rehydrated one (no simulation attached) for cache hits.
+    """
+
+    request: CaseRequest
+    payload: dict[str, Any]
+    cached: bool
+    result: CaseResult
+
+    @property
+    def spec(self) -> CaseSpec:
+        return self.request.spec
+
+    @property
+    def fingerprint(self) -> str:
+        return self.request.fingerprint
+
+    @property
+    def auto_kernel(self) -> AutoKernel | None:
+        return self.request.auto_kernel
+
+    @property
+    def passed(self) -> bool:
+        return self.result.passed
+
+
+def run_case(
+    name: str,
+    *,
+    steps: int | None = None,
+    overrides: Mapping[str, Any] | None = None,
+    checkpoint: str | None = None,
+    checkpoint_every: int = 0,
+    resume: str | None = None,
+    kernel: str | None = None,
+    dtype: str | None = None,
+    kernel_cache: bool = True,
+    analyze: bool = True,
+    cache_dir: str | Path | None = None,
+) -> CaseOutcome:
+    """Run one registered case — or serve it from a warm result cache.
+
+    With ``cache_dir``, the spec's fingerprint is probed first: a
+    usable entry answers without executing a step, and a fresh run
+    commits its payload back, so the next identical request (from any
+    surface — CLI, HTTP, library) is free.  Checkpoint/resume are
+    incompatible with ``cache_dir``: restart files are side effects a
+    cached replay would silently skip.
+    """
+    request = case_request(
+        name,
+        steps=steps,
+        overrides=overrides,
+        kernel=kernel,
+        dtype=dtype,
+        kernel_cache=kernel_cache,
+    )
+    cache: ResultCache | None = None
+    if cache_dir is not None:
+        if checkpoint is not None or resume is not None:
+            raise ScenarioError(
+                "cache_dir cannot be combined with checkpoint/resume: "
+                "restart files are side effects a cached replay would skip"
+            )
+        cache = ResultCache(cache_dir)
+        entry = usable_entry(cache, request.fingerprint, analyze)
+        if entry is not None:
+            return CaseOutcome(
+                request=request,
+                payload=entry,
+                cached=True,
+                result=result_from_payload(request.spec, entry),
+            )
+    runner = CaseRunner(request.spec)
+    result = runner.run(
+        checkpoint=checkpoint,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
+        analyze=analyze,
+    )
+    payload = case_payload(result, analyze=analyze)
+    if cache is not None:
+        cache.put(request.fingerprint, payload)
+    return CaseOutcome(
+        request=request, payload=payload, cached=False, result=result
+    )
+
+
+# -- sweeps -----------------------------------------------------------------
+
+
+def build_sweep(
+    name: str,
+    grid: Mapping[str, Sequence[Any]],
+    *,
+    steps: int | None = None,
+    kernel: str | None = None,
+    dtype: str | None = None,
+) -> Sweep:
+    """The sweep object every sweep entry point expands."""
+    fixed: dict[str, Any] = {}
+    if kernel is not None:
+        fixed["kernel"] = kernel
+    if dtype is not None:
+        fixed["dtype"] = dtype
+    return Sweep(name, dict(grid), steps=steps, overrides=fixed)
+
+
+def check_sweep_options(
+    *,
+    cache_dir: str | Path | None,
+    jobs: int,
+    workers: int | None,
+    publish: bool,
+    resume: bool,
+    adaptive: str | None,
+    telemetry: bool,
+) -> None:
+    """The one place sweep option combinations are validated (error
+    wording matches the CLI flags because that is where humans see it;
+    the serve layer never exposes these combinations)."""
+    if (workers is not None or publish) and cache_dir is None:
+        raise ScenarioError(
+            "--workers/--publish need --cache-dir: distributed workers "
+            "coordinate through the shared cache directory"
+        )
+    if workers is not None and jobs != 1:
+        raise ScenarioError(
+            "--workers and --jobs are alternatives: workers are "
+            "independent processes over a shared cache, jobs is one "
+            "process pool (pick one)"
+        )
+    if adaptive is not None and (workers is not None or publish or resume):
+        raise ScenarioError(
+            "--adaptive picks variants from intermediate results, so it "
+            "cannot be combined with --workers/--publish/--resume"
+        )
+    if telemetry and cache_dir is None:
+        raise ScenarioError(
+            "--telemetry needs --cache-dir: events are recorded under "
+            "<cache-dir>/telemetry"
+        )
+    if telemetry and adaptive is not None:
+        raise ScenarioError(
+            "--telemetry is not supported with --adaptive (the sampler "
+            "re-enters the executor per stage; instrument a plain sweep)"
+        )
+
+
+def run_sweep(
+    name: str,
+    grid: Mapping[str, Sequence[Any]],
+    *,
+    steps: int | None = None,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    resume: bool = False,
+    workers: int | None = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    adaptive: str | None = None,
+    coarse_stride: int = 2,
+    refine_fraction: float = 0.5,
+    kernel: str | None = None,
+    dtype: str | None = None,
+    telemetry: bool = False,
+) -> SweepResult:
+    """Run a parameter sweep and return its merged result.
+
+    ``jobs`` shards variants across a process pool; ``cache_dir``
+    enables per-variant result caching (warm re-runs execute nothing);
+    ``resume`` continues an interrupted sweep from its manifest;
+    ``workers`` distributes across that many independent worker
+    processes coordinating through the shared ``cache_dir``;
+    ``adaptive`` samples the grid (coarse pass, then refinement where
+    the named observable changes fastest) instead of enumerating it;
+    ``telemetry`` records structured JSONL events under
+    ``<cache-dir>/telemetry``.
+
+    Always executes through the executor machinery — even plain serial
+    sweeps — so data columns are deterministic (wall-clock metrics
+    never appear) and byte-identical across ``jobs``/``workers`` and
+    cache states.
+    """
+    check_sweep_options(
+        cache_dir=cache_dir,
+        jobs=jobs,
+        workers=workers,
+        publish=False,
+        resume=resume,
+        adaptive=adaptive,
+        telemetry=telemetry,
+    )
+    sweep = build_sweep(name, grid, steps=steps, kernel=kernel, dtype=dtype)
+    events_dir = telemetry_dir(cache_dir) if telemetry else None
+    if adaptive is not None:
+        sampler = AdaptiveSampler(
+            sweep,
+            observable=adaptive,
+            coarse_stride=coarse_stride,
+            refine_fraction=refine_fraction,
+            jobs=jobs,
+            cache_dir=cache_dir,
+        )
+        return sampler.run()
+    if workers is not None:
+        scheduler = SweepScheduler(
+            sweep,
+            cache_dir,
+            workers=workers,
+            lease_ttl=lease_ttl,
+            resume=resume,
+            telemetry_dir=events_dir,
+        )
+        return scheduler.run()
+    executor = SweepExecutor(
+        sweep,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        resume=resume,
+        telemetry_dir=events_dir,
+    )
+    return executor.run()
+
+
+def publish_sweep(
+    name: str,
+    grid: Mapping[str, Sequence[Any]],
+    *,
+    cache_dir: str | Path | None,
+    steps: int | None = None,
+    kernel: str | None = None,
+    dtype: str | None = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    resume: bool = False,
+) -> "tuple[SweepPlan, WorkQueue]":
+    """Write a sweep's work order (queue + manifest) and return it.
+
+    Runs nothing: ``sweep-worker`` processes — on any hosts sharing
+    ``cache_dir`` — claim and execute the variants.  When this host
+    holds a fitted perf-model calibration, items are stamped with
+    predicted costs so workers claim longest-first.
+    """
+    check_sweep_options(
+        cache_dir=cache_dir,
+        jobs=1,
+        workers=None,
+        publish=True,
+        resume=resume,
+        adaptive=None,
+        telemetry=False,
+    )
+    sweep = build_sweep(name, grid, steps=steps, kernel=kernel, dtype=dtype)
+    scheduler = SweepScheduler(
+        sweep, cache_dir, workers=0, lease_ttl=lease_ttl, resume=resume
+    )
+    return scheduler.publish()
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepRequest:
+    """One validated sweep request, expanded and fingerprinted.
+
+    ``variants`` are the grid points (what varies, for presentation);
+    ``overrides`` the full per-variant override mappings (what a worker
+    rebuilds the spec from); both index-aligned with ``fingerprints``.
+    """
+
+    case: str
+    parameters: tuple[str, ...]
+    variants: list[dict[str, Any]]
+    overrides: list[dict[str, Any]]
+    specs: list[CaseSpec]
+    fingerprints: list[str]
+
+    def __len__(self) -> int:
+        return len(self.fingerprints)
+
+
+def sweep_request(
+    name: str,
+    grid: Mapping[str, Sequence[Any]],
+    *,
+    steps: int | None = None,
+    kernel: str | None = None,
+    dtype: str | None = None,
+) -> SweepRequest:
+    """Expand and validate a sweep without running or publishing it."""
+    sweep = build_sweep(name, grid, steps=steps, kernel=kernel, dtype=dtype)
+    plan = SweepPlan.of(sweep)
+    if not isinstance(plan.case_ref, str):
+        raise ScenarioError(
+            f"sweep requests need a registered case; {plan.case!r} does "
+            "not resolve through the registry"
+        )
+    return SweepRequest(
+        case=plan.case,
+        parameters=tuple(plan.parameters),
+        variants=[dict(v) for v in plan.variants],
+        overrides=[dict(o) for o in plan.overrides],
+        specs=list(plan.specs),
+        fingerprints=list(plan.fingerprints),
+    )
+
+
+def assemble_sweep(
+    request: SweepRequest,
+    cache_dir: str | Path,
+    *,
+    analyze: bool = True,
+) -> SweepResult | None:
+    """Rebuild a sweep result purely from warm cache entries.
+
+    ``None`` unless *every* variant has a usable entry — the serve
+    layer's "is the whole sweep ready?" probe doubles as its result
+    assembly.  Probes silently (no cache hit/miss counters: this is
+    status derivation, not a request outcome).
+    """
+    cache = ResultCache(cache_dir)
+    results: list[CaseResult] = []
+    for spec, fingerprint in zip(request.specs, request.fingerprints):
+        entry = usable_entry(cache, fingerprint, analyze, count=False)
+        if entry is None:
+            return None
+        results.append(result_from_payload(spec, entry))
+    return SweepResult(
+        case=request.case,
+        parameters=tuple(request.parameters),
+        variants=[dict(v) for v in request.variants],
+        results=results,
+        fingerprints=list(request.fingerprints),
+    )
+
+
+def sweep_payload(result: SweepResult) -> dict[str, Any]:
+    """Canonical JSON-safe body of one sweep result.
+
+    Deterministic by construction: per-variant payloads drop the
+    timing-derived metrics (:data:`NONDETERMINISTIC_METRICS`) and the
+    provenance column (which worker/cache served a variant) is
+    deliberately excluded, so the same grid yields byte-identical
+    bodies warm or cold, CLI or HTTP.
+    """
+    rows = []
+    for res in result.results:
+        metrics = {
+            k: v
+            for k, v in res.metrics.items()
+            if k not in NONDETERMINISTIC_METRICS
+        }
+        row = json.loads(
+            serialize_result_data(metrics, res.series, res.checks)
+        )
+        row["case"] = res.spec.name
+        rows.append(row)
+    return {
+        "case": result.case,
+        "parameters": list(result.parameters),
+        "variants": [dict(v) for v in result.variants],
+        "fingerprints": (
+            list(result.fingerprints)
+            if result.fingerprints is not None
+            else None
+        ),
+        "passed": result.passed,
+        "results": rows,
+    }
+
+
+# -- fleet ------------------------------------------------------------------
+
+
+def open_cache(
+    cache_dir: str | Path, *, telemetry: Any | None = None
+) -> ResultCache:
+    """The content-addressed result cache under ``cache_dir``.
+
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry`) makes probe
+    outcomes (hit/miss/corrupt) observable; default is the silent
+    no-op recorder.
+    """
+    cache = ResultCache(cache_dir)
+    if telemetry is not None:
+        cache.telemetry = telemetry
+    return cache
+
+
+def sweep_status(cache_dir: str | Path) -> SweepStatus:
+    """Read-only snapshot of a sweep cache directory.
+
+    Pure data, no printing: render with :meth:`SweepStatus.summary`
+    (the CLI table) or :meth:`SweepStatus.to_payload` (the
+    ``/v1/fleet`` JSON body) as the surface demands.
+    """
+    return _sweep_status(cache_dir)
+
+
+def run_worker(
+    cache_dir: str | Path,
+    *,
+    worker_id: str | None = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    poll: float = 0.5,
+    max_variants: int | None = None,
+    wait: bool = False,
+    follow: bool = False,
+    telemetry: bool = False,
+) -> WorkerReport:
+    """Claim and run variants of the sweep published under ``cache_dir``.
+
+    ``telemetry=True`` records the worker's structured events under
+    ``<cache-dir>/telemetry``; see
+    :func:`repro.scenarios.workers.run_worker` for the loop's
+    semantics (``follow=True`` keeps serving appended work forever —
+    the mode a ``repro serve`` fleet runs in).
+    """
+    return _run_worker(
+        cache_dir,
+        worker_id=worker_id,
+        lease_ttl=lease_ttl,
+        poll=poll,
+        max_variants=max_variants,
+        wait=wait,
+        follow=follow,
+        telemetry_dir=telemetry_dir(cache_dir) if telemetry else None,
+    )
+
+
+# -- performance model ------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class CostEstimate:
+    """One perf-model answer: predicted throughput (and wall-clock,
+    when shape+steps were given).  ``level`` is the fit quality tier
+    the model answered from."""
+
+    kernel: str
+    lattice: str
+    dtype: str
+    ranks: int
+    mflups: float
+    level: str
+    seconds: float | None = None
+
+    def to_payload(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+def predict_cost(
+    *,
+    kernel: str,
+    lattice: str,
+    dtype: str = "float64",
+    shape: Sequence[int] | None = None,
+    steps: int | None = None,
+    ranks: int = 1,
+    host: str | None = None,
+    path: str | Path | None = None,
+) -> CostEstimate | None:
+    """Query the per-host performance calibration.
+
+    ``None`` when no calibration is persisted (for ``host``/``path``)
+    or the model has no coverage for the combination — callers decide
+    whether that is an error (the CLI prints a hint, the server
+    returns a structured 404).
+    """
+    from .perf import model as perf_model
+
+    where = Path(path) if path else perf_model.calibration_path(host)
+    model = perf_model.load_calibration(where)
+    if model is None:
+        return None
+    grid = tuple(int(s) for s in shape) if shape is not None else None
+    prediction = model.predict(kernel, lattice, dtype, shape=grid, ranks=ranks)
+    if prediction is None:
+        return None
+    seconds: float | None = None
+    if grid is not None and steps:
+        seconds = model.predict_case_seconds(
+            kernel, lattice, dtype, grid, steps, ranks=ranks
+        )
+        if seconds != seconds:  # NaN -> no coverage for the wall-clock
+            seconds = None
+    return CostEstimate(
+        kernel=kernel,
+        lattice=lattice,
+        dtype=dtype,
+        ranks=ranks,
+        mflups=prediction.mflups,
+        level=prediction.level,
+        seconds=seconds,
+    )

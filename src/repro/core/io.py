@@ -47,6 +47,9 @@ __all__ = [
     "canonical_json",
     "serialize_result_data",
     "deserialize_result_data",
+    "RESPONSE_SCHEMA_VERSION",
+    "response_envelope",
+    "render_response",
     "ClaimRecord",
     "write_claim",
     "read_claim",
@@ -110,6 +113,46 @@ def deserialize_result_data(
     """Inverse of :func:`serialize_result_data`."""
     data = json.loads(text)
     return dict(data["metrics"]), dict(data["series"]), dict(data["checks"])
+
+
+# -- response envelopes -----------------------------------------------------
+#
+# Every machine-readable answer the repro stack gives — CLI ``--json``
+# output and ``repro serve`` HTTP bodies alike — goes through one
+# serializer so that the same query yields byte-identical text no
+# matter which surface asked.  The envelope is versioned so consumers
+# can detect shape changes without sniffing fields.
+
+RESPONSE_SCHEMA_VERSION = 1
+
+
+def response_envelope(kind: str, data: Any) -> dict[str, Any]:
+    """Wrap ``data`` in the versioned response envelope.
+
+    ``kind`` names the payload shape (``"case"``, ``"sweep"``,
+    ``"fleet"``, ``"job"``, ``"worker-report"``, ``"error"``, ...);
+    consumers dispatch on it rather than guessing from keys.
+    """
+    return {
+        "schema": RESPONSE_SCHEMA_VERSION,
+        "kind": str(kind),
+        "data": jsonable(data),
+    }
+
+
+def render_response(kind: str, data: Any) -> str:
+    """Canonical JSON text of one response envelope (no trailing newline).
+
+    Like :func:`canonical_json` but strict: NaN/Infinity are rejected
+    (payload builders must map them to ``None``), because the output
+    must be parseable by any JSON consumer, not just Python's.
+    """
+    return json.dumps(
+        response_envelope(kind, data),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
 
 
 # -- claim records ----------------------------------------------------------

@@ -1,10 +1,17 @@
 """Command-line front end for the scenario subsystem.
 
 Wired into ``python -m repro`` as the ``cases``/``case``/``sweep``/
-``sweep-worker``/``sweep-status``/``events``/``perf-model``
-subcommands; the thin
-``examples/*.py`` wrappers call :func:`run_case_cli` /
-:func:`run_sweep_cli` directly.
+``sweep-worker``/``sweep-status``/``serve``/``events``/``perf-model``
+subcommands; the thin ``examples/*.py`` wrappers call
+:func:`run_case_cli` / :func:`run_sweep_cli` directly.
+
+Pure parsing and rendering: every subcommand converts argv into
+keyword arguments for :mod:`repro.api` and prints what comes back —
+as text tables, or (``--json``) through
+:func:`repro.core.io.render_response`, the same serializer the
+``repro serve`` HTTP front end writes its bodies with.  That shared
+path is what makes ``repro case --json`` output and a warm
+``POST /v1/case`` body byte-identical.
 """
 
 from __future__ import annotations
@@ -15,30 +22,20 @@ import sys
 from pathlib import Path
 from typing import Any, Sequence
 
+from .. import api
+from ..core.io import render_response
 from ..errors import ReproError, ScenarioError
-from ..telemetry.recorder import TELEMETRY_DIRNAME
-from .executor import SweepExecutor
-from .registry import catalog_table
-from .runner import CaseRunner
-from .sampling import AdaptiveSampler
-from .scheduler import DEFAULT_LEASE_TTL, SweepScheduler, sweep_status
-from .sweep import Sweep
-from .workers import run_worker
 
 __all__ = [
     "main",
     "run_case_cli",
     "run_events_cli",
     "run_perf_model_cli",
+    "run_serve_cli",
     "run_status_cli",
     "run_sweep_cli",
     "run_worker_cli",
 ]
-
-
-def _telemetry_dir(cache_dir: str) -> str:
-    """The run's event directory: ``<cache-dir>/telemetry``."""
-    return str(Path(cache_dir) / TELEMETRY_DIRNAME)
 
 
 def _parse_value(text: str) -> Any:
@@ -77,43 +74,6 @@ def _parse_grid(pairs: Sequence[str]) -> dict[str, list[Any]]:
     return grid
 
 
-def _resolve_auto_kernel(
-    name: str, overrides: dict[str, Any], use_cache: bool
-) -> str:
-    """Resolve ``--kernel auto`` to a concrete name *before* the spec.
-
-    A fingerprinted :class:`CaseSpec` must stay deterministic, so
-    ``"auto"`` never enters it; instead the resolution ladder (fitted
-    perf-model calibration, then cached per-host verdict, then the
-    timing race — see :func:`repro.core.plan.auto_select_kernel`) runs
-    here on the case's actual lattice/shape/dtype, and the winner's
-    name is what the spec records.
-    """
-    from ..core.plan import auto_select_kernel
-    from ..lattice import get_lattice
-    from .registry import get_case
-
-    spec = get_case(name)
-    if overrides:
-        spec = spec.with_overrides(**overrides)
-    # Collision-factory cases own tau; fall back to a safe timing tau.
-    tau = float(spec.tau) if float(spec.tau) > 0.5 else 0.8
-    winner = auto_select_kernel(
-        get_lattice(spec.lattice),
-        spec.shape,
-        tau,
-        order=spec.order,
-        dtype=spec.dtype,
-        cache=use_cache,
-    )
-    provenance = getattr(winner, "auto_provenance", None) or (
-        "cached" if getattr(winner, "auto_cached", False) else "measured"
-    )
-    labels = {"model": "perf model", "cached": "cached verdict"}
-    print(f"kernel auto -> {winner.name} ({labels.get(provenance, provenance)})")
-    return winner.name
-
-
 def run_case_cli(
     name: str,
     *,
@@ -125,25 +85,40 @@ def run_case_cli(
     kernel: str | None = None,
     dtype: str | None = None,
     kernel_cache: bool = True,
+    cache_dir: str | None = None,
+    as_json: bool = False,
 ) -> int:
-    """Run one case, print its summary (and report), return an exit code."""
-    kwargs = dict(overrides or {})
-    if steps is not None:
-        kwargs["steps"] = steps
-    if dtype is not None:
-        kwargs["dtype"] = dtype
-    if kernel == "auto":
-        kernel = _resolve_auto_kernel(name, kwargs, kernel_cache)
-    if kernel is not None:
-        kwargs["kernel"] = kernel
-    runner = CaseRunner(name, **kwargs)
-    result = runner.run(
+    """Run one case (or serve it warm from ``cache_dir``) and print it.
+
+    ``as_json`` renders the canonical schema-versioned envelope instead
+    of the text summary — the exact bytes ``repro serve`` answers a
+    warm ``POST /v1/case`` with (informational lines move to stderr so
+    stdout stays pure JSON).
+    """
+    outcome = api.run_case(
+        name,
+        steps=steps,
+        overrides=overrides,
         checkpoint=checkpoint,
         checkpoint_every=checkpoint_every,
         resume=resume,
+        kernel=kernel,
+        dtype=dtype,
+        kernel_cache=kernel_cache,
+        cache_dir=cache_dir,
     )
+    info = sys.stderr if as_json else sys.stdout
+    auto = outcome.auto_kernel
+    if auto is not None:
+        print(f"kernel auto -> {auto.name} ({auto.label})", file=info)
+    if outcome.cached:
+        print(f"cache hit: {outcome.fingerprint} (0 steps executed)", file=info)
+    if as_json:
+        print(render_response("case", outcome.payload))
+        return 0 if outcome.passed else 1
+    result = outcome.result
     print(result.to_text())
-    if result.spec.report is not None:
+    if result.spec.report is not None and result.simulation is not None:
         print()
         print(result.spec.report(result))
     return 0 if result.passed else 1
@@ -160,76 +135,57 @@ def run_sweep_cli(
     resume: bool = False,
     workers: int | None = None,
     publish: bool = False,
-    lease_ttl: float = DEFAULT_LEASE_TTL,
+    lease_ttl: float = api.DEFAULT_LEASE_TTL,
     adaptive: str | None = None,
     coarse_stride: int = 2,
     refine_fraction: float = 0.5,
     kernel: str | None = None,
     dtype: str | None = None,
     telemetry: bool = False,
+    as_json: bool = False,
 ) -> int:
-    """Run a sweep, print the comparison table, return an exit code.
+    """Run (or publish) a sweep and print the result, return an exit code.
 
-    ``jobs`` shards variants across a process pool; ``cache_dir``
-    enables per-variant result caching (warm re-runs execute nothing);
-    ``resume`` continues an interrupted sweep from its manifest.
-    ``workers`` distributes the variants across that many independent
-    worker processes over the shared ``cache_dir`` (the multi-host
-    path: ``publish`` writes the work order and exits so remote
-    ``sweep-worker`` processes can do the running).  ``adaptive``
-    samples the grid — coarse pass, then refinement where the named
-    observable changes fastest — instead of exhaustive expansion.
-    ``telemetry`` records structured JSONL events (variant spans, cache
-    counters, heartbeats) under ``<cache-dir>/telemetry`` for
-    ``repro events`` / ``sweep-status`` to aggregate.
-
-    Always executes through the executor machinery — even plain serial
-    sweeps — so the CLI's data columns are deterministic (wall-clock
-    metrics never appear) and byte-identical across ``--jobs``,
-    ``--workers`` and cache states.
+    Pure dispatch over :func:`repro.api.run_sweep` /
+    :func:`repro.api.publish_sweep` — see those for the semantics of
+    ``jobs``/``cache_dir``/``resume``/``workers``/``adaptive``/
+    ``telemetry``.  ``as_json`` prints the canonical sweep envelope
+    (identical bytes to a warm ``POST /v1/sweep`` body) instead of the
+    comparison table.
     """
-    fixed: dict[str, Any] = {}
-    if kernel is not None:
-        fixed["kernel"] = kernel
-    if dtype is not None:
-        fixed["dtype"] = dtype
-    sweep = Sweep(name, grid, steps=steps, overrides=fixed)
-    if (workers is not None or publish) and cache_dir is None:
-        raise ScenarioError(
-            "--workers/--publish need --cache-dir: distributed workers "
-            "coordinate through the shared cache directory"
-        )
-    if workers is not None and jobs != 1:
-        raise ScenarioError(
-            "--workers and --jobs are alternatives: workers are "
-            "independent processes over a shared cache, jobs is one "
-            "process pool (pick one)"
-        )
-    if adaptive is not None and (workers is not None or publish or resume):
-        raise ScenarioError(
-            "--adaptive picks variants from intermediate results, so it "
-            "cannot be combined with --workers/--publish/--resume"
-        )
-    if telemetry and cache_dir is None:
-        raise ScenarioError(
-            "--telemetry needs --cache-dir: events are recorded under "
-            "<cache-dir>/telemetry"
-        )
-    if telemetry and adaptive is not None:
-        raise ScenarioError(
-            "--telemetry is not supported with --adaptive (the sampler "
-            "re-enters the executor per stage; instrument a plain sweep)"
-        )
-    telemetry_dir = _telemetry_dir(cache_dir) if telemetry else None
-
+    api.check_sweep_options(
+        cache_dir=cache_dir,
+        jobs=jobs,
+        workers=workers,
+        publish=publish,
+        resume=resume,
+        adaptive=adaptive,
+        telemetry=telemetry,
+    )
     if publish:
-        scheduler = SweepScheduler(
-            sweep, cache_dir, workers=0, lease_ttl=lease_ttl, resume=resume
+        plan, _queue = api.publish_sweep(
+            name,
+            grid,
+            cache_dir=cache_dir,
+            steps=steps,
+            kernel=kernel,
+            dtype=dtype,
+            lease_ttl=lease_ttl,
+            resume=resume,
         )
-        plan, queue = scheduler.publish()
-        print(
-            f"published {len(plan)} variant(s) of {plan.case} to {cache_dir}"
-        )
+        if as_json:
+            print(
+                render_response(
+                    "publish",
+                    {
+                        "case": plan.case,
+                        "variants": len(plan),
+                        "cache_dir": str(cache_dir),
+                    },
+                )
+            )
+            return 0
+        print(f"published {len(plan)} variant(s) of {plan.case} to {cache_dir}")
         hint = " --telemetry" if telemetry else ""
         print(
             f"run workers with: python -m repro sweep-worker "
@@ -237,36 +193,31 @@ def run_sweep_cli(
         )
         return 0
 
-    if adaptive is not None:
-        sampler = AdaptiveSampler(
-            sweep,
-            observable=adaptive,
-            coarse_stride=coarse_stride,
-            refine_fraction=refine_fraction,
-            jobs=jobs,
-            cache_dir=cache_dir,
-        )
-        result = sampler.run()
-    elif workers is not None:
-        scheduler = SweepScheduler(
-            sweep,
-            cache_dir,
-            workers=workers,
-            lease_ttl=lease_ttl,
-            resume=resume,
-            telemetry_dir=telemetry_dir,
-        )
-        result = scheduler.run()
-    else:
-        executor = SweepExecutor(
-            sweep,
-            jobs=jobs,
-            cache_dir=cache_dir,
-            resume=resume,
-            telemetry_dir=telemetry_dir,
-        )
-        result = executor.run()
+    result = api.run_sweep(
+        name,
+        grid,
+        steps=steps,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        resume=resume,
+        workers=workers,
+        lease_ttl=lease_ttl,
+        adaptive=adaptive,
+        coarse_stride=coarse_stride,
+        refine_fraction=refine_fraction,
+        kernel=kernel,
+        dtype=dtype,
+        telemetry=telemetry,
+    )
 
+    if csv is not None:
+        with open(csv, "w") as handle:
+            handle.write(result.to_csv())
+    if as_json:
+        print(render_response("sweep", api.sweep_payload(result)))
+        if csv is not None:
+            print(f"wrote {csv}", file=sys.stderr)
+        return 0 if result.passed else 1
     print(result.to_table(provenance=True))
     if result.provenance is not None:
         cached = len(result.results) - result.runs_executed
@@ -282,16 +233,17 @@ def run_sweep_cli(
             f"points ({coarse} coarse + {refined} refined)"
         )
     if csv is not None:
-        with open(csv, "w") as handle:
-            handle.write(result.to_csv())
         print(f"wrote {csv}")
     return 0 if result.passed else 1
 
 
-def run_status_cli(cache_dir: str) -> int:
+def run_status_cli(cache_dir: str, *, as_json: bool = False) -> int:
     """Print a sweep cache directory's progress/lease report."""
-    status = sweep_status(cache_dir)
-    print(status.summary())
+    status = api.sweep_status(cache_dir)
+    if as_json:
+        print(render_response("fleet", status.to_payload()))
+    else:
+        print(status.summary())
     return 0
 
 
@@ -299,23 +251,58 @@ def run_worker_cli(
     cache_dir: str,
     *,
     worker_id: str | None = None,
-    lease_ttl: float = DEFAULT_LEASE_TTL,
+    lease_ttl: float = api.DEFAULT_LEASE_TTL,
     poll: float = 0.5,
     max_variants: int | None = None,
     wait: bool = False,
+    follow: bool = False,
     telemetry: bool = False,
+    as_json: bool = False,
 ) -> int:
-    """Run one sweep worker against a published sweep; print its report."""
-    report = run_worker(
+    """Run one sweep worker against a published sweep; print its report.
+
+    ``follow`` keeps the worker alive after the queue drains, polling
+    for work appended by a ``repro serve`` front end.
+    """
+    report = api.run_worker(
         cache_dir,
         worker_id=worker_id,
         lease_ttl=lease_ttl,
         poll=poll,
         max_variants=max_variants,
         wait=wait,
-        telemetry_dir=_telemetry_dir(cache_dir) if telemetry else None,
+        follow=follow,
+        telemetry=telemetry,
     )
-    print(report.summary())
+    if as_json:
+        print(render_response("worker-report", report.to_payload()))
+    else:
+        print(report.summary())
+    return 0
+
+
+def run_serve_cli(
+    cache_dir: str,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8752,
+    telemetry: bool = False,
+) -> int:
+    """Serve the scenario substrate over HTTP until interrupted."""
+    from ..serve import create_server
+
+    server = create_server(
+        cache_dir, host=host, port=port, telemetry=telemetry
+    )
+    print(f"serving {cache_dir} at {server.url}")
+    print("endpoints: POST /v1/case /v1/sweep; GET /v1/health /v1/cases")
+    print("           GET /v1/fleet /v1/jobs/<id> /v1/jobs/<id>/result")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
     return 0
 
 
@@ -371,7 +358,8 @@ def run_perf_model_cli(
     ``fit`` least-squares the calibration from committed bench records
     (plus optional telemetry runs) and persists it to the per-host
     calibration file; ``show`` prints what is persisted; ``predict``
-    answers one (kernel, lattice, dtype, shape, ranks) query from it.
+    answers one (kernel, lattice, dtype, shape, ranks) query from it
+    via :func:`repro.api.predict_cost`.
     """
     from ..perf import model as perf_model
 
@@ -409,31 +397,39 @@ def run_perf_model_cli(
     # predict
     if not kernel or not lattice:
         raise ScenarioError("perf-model predict needs --kernel and --lattice")
-    model = perf_model.load_calibration(where)
-    if model is None:
-        print(
-            f"no calibration at {where} — fit one with "
-            "`repro perf-model fit BENCH_*.json`"
-        )
-        return 1
     grid = tuple(int(s) for s in shape.split(",")) if shape else None
-    prediction = model.predict(kernel, lattice, dtype, shape=grid, ranks=ranks)
-    if prediction is None:
-        print(
-            f"model has no coverage for kernel={kernel} lattice={lattice} "
-            f"dtype={dtype} ranks={ranks}"
-        )
+    estimate = api.predict_cost(
+        kernel=kernel,
+        lattice=lattice,
+        dtype=dtype,
+        shape=grid,
+        steps=steps,
+        ranks=ranks,
+        host=host,
+        path=path,
+    )
+    if estimate is None:
+        if perf_model.load_calibration(where) is None:
+            print(
+                f"no calibration at {where} — fit one with "
+                "`repro perf-model fit BENCH_*.json`"
+            )
+        else:
+            print(
+                f"model has no coverage for kernel={kernel} lattice={lattice} "
+                f"dtype={dtype} ranks={ranks}"
+            )
         return 1
     line = (
         f"{kernel} {lattice} {dtype}"
         + (f" ranks={ranks}" if ranks > 1 else "")
-        + f": {prediction.mflups:.2f} MFLUP/s predicted ({prediction.level} fit)"
+        + f": {estimate.mflups:.2f} MFLUP/s predicted ({estimate.level} fit)"
     )
-    if grid is not None and steps:
-        seconds = model.predict_case_seconds(
-            kernel, lattice, dtype, grid, steps, ranks=ranks
+    if grid is not None and steps and estimate.seconds is not None:
+        line += (
+            f", ~{estimate.seconds:.2f}s for {steps} steps on "
+            f"{'x'.join(map(str, grid))}"
         )
-        line += f", ~{seconds:.2f}s for {steps} steps on {'x'.join(map(str, grid))}"
     print(line)
     return 0
 
@@ -486,6 +482,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="also checkpoint every N steps (requires --checkpoint)",
     )
     case.add_argument("--resume", default=None, help="restart file to resume from")
+    case.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="serve a warm fingerprint from DIR's result cache (zero "
+        "steps executed) and commit fresh runs back to it",
+    )
+    case.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="print the canonical schema-versioned JSON envelope instead "
+        "of the text summary (byte-identical to the serve API body)",
+    )
 
     sweep = sub.add_parser("sweep", help="run a parameter sweep over one case")
     sweep.add_argument("name", help="case name (see `cases`)")
@@ -551,10 +561,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--lease-ttl",
         type=float,
-        default=DEFAULT_LEASE_TTL,
+        default=api.DEFAULT_LEASE_TTL,
         metavar="SECONDS",
         help="worker lease lifetime; must exceed the longest variant "
-        f"(default: {DEFAULT_LEASE_TTL:g})",
+        f"(default: {api.DEFAULT_LEASE_TTL:g})",
     )
     sweep.add_argument(
         "--adaptive",
@@ -587,6 +597,13 @@ def build_parser() -> argparse.ArgumentParser:
         "counters, worker heartbeats) under <cache-dir>/telemetry; "
         "inspect with `events` and `sweep-status` (requires --cache-dir)",
     )
+    sweep.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="print the canonical sweep JSON envelope instead of the "
+        "comparison table (byte-identical to the serve API body)",
+    )
 
     status = sub.add_parser(
         "sweep-status",
@@ -598,6 +615,13 @@ def build_parser() -> argparse.ArgumentParser:
         required=True,
         metavar="DIR",
         help="the sweep's shared cache directory",
+    )
+    status.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="print the fleet rollup as a JSON envelope (the same body "
+        "the serve API's GET /v1/fleet answers with)",
     )
 
     worker = sub.add_parser(
@@ -620,7 +644,7 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument(
         "--lease-ttl",
         type=float,
-        default=DEFAULT_LEASE_TTL,
+        default=api.DEFAULT_LEASE_TTL,
         metavar="SECONDS",
         help="seconds before this worker's unreleased leases count as "
         "stale and peers may reclaim them",
@@ -647,10 +671,54 @@ def build_parser() -> argparse.ArgumentParser:
         "peer-held work remains (also reclaims stale leases of dead peers)",
     )
     worker.add_argument(
+        "--follow",
+        action="store_true",
+        help="never exit for lack of work: keep polling for variants "
+        "appended to the queue (the mode a `repro serve` fleet runs in; "
+        "implies --wait)",
+    )
+    worker.add_argument(
         "--telemetry",
         action="store_true",
         help="record this worker's structured events under "
         "<cache-dir>/telemetry (one JSONL file per worker process)",
+    )
+    worker.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="print the exit report as a JSON envelope instead of text",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve cases and sweeps over HTTP: warm fingerprints answer "
+        "from the result cache, cold ones are queued for sweep-worker "
+        "processes (see README 'Serving')",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        required=True,
+        metavar="DIR",
+        help="shared cache directory answers are served from and cold "
+        "work is queued under",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8752,
+        help="bind port; 0 picks a free one (default: 8752)",
+    )
+    serve.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record request spans, serve cache counters and queue-depth "
+        "events under <cache-dir>/telemetry",
     )
 
     events = sub.add_parser(
@@ -767,6 +835,8 @@ def main(argv: Sequence[str]) -> int:
     args = build_parser().parse_args(list(argv))
     try:
         if args.command == "cases":
+            from .registry import catalog_table
+
             print(catalog_table())
             return 0
         if args.command == "case":
@@ -780,9 +850,11 @@ def main(argv: Sequence[str]) -> int:
                 kernel=args.kernel,
                 dtype=args.dtype,
                 kernel_cache=not args.no_kernel_cache,
+                cache_dir=args.cache_dir,
+                as_json=args.as_json,
             )
         if args.command == "sweep-status":
-            return run_status_cli(args.cache_dir)
+            return run_status_cli(args.cache_dir, as_json=args.as_json)
         if args.command == "events":
             return run_events_cli(
                 args.cache_dir,
@@ -813,6 +885,15 @@ def main(argv: Sequence[str]) -> int:
                 poll=args.poll,
                 max_variants=args.max_variants,
                 wait=args.wait,
+                follow=args.follow,
+                telemetry=args.telemetry,
+                as_json=args.as_json,
+            )
+        if args.command == "serve":
+            return run_serve_cli(
+                args.cache_dir,
+                host=args.host,
+                port=args.port,
                 telemetry=args.telemetry,
             )
         return run_sweep_cli(
@@ -832,6 +913,7 @@ def main(argv: Sequence[str]) -> int:
             kernel=args.kernel,
             dtype=args.dtype,
             telemetry=args.telemetry,
+            as_json=args.as_json,
         )
     except (ReproError, OSError) as exc:
         # ReproError covers ScenarioError plus the LatticeError family an

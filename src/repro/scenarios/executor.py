@@ -52,9 +52,11 @@ from .sweep import Sweep, SweepResult
 __all__ = [
     "SweepExecutor",
     "SweepPlan",
+    "case_payload",
     "execute_pending",
     "open_cache",
     "result_from_payload",
+    "usable_entry",
     "NONDETERMINISTIC_METRICS",
 ]
 
@@ -130,6 +132,18 @@ def _execute_variant(task: _VariantTask) -> dict[str, Any]:
         telemetry.count("variant.completed")
         telemetry.count("variant.updates", steps * cells)
         telemetry.count("variant.seconds", span.seconds or 0.0)
+    return case_payload(result, analyze=task.analyze)
+
+
+def case_payload(result: CaseResult, *, analyze: bool) -> dict[str, Any]:
+    """Reduce one finished case run to its canonical cacheable payload.
+
+    The single payload builder behind cache entries, CLI ``--json``
+    output and serve HTTP bodies: timing-derived metrics are dropped
+    (:data:`NONDETERMINISTIC_METRICS`) and floats round-trip through
+    canonical JSON, so the same spec yields byte-identical payloads on
+    any host, warm or cold.
+    """
     metrics = {
         k: v for k, v in result.metrics.items()
         if k not in NONDETERMINISTIC_METRICS
@@ -140,7 +154,7 @@ def _execute_variant(task: _VariantTask) -> dict[str, Any]:
     payload["case"] = result.spec.name
     # Recorded so a cached analyze=False payload (no analysis metrics,
     # vacuous checks) is never served to an analyze=True sweep.
-    payload["analyze"] = task.analyze
+    payload["analyze"] = analyze
     return payload
 
 

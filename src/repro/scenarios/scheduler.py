@@ -50,6 +50,7 @@ from ..core.io import (
     write_claim,
 )
 from ..errors import ScenarioError
+from ..telemetry.aggregate import FleetRollup
 from ..telemetry.recorder import TELEMETRY_DIRNAME
 from .cache import QUEUE_FILENAME, ResultCache, sweep_key
 from .executor import (
@@ -68,6 +69,8 @@ __all__ = [
     "SweepStatus",
     "WorkItem",
     "WorkQueue",
+    "lease_holder",
+    "predict_spec_costs",
     "predict_variant_costs",
     "sweep_status",
 ]
@@ -101,19 +104,22 @@ class WorkItem:
     ``cost`` is the publisher's predicted wall-clock seconds for the
     variant (from the host's fitted perf-model calibration, see
     :mod:`repro.perf.model`); ``None`` when no calibration covered it.
-    Costs are advisory — they order claims, never gate them.
+    Costs are advisory — they order claims, never gate them.  ``case``
+    overrides the queue-level case name for this one item (how serve
+    appends mix cases onto one queue); ``None`` inherits the queue's.
     """
 
     index: int
     overrides: dict[str, Any]
     fingerprint: str
     cost: float | None = None
+    case: str | None = None
 
     def task(
         self, case: str, analyze: bool, telemetry_dir: str | None = None
     ) -> _VariantTask:
         return _VariantTask(
-            case=case,
+            case=self.case or case,
             overrides=tuple(sorted(self.overrides.items())),
             analyze=analyze,
             fingerprint=self.fingerprint,
@@ -199,6 +205,94 @@ class WorkQueue:
         return cls.load(root)
 
     @classmethod
+    def append(
+        cls,
+        root: str | Path,
+        entries: "list[tuple[str, dict[str, Any], str, float | None]]",
+        analyze: bool = True,
+    ) -> "WorkQueue":
+        """Merge per-case work items into the queue under ``root``.
+
+        ``entries`` are ``(case, overrides, fingerprint, cost)`` tuples;
+        each item is written with an explicit per-item ``case`` so one
+        queue can carry variants of many cases (the serve front end's
+        shape — anything a client asks for lands on the same fleet).
+        Existing items win on fingerprint collision, so re-submitting a
+        request is idempotent.  Creates the queue when none exists.
+
+        Read-modify-write: callers must serialise concurrent appends
+        themselves (the serve process does, under one lock); workers
+        only ever read the queue, so appends never race them into
+        corruption — at worst a worker loaded the pre-append snapshot
+        and picks the new items up on its next pass.
+        """
+        if analyze not in (True, False):
+            raise ScenarioError(f"analyze must be a bool, got {analyze!r}")
+        root = Path(root)
+        existing: "WorkQueue | None" = None
+        if (root / QUEUE_FILENAME).is_file():
+            existing = cls.load(root)
+            if existing.analyze != analyze:
+                raise ScenarioError(
+                    f"queue under {root} was published with "
+                    f"analyze={existing.analyze}; cannot append "
+                    f"analyze={analyze} items"
+                )
+        items_json: list[dict[str, Any]] = []
+        seen: set[str] = set()
+        parameters: list[str] = list(existing.parameters) if existing else []
+        if existing is not None:
+            for item in existing.items:
+                entry: dict[str, Any] = {
+                    "case": item.case or existing.case,
+                    "overrides": item.overrides,
+                    "fingerprint": item.fingerprint,
+                }
+                if item.cost is not None:
+                    entry["cost"] = item.cost
+                items_json.append(entry)
+                seen.add(item.fingerprint)
+        for case, overrides, fingerprint, cost in entries:
+            if fingerprint in seen:
+                continue
+            seen.add(fingerprint)
+            entry = {
+                "case": str(case),
+                "overrides": dict(overrides),
+                "fingerprint": str(fingerprint),
+            }
+            if cost is not None:
+                entry["cost"] = float(cost)
+            items_json.append(entry)
+            for name in sorted(overrides):
+                if name not in parameters:
+                    parameters.append(name)
+        if not items_json:
+            raise ScenarioError("cannot publish an empty work queue")
+        try:
+            text = json.dumps(
+                {
+                    "version": _QUEUE_VERSION,
+                    "case": existing.case if existing else str(entries[0][0]),
+                    "parameters": parameters,
+                    "analyze": analyze,
+                    "items": items_json,
+                },
+                indent=1,
+                sort_keys=True,
+            )
+        except (TypeError, ValueError) as exc:
+            raise ScenarioError(
+                f"work queue items need JSON-serialisable overrides: {exc}"
+            ) from exc
+        root.mkdir(parents=True, exist_ok=True)
+        path = root / QUEUE_FILENAME
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(text)
+        os.replace(tmp, path)
+        return cls.load(root)
+
+    @classmethod
     def load(cls, root: str | Path) -> "WorkQueue":
         """Read the work order under ``root``; error if absent/corrupt."""
         path = Path(root) / QUEUE_FILENAME
@@ -219,6 +313,9 @@ class WorkQueue:
                     fingerprint=str(item["fingerprint"]),
                     cost=(
                         float(item["cost"]) if item.get("cost") is not None else None
+                    ),
+                    case=(
+                        str(item["case"]) if item.get("case") is not None else None
                     ),
                 )
                 for index, item in enumerate(raw["items"])
@@ -364,6 +461,25 @@ def _lease_stale(record: ClaimRecord, host: str, now: float) -> bool:
     return record.host == host and not _pid_alive(record.pid)
 
 
+def lease_holder(
+    cache_dir: str | Path, fingerprint: str
+) -> ClaimRecord | None:
+    """The live holder of one variant's lease, else ``None``.
+
+    Read-only targeted probe (one file stat, no directory scan, never
+    creates ``leases/``) — how the serve job view decides a variant is
+    *running* rather than merely queued.  Stale leases read as ``None``:
+    a dead worker's claim is not progress.
+    """
+    path = Path(cache_dir) / LEASE_DIRNAME / f"{fingerprint}.lease"
+    record = read_claim(path)
+    if record is None:
+        return None
+    if _lease_stale(record, socket.gethostname(), time.time()):
+        return None
+    return record
+
+
 @dataclasses.dataclass(frozen=True)
 class SweepStatus:
     """Read-only snapshot of a sweep's coordination directory.
@@ -383,10 +499,10 @@ class SweepStatus:
     published: bool
     live_leases: tuple[ClaimRecord, ...]
     stale_leases: tuple[ClaimRecord, ...]
-    #: Pre-rendered telemetry rollup lines (cache hit rate, per-worker
+    #: Structured telemetry rollup (cache hit rate, per-worker
     #: throughput, ETA) when the directory has structured-event files;
-    #: empty when the fleet ran without telemetry.
-    telemetry: tuple[str, ...] = ()
+    #: ``None`` when the fleet ran without telemetry.
+    telemetry: FleetRollup | None = None
 
     @property
     def missing(self) -> int:
@@ -395,6 +511,31 @@ class SweepStatus:
     @property
     def complete(self) -> bool:
         return self.total > 0 and self.completed >= self.total
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-safe dict form — the body behind ``sweep-status --json``
+        and the serve ``GET /v1/fleet`` endpoint (same bytes, by
+        construction: both render this through one serializer)."""
+        return {
+            "root": self.root,
+            "case": self.case,
+            "parameters": list(self.parameters),
+            "variants": {
+                "total": self.total,
+                "completed": self.completed,
+                "missing": self.missing,
+            },
+            "complete": self.complete,
+            "published": self.published,
+            "workers": dict(sorted(self.workers.items())),
+            "leases": {
+                "live": [dataclasses.asdict(r) for r in self.live_leases],
+                "stale": [dataclasses.asdict(r) for r in self.stale_leases],
+            },
+            "telemetry": (
+                None if self.telemetry is None else self.telemetry.to_payload()
+            ),
+        }
 
     def summary(self) -> str:
         """Human-readable report (what the CLI prints)."""
@@ -427,7 +568,8 @@ class SweepStatus:
                 f"  stale leases: {len(self.stale_leases)} "
                 "(reclaimable by any worker)"
             )
-        lines.extend(self.telemetry)
+        if self.telemetry is not None:
+            lines.extend(self.telemetry.summary_lines())
         return "\n".join(lines)
 
 
@@ -464,15 +606,15 @@ def sweep_status(cache_dir: str | Path) -> SweepStatus:
             workers[owner] = workers.get(owner, 0) + 1
     total = len(manifest.fingerprints) if manifest is not None else 0
     completed = len(set(manifest.completed)) if manifest is not None else 0
-    telemetry: tuple[str, ...] = ()
+    telemetry: FleetRollup | None = None
     telemetry_dir = root / TELEMETRY_DIRNAME
     if telemetry_dir.is_dir():
         # Read-only like everything else here: load_run only globs and
         # parses the event files.
         from ..telemetry.aggregate import load_run
 
-        telemetry = tuple(
-            load_run(telemetry_dir).summary_lines(remaining=total - completed)
+        telemetry = load_run(telemetry_dir).fleet_stats(
+            remaining=total - completed
         )
     return SweepStatus(
         root=str(root),
@@ -488,12 +630,12 @@ def sweep_status(cache_dir: str | Path) -> SweepStatus:
     )
 
 
-def predict_variant_costs(plan: SweepPlan) -> "list[float | None] | None":
-    """Predicted wall-clock seconds per variant, from this host's
+def predict_spec_costs(specs) -> "list[float | None] | None":
+    """Predicted wall-clock seconds per spec, from this host's
     calibration (:func:`repro.perf.model.load_calibration`).
 
     Returns ``None`` when no calibration exists (or the model is
-    disabled via ``$REPRO_NO_PERF_MODEL``); individual variants the
+    disabled via ``$REPRO_NO_PERF_MODEL``); individual specs the
     model has no coverage for come back as ``None`` entries.  Inverse
     of the paper's Eq. 4: ``steps * cells / (P * 1e6)``.
     """
@@ -508,7 +650,7 @@ def predict_variant_costs(plan: SweepPlan) -> "list[float | None] | None":
     if calibration is None:
         return None
     costs: list[float | None] = []
-    for spec in plan.specs:
+    for spec in specs:
         seconds = calibration.predict_case_seconds(
             spec.kernel or DEFAULT_KERNEL,
             spec.lattice,
@@ -518,6 +660,11 @@ def predict_variant_costs(plan: SweepPlan) -> "list[float | None] | None":
         )
         costs.append(None if seconds != seconds else seconds)  # NaN -> None
     return costs
+
+
+def predict_variant_costs(plan: SweepPlan) -> "list[float | None] | None":
+    """:func:`predict_spec_costs` over a sweep plan's variants."""
+    return predict_spec_costs(plan.specs)
 
 
 @dataclasses.dataclass

@@ -111,6 +111,17 @@ class WorkerReport:
     cache_hits: int = 0
     mflups: float = float("nan")
 
+    def to_payload(self) -> dict:
+        """JSON-safe dict form (NaN throughput maps to ``None``)."""
+        return {
+            "worker": self.worker_id,
+            "completed": list(self.completed),
+            "reclaimed": list(self.reclaimed),
+            "already_cached": self.already_cached,
+            "cache_hits": self.cache_hits,
+            "mflups": None if math.isnan(self.mflups) else self.mflups,
+        }
+
     def summary(self) -> str:
         reclaim = (
             f", {len(self.reclaimed)} reclaimed from stale leases"
@@ -163,6 +174,7 @@ def run_worker(
     poll: float = 0.5,
     max_variants: int | None = None,
     wait: bool = False,
+    follow: bool = False,
     telemetry_dir: str | Path | None = None,
 ) -> WorkerReport:
     """Claim and run variants of the sweep published under ``cache_dir``.
@@ -178,13 +190,19 @@ def run_worker(
         (:func:`lease_heartbeat`), so the TTL bounds how long a *dead*
         worker's variant stays blocked, not how slow a variant may be.
     poll:
-        Sleep between passes when ``wait=True`` and peers hold all
-        remaining leases.
+        Sleep between passes when waiting on peers or (``follow``) on
+        new work.
     max_variants:
         Stop after running this many variants (``None`` = no limit).
     wait:
         Keep polling until the sweep completes instead of exiting when
         only peer-held work remains.
+    follow:
+        Never exit for lack of work: once the queue drains, keep
+        polling for items appended to it (the ``repro serve`` front end
+        appends cold requests to the same queue).  Implies ``wait``.
+        Either way the worker re-reads a changed queue between passes,
+        so appended work reaches even non-follow fleets mid-sweep.
     telemetry_dir:
         Directory for this worker's structured-event JSONL file.  Set,
         the worker records variant spans, cache counters and lease
@@ -231,6 +249,28 @@ def run_worker(
         return cached - len(report.completed)
 
     claim_order = queue.claim_order()
+
+    def refresh() -> bool:
+        """Re-read a changed queue (serve appends items mid-flight).
+
+        ``True`` iff the item list changed; reloads the manifest too so
+        the ``manifest.key == queue.key`` completion guard tracks the
+        appended queue instead of silently dropping attribution.
+        """
+        nonlocal queue, manifest, claim_order
+        try:
+            latest = WorkQueue.load(root)
+        except ScenarioError:
+            return False
+        if [i.fingerprint for i in latest.items] == [
+            i.fingerprint for i in queue.items
+        ]:
+            return False
+        queue = latest
+        manifest = SweepManifest.load(root)
+        claim_order = queue.claim_order()
+        return True
+
     try:
         while True:
             ran_this_pass = 0
@@ -270,11 +310,18 @@ def run_worker(
 
             report.already_cached = count_cached()
             if blocked == 0 and ran_this_pass == 0:
-                return report  # every variant has a usable entry
-            if blocked and ran_this_pass == 0:
-                if not wait:
+                if refresh():
+                    continue  # new items appeared while we scanned
+                if not follow:
+                    return report  # every variant has a usable entry
+                time.sleep(poll)
+            elif blocked and ran_this_pass == 0:
+                if not (wait or follow):
                     return report  # live peers hold the rest; let them finish
                 time.sleep(poll)
+                refresh()
+            else:
+                refresh()
             # made progress (or reclaimed): scan again immediately
     finally:
         _finalize_report(report, recorder, counters_base)

@@ -1,0 +1,317 @@
+"""The ``repro serve`` HTTP/JSON front end — stdlib only.
+
+A thin wire adapter over :mod:`repro.api` and :class:`.jobs.JobStore`:
+handlers parse and validate JSON bodies, call the same facade functions
+the CLI calls, and render every answer through
+:func:`repro.core.io.render_response` — which is why a warm
+``POST /v1/case`` body is byte-identical to ``repro case --json``
+output for the same spec.
+
+Endpoints (all bodies are schema-versioned envelopes
+``{"schema": 1, "kind": ..., "data": ...}``):
+
+=======  ======================  ==============================================
+method   path                    answer
+=======  ======================  ==============================================
+GET      ``/v1/health``          liveness probe
+GET      ``/v1/cases``           registered case catalog
+GET      ``/v1/fleet``           ``sweep_status`` rollup as JSON
+POST     ``/v1/case``            200 result (warm) / 202 job (enqueued)
+POST     ``/v1/sweep``           200 result (all warm) / 202 job (enqueued)
+GET      ``/v1/jobs/<id>``       job status (queued/running/done/lost)
+GET      ``/v1/jobs/<id>/result``  200 canonical result / 409 while in flight
+=======  ======================  ==============================================
+
+Errors are structured, never tracebacks: ``kind="error"`` with
+``{"status": <code>, "error": <message>}``.  The server owns no state —
+kill it, restart it, run several: every answer re-derives from the
+shared cache directory (see :mod:`.jobs`).
+
+Concurrency: :class:`ThreadingHTTPServer` threads handle requests;
+blocking work (a cache read, a queue append) is small and lock-guarded
+in the store.  Simulations never run in the server process — cold work
+goes to the sweep-worker fleet.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import socket
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any
+from urllib.parse import urlsplit
+
+from .. import api
+from ..core.io import render_response
+from ..errors import ReproError
+from ..scenarios.registry import available_cases, get_case
+from ..telemetry.recorder import NULL_TELEMETRY, process_recorder
+from .jobs import JobStore
+
+__all__ = ["ReproServer", "create_server"]
+
+#: Request bodies larger than this are rejected outright — specs are
+#: tiny; anything bigger is a mistake or abuse.
+MAX_BODY_BYTES = 1 << 20
+
+_JOB_PATH = re.compile(r"/v1/jobs/([^/]+)")
+_JOB_RESULT_PATH = re.compile(r"/v1/jobs/([^/]+)/result")
+
+_CASE_FIELDS = frozenset({"case", "overrides", "steps", "kernel", "dtype"})
+_SWEEP_FIELDS = frozenset({"case", "grid", "steps", "kernel", "dtype"})
+
+
+class ReproServer(ThreadingHTTPServer):
+    """One serving process over one shared sweep cache directory."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, store: JobStore, telemetry=None) -> None:
+        self.store = store
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        super().__init__(address, _Handler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def create_server(
+    cache_dir: str | Path,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    telemetry: bool = False,
+) -> ReproServer:
+    """Build a ready-to-run server (``port=0`` picks a free port).
+
+    ``telemetry=True`` records request spans, serve cache-hit counters
+    and queue-depth gauge events under ``<cache-dir>/telemetry`` —
+    the same event stream ``repro events`` and ``/v1/fleet`` read.
+    """
+    recorder = NULL_TELEMETRY
+    if telemetry:
+        recorder = process_recorder(
+            api.telemetry_dir(cache_dir),
+            process=f"serve-{socket.gethostname()}:{os.getpid()}",
+        )
+    store = JobStore(cache_dir, telemetry=recorder)
+    return ReproServer((host, port), store, recorder)
+
+
+def _require_str(body: dict[str, Any], field: str, required: bool = False):
+    value = body.get(field)
+    if value is None:
+        if required:
+            raise ValueError(f"{field!r} is required and must be a string")
+        return None
+    if not isinstance(value, str):
+        raise ValueError(f"{field!r} must be a string")
+    return value
+
+
+def _require_steps(body: dict[str, Any]):
+    steps = body.get("steps")
+    if steps is None:
+        return None
+    if isinstance(steps, bool) or not isinstance(steps, int):
+        raise ValueError("'steps' must be an integer")
+    return steps
+
+
+def _check_fields(body: dict[str, Any], allowed: frozenset) -> None:
+    unknown = sorted(set(body) - allowed)
+    if unknown:
+        raise ValueError(
+            f"unknown field(s): {', '.join(unknown)} "
+            f"(allowed: {', '.join(sorted(allowed))})"
+        )
+
+
+def _check_kernel(kernel: str | None) -> str | None:
+    if kernel == "auto":
+        raise ValueError(
+            "kernel='auto' is timing-dependent and would make identical "
+            "requests fingerprint differently; resolve it client-side "
+            "(`repro case ... --kernel auto`) and submit the winner"
+        )
+    return kernel
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1"
+    server: ReproServer  # narrowed from BaseServer for attribute access
+
+    # Telemetry spans replace stderr request logging.
+    def log_message(self, format: str, *args: Any) -> None:
+        pass
+
+    def do_GET(self) -> None:
+        self._route("GET")
+
+    def do_POST(self) -> None:
+        self._route("POST")
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _route(self, method: str) -> None:
+        telemetry = self.server.telemetry
+        path = urlsplit(self.path).path
+        with telemetry.span("serve.request", method=method, path=path) as span:
+            try:
+                status = self._dispatch(method, path)
+            except (ReproError, ValueError, KeyError, TypeError) as exc:
+                status = self._send_error(400, str(exc))
+            except (BrokenPipeError, ConnectionResetError):
+                status = 0  # client hung up; nothing left to send
+            except Exception as exc:  # never a traceback on the wire
+                status = self._send_error(
+                    500, f"internal error: {type(exc).__name__}: {exc}"
+                )
+            span.set(status=status)
+        if telemetry.enabled:
+            telemetry.count("serve.request")
+
+    def _dispatch(self, method: str, path: str) -> int:
+        store = self.server.store
+        if method == "POST":
+            body = self._read_json()
+            if path == "/v1/case":
+                return self._post_case(body)
+            if path == "/v1/sweep":
+                return self._post_sweep(body)
+            return self._send_error(404, f"no route for POST {path}")
+        if path == "/v1/health":
+            return self._send(200, "health", {"ok": True, "root": str(store.root)})
+        if path == "/v1/cases":
+            return self._send(200, "cases", _catalog_payload())
+        if path == "/v1/fleet":
+            return self._send(
+                200, "fleet", api.sweep_status(store.root).to_payload()
+            )
+        match = _JOB_RESULT_PATH.fullmatch(path)
+        if match:
+            return self._get_result(match.group(1))
+        match = _JOB_PATH.fullmatch(path)
+        if match:
+            return self._get_job(match.group(1))
+        return self._send_error(404, f"no route for GET {path}")
+
+    def _read_json(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ValueError("request body required (a JSON object)")
+        if length > MAX_BODY_BYTES:
+            raise ValueError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except ValueError as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(body, dict):
+            raise ValueError("request body must be a JSON object")
+        return body
+
+    def _send(self, status: int, kind: str, data: Any) -> int:
+        body = (render_response(kind, data) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        return status
+
+    def _send_error(self, status: int, message: str) -> int:
+        # The body may not have been fully read on a validation error;
+        # don't let a broken request poison a kept-alive connection.
+        self.close_connection = True
+        return self._send(status, "error", {"status": status, "error": message})
+
+    # -- endpoints ---------------------------------------------------------
+
+    def _post_case(self, body: dict[str, Any]) -> int:
+        _check_fields(body, _CASE_FIELDS)
+        case = _require_str(body, "case", required=True)
+        overrides = body.get("overrides") or {}
+        if not isinstance(overrides, dict):
+            raise ValueError("'overrides' must be an object of spec overrides")
+        record, payload = self.server.store.submit_case(
+            case=case,
+            overrides=overrides,
+            steps=_require_steps(body),
+            kernel=_check_kernel(_require_str(body, "kernel")),
+            dtype=_require_str(body, "dtype"),
+        )
+        if payload is not None:
+            return self._send(200, "case", payload)
+        return self._send(202, "job", self.server.store.status_payload(record))
+
+    def _post_sweep(self, body: dict[str, Any]) -> int:
+        _check_fields(body, _SWEEP_FIELDS)
+        case = _require_str(body, "case", required=True)
+        grid = body.get("grid")
+        if not isinstance(grid, dict) or not grid:
+            raise ValueError(
+                "'grid' is required and must be an object of parameter "
+                "-> list-of-values axes"
+            )
+        for key, values in grid.items():
+            if not isinstance(values, list) or not values:
+                raise ValueError(
+                    f"grid axis {key!r} must be a non-empty list of values"
+                )
+        record, result = self.server.store.submit_sweep(
+            case=case,
+            grid=grid,
+            steps=_require_steps(body),
+            kernel=_check_kernel(_require_str(body, "kernel")),
+            dtype=_require_str(body, "dtype"),
+        )
+        if result is not None:
+            return self._send(200, "sweep", api.sweep_payload(result))
+        return self._send(202, "job", self.server.store.status_payload(record))
+
+    def _get_job(self, job_id: str) -> int:
+        record = self.server.store.get(job_id)
+        if record is None:
+            return self._send_error(404, f"unknown job {job_id!r}")
+        return self._send(200, "job", self.server.store.status_payload(record))
+
+    def _get_result(self, job_id: str) -> int:
+        record = self.server.store.get(job_id)
+        if record is None:
+            return self._send_error(404, f"unknown job {job_id!r}")
+        response = self.server.store.result_response(record)
+        if response is None:
+            return self._send_error(
+                409,
+                f"job {job_id!r} is not complete; poll /v1/jobs/{job_id} "
+                "until status is 'done'",
+            )
+        kind, payload = response
+        return self._send(200, kind, payload)
+
+
+def _catalog_payload() -> dict[str, Any]:
+    cases = []
+    for name in available_cases():
+        spec = get_case(name)
+        cases.append(
+            {
+                "name": name,
+                "title": spec.title,
+                "lattice": spec.lattice,
+                "shape": list(spec.shape),
+                "steps": spec.steps,
+            }
+        )
+    return {"cases": cases}

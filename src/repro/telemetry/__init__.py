@@ -14,6 +14,7 @@ depend on it without cycles.
 """
 
 from .aggregate import (
+    FleetRollup,
     RunAggregate,
     WorkerStats,
     filter_events,
@@ -39,6 +40,7 @@ from .recorder import (
 
 __all__ = [
     "EVENT_VERSION",
+    "FleetRollup",
     "JsonlSink",
     "MemorySink",
     "NULL_TELEMETRY",

@@ -31,6 +31,7 @@ from typing import Any, Iterable, Sequence
 from .recorder import TELEMETRY_DIRNAME
 
 __all__ = [
+    "FleetRollup",
     "RunAggregate",
     "WorkerStats",
     "filter_events",
@@ -157,6 +158,70 @@ class WorkerStats:
         from ..perf.metrics import mflups
 
         return mflups(1, int(self.updates), self.seconds)
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetRollup:
+    """Structured fleet-telemetry rollup behind the ``sweep-status`` view.
+
+    Pure data: building one has no CLI or filesystem side effects, so
+    the serving layer (``GET /v1/fleet``) and the CLI table render the
+    exact same numbers.  ``cache_hit_rate`` / ``eta_seconds`` are
+    ``None`` when unknowable (the JSON-safe spelling of ``nan``).
+    """
+
+    events: int
+    files: int
+    dropped: int
+    cache_hit_rate: float | None
+    workers: tuple[WorkerStats, ...]
+    eta_seconds: float | None
+    remaining: int | None
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-safe dict form (no NaN; worker MFLUP/s may be None)."""
+        workers = {}
+        for stats in self.workers:
+            throughput = stats.mflups
+            workers[stats.process] = {
+                "variants": stats.variants,
+                "seconds": stats.seconds,
+                "mflups": None if math.isnan(throughput) else throughput,
+            }
+        return {
+            "events": self.events,
+            "files": self.files,
+            "dropped": self.dropped,
+            "cache_hit_rate": self.cache_hit_rate,
+            "workers": workers,
+            "eta_seconds": self.eta_seconds,
+            "remaining": self.remaining,
+        }
+
+    def summary_lines(self) -> list[str]:
+        """The enriched ``sweep-status`` block (rendering only)."""
+        lines = [
+            f"  telemetry: {self.events} event(s) across "
+            f"{self.files} file(s)"
+            + (f", {self.dropped} corrupt line(s) dropped" if self.dropped else "")
+        ]
+        if self.cache_hit_rate is not None:
+            lines.append(f"  cache hit rate: {self.cache_hit_rate:.0%}")
+        for stats in sorted(self.workers, key=lambda s: s.process):
+            throughput = stats.mflups
+            rendered = "" if math.isnan(throughput) else f", {throughput:.2f} MFLUP/s"
+            lines.append(
+                f"  worker {stats.process}: {stats.variants} variant(s) in "
+                f"{stats.seconds:.2f}s{rendered}"
+            )
+        if self.remaining is not None and self.eta_seconds is not None:
+            lines.append(
+                f"  eta: ~{self.eta_seconds:.0f}s for "
+                f"{self.remaining} remaining variant(s)"
+                if self.remaining
+                else "  eta: done"
+            )
+        return lines
 
 
 @dataclasses.dataclass
@@ -316,34 +381,32 @@ class RunAggregate:
 
     # -- presentation ------------------------------------------------------
 
+    def fleet_stats(self, remaining: int | None = None) -> FleetRollup | None:
+        """Structured rollup of this run's fleet view (None when no
+        events were recorded — nothing to report)."""
+        if not self.events:
+            return None
+        hit_rate = self.cache_hit_rate()
+        eta: float | None = None
+        if remaining is not None:
+            projected = self.eta_seconds(remaining)
+            eta = None if math.isnan(projected) else projected
+        return FleetRollup(
+            events=len(self.events),
+            files=len(self.files),
+            dropped=self.dropped,
+            cache_hit_rate=None if math.isnan(hit_rate) else hit_rate,
+            workers=tuple(
+                stats for _, stats in sorted(self.worker_stats().items())
+            ),
+            eta_seconds=eta,
+            remaining=remaining,
+        )
+
     def summary_lines(self, remaining: int | None = None) -> list[str]:
         """The enriched ``sweep-status`` block (empty when no events)."""
-        if not self.events:
-            return []
-        lines = [
-            f"  telemetry: {len(self.events)} event(s) across "
-            f"{len(self.files)} file(s)"
-            + (f", {self.dropped} corrupt line(s) dropped" if self.dropped else "")
-        ]
-        hit_rate = self.cache_hit_rate()
-        if not math.isnan(hit_rate):
-            lines.append(f"  cache hit rate: {hit_rate:.0%}")
-        for process, stats in sorted(self.worker_stats().items()):
-            throughput = stats.mflups
-            rendered = "" if math.isnan(throughput) else f", {throughput:.2f} MFLUP/s"
-            lines.append(
-                f"  worker {process}: {stats.variants} variant(s) in "
-                f"{stats.seconds:.2f}s{rendered}"
-            )
-        if remaining is not None:
-            eta = self.eta_seconds(remaining)
-            if not math.isnan(eta):
-                lines.append(
-                    f"  eta: ~{eta:.0f}s for {remaining} remaining variant(s)"
-                    if remaining
-                    else "  eta: done"
-                )
-        return lines
+        rollup = self.fleet_stats(remaining)
+        return [] if rollup is None else rollup.summary_lines()
 
 
 def tail_events(

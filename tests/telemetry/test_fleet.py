@@ -144,7 +144,9 @@ class TestStatusRollup:
             telemetry_dir=tmp_path / "telemetry",
         ).run()
         status = sweep_status(tmp_path)
-        assert status.telemetry
+        assert status.telemetry is not None
+        assert status.telemetry.events > 0
+        assert status.to_payload()["telemetry"]["events"] > 0
         summary = status.summary()
         assert "telemetry:" in summary
         assert "cache hit rate" in summary
@@ -155,7 +157,8 @@ class TestStatusRollup:
             analyze=False
         )
         status = sweep_status(tmp_path)
-        assert status.telemetry == ()
+        assert status.telemetry is None
+        assert status.to_payload()["telemetry"] is None
         assert "telemetry:" not in status.summary()
 
 
