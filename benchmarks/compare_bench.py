@@ -55,11 +55,26 @@ def kernel_mflups(record: dict, kernel: str) -> dict[str, float]:
     ``+``-joined substrings that must all match — the PR5 distributed
     gate selects ``planned+distributed`` to separate the slab rows from
     the single-domain planned rows.  float32 entries are excluded.
+
+    Sparse rows (schema 5: a ``fill`` column, or ``sparse`` in the
+    kernel name) only participate when the gate *asks* for a sparse
+    kernel — otherwise the dense ``planned`` gate would absorb
+    ``sparse-planned`` rows by substring.  When they do participate,
+    each fill is its own comparison key (``D3Q19@fill0.25``): fills
+    have different B(Q), so their MFLUP/s are not comparable.
     """
     tokens = [t for t in kernel.lower().split("+") if t]
+    want_sparse = any("sparse" in token for token in tokens)
     found: dict[str, float] = {}
     for name, entry in record.get("kernels", {}).items():
         lowered = name.lower()
+        is_sparse = (
+            entry.get("fill") is not None
+            or "sparse" in str(entry.get("kernel", "")).lower()
+            or "sparse" in lowered
+        )
+        if is_sparse != want_sparse:
+            continue
         if (
             not all(token in lowered for token in tokens)
             and entry.get("kernel") != kernel
@@ -70,9 +85,18 @@ def kernel_mflups(record: dict, kernel: str) -> dict[str, float]:
         value = entry.get("mflups")
         if value is None:
             continue
-        for lattice in LATTICES:
-            if lattice.lower() in lowered:
-                found[lattice] = float(value)
+        lattice = str(entry.get("lattice") or "").upper() or None
+        if lattice is None:
+            for cand in LATTICES:
+                if cand.lower() in lowered:
+                    lattice = cand
+                    break
+        if lattice is None:
+            continue
+        key = lattice
+        if entry.get("fill") is not None:
+            key = f"{lattice}@fill{float(entry['fill']):g}"
+        found[key] = float(value)
     return found
 
 
@@ -121,13 +145,25 @@ def _row_cell(name: str, entry: dict) -> "tuple[str, str, str, str] | None":
                 kernel = mapped
                 break
     match = _LATTICE_RE.search(name)
-    if not kernel or not match:
+    lattice = (
+        match.group(0).upper()
+        if match
+        else str(entry.get("lattice") or "").upper() or None
+    )
+    if not kernel or not lattice:
         return None
     dtype = str(
         entry.get("dtype") or ("float32" if "float32" in lowered else "float64")
     )
-    mode = "distributed" if "distributed" in lowered else "single"
-    return (str(kernel), mode, dtype, match.group(0).upper())
+    # Mirrors samples_from_bench's mode inference: a fill column or a
+    # sparse kernel name marks the indirect-addressing population.
+    if "distributed" in lowered:
+        mode = "distributed"
+    elif entry.get("fill") is not None or "sparse" in str(kernel).lower():
+        mode = "sparse"
+    else:
+        mode = "single"
+    return (str(kernel), mode, dtype, lattice)
 
 
 def model_check(

@@ -22,13 +22,26 @@ import platform
 import sys
 from pathlib import Path
 
-#: Schema 4: the record carries the measuring ``host`` and ``cpu_count``
-#: (the perf-model fitter keys calibrations per host; a record without a
-#: host stamp fits as unattributed history) and every throughput row is
-#: stamped with its ``dtype`` so the fitter never has to parse names.
-#: Schema 3 (PR 5) added ``comm_bytes`` and distributed-ladder names;
-#: schema 2 (PR 4) added ``kernel``/``dtype`` extra-info keys.
-SCHEMA = 4
+#: Schema 5: sparse-kernel rows carry a ``fill`` column (the fluid
+#: fraction of the bounding box) so the perf-model fitter can calibrate
+#: the fill-fraction term of B(Q), and the ``suite`` field names the
+#: bench module that produced the record instead of being hardwired.
+#: Schema 4 added the measuring ``host`` and ``cpu_count`` (the fitter
+#: keys calibrations per host) and stamped ``dtype`` on every
+#: throughput row; schema 3 (PR 5) added ``comm_bytes`` and
+#: distributed-ladder names; schema 2 (PR 4) added ``kernel``/``dtype``
+#: extra-info keys.
+SCHEMA = 5
+
+
+def _suite(report: dict) -> str:
+    """The bench module that produced ``report`` (from any fullname)."""
+    for bench in report.get("benchmarks", []):
+        fullname = str(bench.get("fullname", ""))
+        module = fullname.split("::", 1)[0]
+        if module:
+            return Path(module).stem
+    return "bench_kernels_real"
 
 
 def export(report: dict) -> dict:
@@ -47,7 +60,7 @@ def export(report: dict) -> dict:
     machine = report.get("machine_info", {})
     return {
         "schema": SCHEMA,
-        "suite": "bench_kernels_real",
+        "suite": _suite(report),
         "python": machine.get("python_version"),
         "cpu": (machine.get("cpu") or {}).get("brand_raw"),
         "host": machine.get("node") or platform.node(),

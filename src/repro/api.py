@@ -111,8 +111,9 @@ class AutoKernel:
     """How ``kernel="auto"`` resolved for one request.
 
     ``provenance`` is ``"model"`` (fitted perf-model calibration),
-    ``"cached"`` (per-host verdict cache) or ``"measured"`` (timing
-    race run now).
+    ``"cached"`` (per-host verdict cache), ``"measured"`` (timing
+    race run now) or ``"layout"`` (forced: the AoS layout has exactly
+    one kernel, so there is nothing to race).
     """
 
     name: str
@@ -121,9 +122,11 @@ class AutoKernel:
     @property
     def label(self) -> str:
         """Human wording for the provenance (what the CLI prints)."""
-        return {"model": "perf model", "cached": "cached verdict"}.get(
-            self.provenance, self.provenance
-        )
+        return {
+            "model": "perf model",
+            "cached": "cached verdict",
+            "layout": "aos layout (planned is the only rung)",
+        }.get(self.provenance, self.provenance)
 
 
 def resolve_auto_kernel(
@@ -189,13 +192,16 @@ def case_request(
     overrides: Mapping[str, Any] | None = None,
     kernel: str | None = None,
     dtype: str | None = None,
+    layout: str | None = None,
     kernel_cache: bool = True,
 ) -> CaseRequest:
     """Validate one case invocation into a fingerprinted request.
 
     Builds (and thereby validates) the spec without running anything.
     ``kernel="auto"`` is resolved here — the request's ``overrides``
-    record the concrete winner, never ``"auto"``.
+    record the concrete winner, never ``"auto"``.  Under
+    ``layout="aos"`` the resolution is forced: the planned kernel is
+    the only AoS rung, so no timing race runs.
     """
     kwargs = dict(overrides or {})
     auto: AutoKernel | None = None
@@ -203,8 +209,13 @@ def case_request(
         kwargs["steps"] = steps
     if dtype is not None:
         kwargs["dtype"] = dtype
+    if layout is not None:
+        kwargs["layout"] = layout
     if kernel == "auto":
-        auto = resolve_auto_kernel(name, kwargs, use_cache=kernel_cache)
+        if kwargs.get("layout") == "aos":
+            auto = AutoKernel(name="planned", provenance="layout")
+        else:
+            auto = resolve_auto_kernel(name, kwargs, use_cache=kernel_cache)
         kernel = auto.name
     if kernel is not None:
         kwargs["kernel"] = kernel
@@ -262,6 +273,7 @@ def run_case(
     resume: str | None = None,
     kernel: str | None = None,
     dtype: str | None = None,
+    layout: str | None = None,
     kernel_cache: bool = True,
     analyze: bool = True,
     cache_dir: str | Path | None = None,
@@ -281,6 +293,7 @@ def run_case(
         overrides=overrides,
         kernel=kernel,
         dtype=dtype,
+        layout=layout,
         kernel_cache=kernel_cache,
     )
     cache: ResultCache | None = None
@@ -324,6 +337,7 @@ def build_sweep(
     steps: int | None = None,
     kernel: str | None = None,
     dtype: str | None = None,
+    layout: str | None = None,
 ) -> Sweep:
     """The sweep object every sweep entry point expands."""
     fixed: dict[str, Any] = {}
@@ -331,6 +345,8 @@ def build_sweep(
         fixed["kernel"] = kernel
     if dtype is not None:
         fixed["dtype"] = dtype
+    if layout is not None:
+        fixed["layout"] = layout
     return Sweep(name, dict(grid), steps=steps, overrides=fixed)
 
 
@@ -390,6 +406,7 @@ def run_sweep(
     refine_fraction: float = 0.5,
     kernel: str | None = None,
     dtype: str | None = None,
+    layout: str | None = None,
     telemetry: bool = False,
 ) -> SweepResult:
     """Run a parameter sweep and return its merged result.
@@ -418,7 +435,9 @@ def run_sweep(
         adaptive=adaptive,
         telemetry=telemetry,
     )
-    sweep = build_sweep(name, grid, steps=steps, kernel=kernel, dtype=dtype)
+    sweep = build_sweep(
+        name, grid, steps=steps, kernel=kernel, dtype=dtype, layout=layout
+    )
     events_dir = telemetry_dir(cache_dir) if telemetry else None
     if adaptive is not None:
         sampler = AdaptiveSampler(
@@ -458,6 +477,7 @@ def publish_sweep(
     steps: int | None = None,
     kernel: str | None = None,
     dtype: str | None = None,
+    layout: str | None = None,
     lease_ttl: float = DEFAULT_LEASE_TTL,
     resume: bool = False,
 ) -> "tuple[SweepPlan, WorkQueue]":
@@ -477,7 +497,9 @@ def publish_sweep(
         adaptive=None,
         telemetry=False,
     )
-    sweep = build_sweep(name, grid, steps=steps, kernel=kernel, dtype=dtype)
+    sweep = build_sweep(
+        name, grid, steps=steps, kernel=kernel, dtype=dtype, layout=layout
+    )
     scheduler = SweepScheduler(
         sweep, cache_dir, workers=0, lease_ttl=lease_ttl, resume=resume
     )
@@ -511,9 +533,12 @@ def sweep_request(
     steps: int | None = None,
     kernel: str | None = None,
     dtype: str | None = None,
+    layout: str | None = None,
 ) -> SweepRequest:
     """Expand and validate a sweep without running or publishing it."""
-    sweep = build_sweep(name, grid, steps=steps, kernel=kernel, dtype=dtype)
+    sweep = build_sweep(
+        name, grid, steps=steps, kernel=kernel, dtype=dtype, layout=layout
+    )
     plan = SweepPlan.of(sweep)
     if not isinstance(plan.case_ref, str):
         raise ScenarioError(

@@ -19,12 +19,49 @@ import numpy as np
 from ..errors import LatticeError
 from ..lattice import VelocitySet
 
-__all__ = ["DistributionField", "SUPPORTED_DTYPES", "resolve_dtype", "compute_dtype"]
+__all__ = [
+    "DistributionField",
+    "LAYOUT_AOS",
+    "LAYOUT_SOA",
+    "SUPPORTED_DTYPES",
+    "SUPPORTED_LAYOUTS",
+    "resolve_dtype",
+    "resolve_layout",
+    "compute_dtype",
+]
 
 #: Population dtypes the solver's dtype policy supports.  The paper's
 #: bytes-per-cell analysis (Table II) makes B(Q) the bandwidth knob:
 #: float32 halves it, roughly doubling bandwidth-bound throughput.
 SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+#: Struct-of-arrays: velocity-major ``(Q, nx, ny, nz)`` physical order —
+#: the paper's collision-optimized layout and this repo's historic one.
+LAYOUT_SOA = "soa"
+
+#: Array-of-structs: cell-major physical order (all Q populations of one
+#: cell contiguous — the paper §IV's propagation-optimized alternative).
+#: The *logical* shape stays ``(Q, *shape)`` everywhere; AoS only changes
+#: the strides underneath.
+LAYOUT_AOS = "aos"
+
+#: Memory layouts the layout policy supports (paper §IV's SoA-vs-AoS
+#: axis, selectable exactly like ``kernel``/``dtype``).
+SUPPORTED_LAYOUTS = (LAYOUT_SOA, LAYOUT_AOS)
+
+
+def resolve_layout(layout: "str | None") -> str:
+    """Normalise a layout-policy value (``"soa"``/``"aos"``/``None``) to a
+    supported layout name; ``None`` means SoA (the historic default)."""
+    if layout is None:
+        return LAYOUT_SOA
+    resolved = str(layout).lower()
+    if resolved not in SUPPORTED_LAYOUTS:
+        names = ", ".join(SUPPORTED_LAYOUTS)
+        raise LatticeError(
+            f"unsupported field layout {layout!r} (supported: {names})"
+        )
+    return resolved
 
 
 def resolve_dtype(dtype: "str | np.dtype | type | None") -> np.dtype:
@@ -72,18 +109,29 @@ class DistributionField:
     lattice:
         The discrete velocity model.
     data:
-        C-contiguous float array of shape ``(Q, nx, ny, nz)``.  float32
-        input stays float32 (the dtype policy's low-bandwidth end);
-        anything else is cast to float64.
+        Float array of shape ``(Q, nx, ny, nz)``.  float32 input stays
+        float32 (the dtype policy's low-bandwidth end); anything else is
+        cast to float64.
+    layout:
+        Physical memory order (``"soa"``/``"aos"``).  The logical shape
+        is ``(Q, *shape)`` either way; under AoS ``data`` is a transposed
+        view over a C-contiguous cell-major buffer, so every consumer of
+        the logical indexing keeps working unchanged.
     """
 
     lattice: VelocitySet
     data: np.ndarray
+    layout: str = LAYOUT_SOA
 
     def __post_init__(self) -> None:
         data = np.asarray(self.data)
         dtype = data.dtype if data.dtype in SUPPORTED_DTYPES else np.dtype(np.float64)
-        self.data = np.ascontiguousarray(data, dtype=dtype)
+        self.layout = resolve_layout(self.layout)
+        if self.layout == LAYOUT_AOS:
+            buf = np.ascontiguousarray(np.moveaxis(data, 0, -1), dtype=dtype)
+            self.data = np.moveaxis(buf, -1, 0)
+        else:
+            self.data = np.ascontiguousarray(data, dtype=dtype)
         if self.data.ndim != 1 + self.lattice.dim:
             raise LatticeError(
                 f"field must have {1 + self.lattice.dim} dims, got {self.data.ndim}"
@@ -101,12 +149,17 @@ class DistributionField:
         lattice: VelocitySet,
         shape: Iterable[int],
         dtype: "str | np.dtype | None" = None,
+        layout: "str | None" = None,
     ) -> "DistributionField":
         """All-zero field on a grid of the given spatial ``shape``."""
         shape = tuple(int(s) for s in shape)
         if len(shape) != lattice.dim or any(s <= 0 for s in shape):
             raise LatticeError(f"bad spatial shape {shape} for {lattice.name}")
-        return cls(lattice, np.zeros((lattice.q, *shape), dtype=resolve_dtype(dtype)))
+        return cls(
+            lattice,
+            np.zeros((lattice.q, *shape), dtype=resolve_dtype(dtype)),
+            resolve_layout(layout),
+        )
 
     @classmethod
     def from_equilibrium(
@@ -116,13 +169,18 @@ class DistributionField:
         u: np.ndarray,
         order: int | None = None,
         dtype: "str | np.dtype | None" = None,
+        layout: "str | None" = None,
     ) -> "DistributionField":
         """Field initialised to the Hermite equilibrium of ``(rho, u)``."""
         from .equilibrium import equilibrium  # local import avoids a cycle
 
         if dtype is not None:
             dtype = resolve_dtype(dtype)
-        return cls(lattice, equilibrium(lattice, rho, u, order=order, dtype=dtype))
+        return cls(
+            lattice,
+            equilibrium(lattice, rho, u, order=order, dtype=dtype),
+            resolve_layout(layout),
+        )
 
     # -- properties -------------------------------------------------------
 
@@ -148,14 +206,25 @@ class DistributionField:
 
     # -- operations --------------------------------------------------------
 
+    def as_soa(self) -> np.ndarray:
+        """The populations as a C-contiguous velocity-major array.
+
+        A zero-copy alias for SoA fields; an exact element copy for AoS
+        ones.  Observables and checkpoints read through this so their
+        reductions see identical bytes in identical order under either
+        layout (whole-array reductions on a strided view may legally
+        accumulate in a different order).
+        """
+        return np.ascontiguousarray(self.data)
+
     def copy(self) -> "DistributionField":
         """Deep copy."""
-        return DistributionField(self.lattice, self.data.copy())
+        return DistributionField(self.lattice, self.data.copy(), self.layout)
 
     def astype(self, dtype: "str | np.dtype") -> "DistributionField":
         """A copy of this field cast to another supported dtype."""
         return DistributionField(
-            self.lattice, self.data.astype(resolve_dtype(dtype))
+            self.lattice, self.data.astype(resolve_dtype(dtype)), self.layout
         )
 
     def allclose(self, other: "DistributionField", **kwargs) -> bool:

@@ -57,7 +57,7 @@ from ..errors import LatticeError
 from ..lattice import VelocitySet
 from ..telemetry.recorder import get_telemetry
 from .equilibrium import equilibrium_order_for
-from .fields import resolve_dtype
+from .fields import LAYOUT_AOS, LAYOUT_SOA, resolve_dtype, resolve_layout
 from .kernels import FusedGatherKernel, LBMKernel, NaiveKernel, RollKernel
 from .streaming import pull_gather_rows
 
@@ -68,6 +68,8 @@ __all__ = [
     "PlannedKernel",
     "auto_select_kernel",
     "available_kernels",
+    "build_aos_gather_table",
+    "build_gather_table",
     "build_slab_gather_table",
     "kernel_cache_dir",
     "make_kernel",
@@ -94,6 +96,23 @@ def build_gather_table(lattice: VelocitySet, shape: Sequence[int]) -> np.ndarray
     # index arrays into a fresh buffer on every call, which would turn
     # each step into a hidden field-sized allocation.
     return np.ascontiguousarray((rows + offsets).reshape(-1))
+
+
+def build_aos_gather_table(lattice: VelocitySet, shape: Sequence[int]) -> np.ndarray:
+    """Flat pull indices from an **array-of-structs** source buffer.
+
+    AoS stores the populations of one cell contiguously — the flat index
+    of ``(cell x, velocity i)`` is ``flat(x) * Q + i`` instead of SoA's
+    ``i * N + flat(x)``.  ``table[i * N + flat(x)] = flat(x - c_i) * Q + i``,
+    so one ``np.take`` through it streams out of AoS storage *and*
+    transposes into the plan's struct-of-arrays scratch in the same
+    gather — the "plan-time index-table remapping" that lets both
+    layouts share one kernel body (paper §IV's layout study).
+    """
+    shape = tuple(int(s) for s in shape)
+    rows = pull_gather_rows(lattice, shape)  # (Q, N) spatial source index
+    table = rows * lattice.q + np.arange(lattice.q, dtype=rows.dtype)[:, None]
+    return np.ascontiguousarray(table.reshape(-1))
 
 
 def build_slab_gather_table(
@@ -162,13 +181,20 @@ class KernelPlan:
         order: int | None = None,
         dtype: "np.dtype | str | None" = None,
         gather: np.ndarray | None = None,
+        layout: str | None = None,
     ) -> None:
         self.lattice = lattice
         self.shape = tuple(int(s) for s in shape)
-        if len(self.shape) != lattice.dim or any(s <= 0 for s in self.shape):
+        # An explicit gather table may address any source topology (a
+        # sparse fluid-site list is a 1-D "shape"); only default periodic
+        # tables require the full lattice dimensionality.
+        if any(s <= 0 for s in self.shape) or (
+            gather is None and len(self.shape) != lattice.dim
+        ):
             raise LatticeError(f"bad spatial shape {self.shape} for {lattice.name}")
         self.order = equilibrium_order_for(lattice, order)
         self.dtype = resolve_dtype(dtype)
+        self.layout = resolve_layout(layout)
         q = lattice.q
         n = int(np.prod(self.shape))
         self.num_cells = n
@@ -177,9 +203,30 @@ class KernelPlan:
         #: Spatial shape of the streaming *source* array (== shape for
         #: periodic plans; the padded shape for window plans).
         self.source_shape: tuple[int, ...] = self.shape
-        self.gather = (
-            build_gather_table(lattice, self.shape) if gather is None else gather
-        )
+        if gather is None:
+            builder = (
+                build_aos_gather_table
+                if self.layout == LAYOUT_AOS
+                else build_gather_table
+            )
+            gather = builder(lattice, self.shape)
+        self.gather = gather
+        # AoS exit path: the collision writes a contiguous (Q, N) scratch
+        # and one take through this transpose permutation scatters it
+        # back into cell-major order.  Writing the strided AoS view
+        # directly would be exact too, but numpy routes badly-strided
+        # ufunc outputs through its buffered iterator — a per-call heap
+        # allocation the planned discipline forbids.
+        if self.layout == LAYOUT_AOS:
+            self._aos_out = np.empty((q, n), dtype=self.dtype)
+            self._aos_out_flat = self._aos_out.reshape(-1)
+            self._soa_index = np.ascontiguousarray(
+                np.arange(q * n, dtype=np.int64).reshape(q, n).T.reshape(-1)
+            )
+        else:
+            self._aos_out = None
+            self._aos_out_flat = None
+            self._soa_index = None
         # Constant tables, cast once (velocities_as caches per lattice).
         self.c = lattice.velocities_as(self.dtype)  # (Q, D)
         self.c_t = np.ascontiguousarray(self.c.T)  # (D, Q)
@@ -251,6 +298,8 @@ class KernelPlan:
             self.cell,
         )
         extra = 0 if self._adv is None else self._adv.nbytes
+        if self._aos_out is not None:
+            extra += self._aos_out.nbytes + self._soa_index.nbytes
         return int(sum(a.nbytes for a in arrays)) + extra
 
     def _fused_buffers(self) -> tuple[np.ndarray, np.ndarray]:
@@ -264,15 +313,50 @@ class KernelPlan:
 
     # -- the planned update --------------------------------------------
 
+    def _flat_source(self, f: np.ndarray) -> np.ndarray:
+        """``f`` as the flat buffer the gather table indexes.
+
+        SoA plans index the array's own C order.  AoS plans index the
+        cell-major physical buffer — ``f`` arrives as the logical
+        ``(Q, *shape)`` transposed view over it, and ``moveaxis`` back
+        recovers the contiguous buffer without copying.
+        """
+        if self.layout == LAYOUT_AOS:
+            return np.moveaxis(f, 0, -1).reshape(-1)
+        return f.reshape(-1)
+
+    def collide_native(self, src: np.ndarray, out: np.ndarray, omega: float) -> None:
+        """Collide SoA ``src`` into the layout-native logical array ``out``.
+
+        SoA writes straight through :meth:`collide_into`.  AoS collides
+        into the plan's contiguous scratch and scatters it back through
+        the transpose permutation in one ``np.take`` — an exact
+        permutation (bytes unchanged), so both layouts produce identical
+        populations per dtype; the extra pass is the layout's genuine,
+        measurable scatter cost.
+        """
+        if self.layout == LAYOUT_AOS:
+            self.collide_into(src, self._aos_out, omega)
+            np.take(
+                self._aos_out_flat,
+                self._soa_index,
+                out=np.moveaxis(out, 0, -1).reshape(-1),
+                mode="clip",
+            )
+        else:
+            self.collide_into(src, out.reshape(self.lattice.q, -1), omega)
+
     def stream_into(self, f: np.ndarray, out: np.ndarray) -> None:
         """Advect ``f`` into ``out`` via the precomputed gather table.
 
         ``mode="clip"`` writes straight into ``out``; the default
         ``mode="raise"`` routes through a full-size bounce buffer (a
         hidden field-sized allocation per step).  The table's indices
-        are in-bounds by construction, so clipping never fires.
+        are in-bounds by construction, so clipping never fires.  ``out``
+        is always struct-of-arrays (the scratch side), whatever the
+        plan's source layout.
         """
-        np.take(f.reshape(-1), self.gather, out=out.reshape(-1), mode="clip")
+        np.take(self._flat_source(f), self.gather, out=out.reshape(-1), mode="clip")
 
     def collide_into(self, src: np.ndarray, out_flat: np.ndarray, omega: float) -> None:
         """Relax post-streaming populations ``src`` (shape ``(Q, N)``)
@@ -333,7 +417,7 @@ class KernelPlan:
         """One fused stream+collide step, result written back into ``f``."""
         adv, adv_flat = self._fused_buffers()
         self.stream_into(f, adv_flat)
-        self.collide_into(adv, f.reshape(self.lattice.q, -1), omega)
+        self.collide_native(adv, f, omega)
         return f
 
 
@@ -356,13 +440,19 @@ class PlannedKernel(LBMKernel):
         order: int | None = None,
         dtype: "np.dtype | str | None" = None,
         shape: Sequence[int] | None = None,
+        layout: str | None = None,
     ) -> None:
         super().__init__(lattice, tau, order)
         self.dtype = resolve_dtype(dtype)
+        self.layout = resolve_layout(layout)
         self._plan: KernelPlan | None = None
         if shape is not None:
             self._plan = KernelPlan(
-                lattice, shape, order=self.collision.order, dtype=self.dtype
+                lattice,
+                shape,
+                order=self.collision.order,
+                dtype=self.dtype,
+                layout=self.layout,
             )
 
     def plan_for(self, shape: Sequence[int]) -> KernelPlan:
@@ -370,21 +460,40 @@ class PlannedKernel(LBMKernel):
         shape = tuple(int(s) for s in shape)
         if self._plan is None or self._plan.shape != shape:
             self._plan = KernelPlan(
-                self.lattice, shape, order=self.collision.order, dtype=self.dtype
+                self.lattice,
+                shape,
+                order=self.collision.order,
+                dtype=self.dtype,
+                layout=self.layout,
             )
         return self._plan
 
-    def _check_input(self, f: np.ndarray) -> None:
+    def _check_dtype(self, f: np.ndarray) -> None:
         if f.dtype != self.dtype:
             raise LatticeError(
                 f"planned kernel is built for {self.dtype.name}, got "
                 f"{f.dtype.name} populations (rebuild the kernel or cast "
                 "the field explicitly)"
             )
-        if not f.flags.c_contiguous:
+
+    def _check_input(self, f: np.ndarray) -> None:
+        """Validate a *layout-native* persistent field array."""
+        self._check_dtype(f)
+        native = f if self.layout == LAYOUT_SOA else np.moveaxis(f, 0, -1)
+        if not native.flags.c_contiguous:
             # reshape(-1) on a strided view returns a *copy*; the out=
             # writes would then land in a throwaway buffer and the
             # caller's array would silently keep its pre-step values.
+            raise LatticeError(
+                f"planned kernel ({self.layout} layout) requires "
+                "layout-contiguous populations (got a strided view; pass "
+                "an array whose physical order matches the layout)"
+            )
+
+    def _check_soa(self, f: np.ndarray) -> None:
+        """Validate a struct-of-arrays scratch-side array."""
+        self._check_dtype(f)
+        if not f.flags.c_contiguous:
             raise LatticeError(
                 "planned kernel requires C-contiguous populations "
                 "(got a strided view; pass np.ascontiguousarray(f))"
@@ -395,24 +504,27 @@ class PlannedKernel(LBMKernel):
         return self.plan_for(f.shape[1:]).step_into(f, self.collision.omega)
 
     def stream(self, f: np.ndarray, out: np.ndarray) -> np.ndarray:
-        """Gather-table streaming into ``out`` (split path for drivers)."""
+        """Gather-table streaming into SoA ``out`` (split path for drivers)."""
         self._check_input(f)
-        self._check_input(out)
+        self._check_soa(out)
         self.plan_for(f.shape[1:]).stream_into(f, out)
         return out
 
     def collide(self, f: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        """Planned collision from ``f`` into ``out`` (split path)."""
-        self._check_input(f)
+        """Planned collision from SoA ``f`` into layout-native ``out``."""
+        self._check_soa(f)
         if out is None:
+            if self.layout == LAYOUT_AOS:
+                raise LatticeError(
+                    "aos planned kernel cannot collide in place: the "
+                    "source is struct-of-arrays scratch; pass out="
+                )
             out = f
         else:
             self._check_input(out)
         plan = self.plan_for(f.shape[1:])
-        plan.collide_into(
-            f.reshape(self.lattice.q, -1),
-            out.reshape(self.lattice.q, -1),
-            self.collision.omega,
+        plan.collide_native(
+            f.reshape(self.lattice.q, -1), out, self.collision.omega
         )
         return out
 
@@ -451,6 +563,8 @@ def make_kernel(
     order: int | None = None,
     dtype: "np.dtype | str | None" = None,
     shape: Sequence[int] | None = None,
+    layout: str | None = None,
+    domain=None,
 ) -> LBMKernel:
     """Resolve a kernel selection to a ready instance.
 
@@ -459,10 +573,50 @@ def make_kernel(
     candidates on the actual problem).  ``dtype`` matters only to the
     planned kernel — the other kernels adapt to whatever dtype the
     populations carry.
+
+    ``layout`` selects the persistent field's physical order; only the
+    planned kernel supports ``"aos"`` (its plan remaps the gather
+    table), so ``"auto"`` under AoS resolves straight to it.
+
+    ``domain`` (a :class:`~repro.core.sparse.SparseDomain`) switches to
+    the sparse rung of the ladder: ``legacy``/``planned``/``auto`` (and
+    the registry names ``sparse-legacy``/``sparse-planned``) resolve to
+    indirect-addressing kernels streaming that domain's fluid sites.
     """
+    layout = resolve_layout(layout)
     if isinstance(kernel, LBMKernel):
+        if getattr(kernel, "layout", LAYOUT_SOA) != layout:
+            raise LatticeError(
+                f"kernel instance uses layout={getattr(kernel, 'layout', LAYOUT_SOA)!r}"
+                f" but layout={layout!r} was requested"
+            )
         return kernel
     key = str(kernel).lower()
+    if domain is not None:
+        if layout != LAYOUT_SOA:
+            raise LatticeError(
+                "sparse kernels store populations per fluid site "
+                "(struct-of-arrays only); layout='aos' is a dense-grid axis"
+            )
+        from .sparse import make_sparse_kernel  # late: sparse builds on plan
+
+        return make_sparse_kernel(key, domain, tau, order=order, dtype=dtype)
+    if key.startswith("sparse-"):
+        raise LatticeError(
+            f"kernel {kernel!r} streams a SparseDomain; pass domain= "
+            "(or select it through SparseSimulation(kernel=...))"
+        )
+    if layout == LAYOUT_AOS:
+        if key == AUTO_KERNEL:
+            key = "planned"
+        if KERNELS.get(key) is not PlannedKernel:
+            raise LatticeError(
+                f"layout='aos' requires the planned kernel (got {kernel!r}); "
+                "only its plan can remap the gather table per layout"
+            )
+        return PlannedKernel(
+            lattice, tau, order=order, dtype=dtype, shape=shape, layout=layout
+        )
     if key == AUTO_KERNEL:
         if shape is None:
             raise LatticeError(
@@ -569,12 +723,16 @@ def _emit_auto_verdict(
     shape: tuple[int, ...],
     dtype: np.dtype,
     timings: dict,
+    mode: str | None = None,
+    fill: float | None = None,
 ) -> None:
     """Record a ``kernel.auto`` verdict event on the ambient recorder.
 
     Each candidate's timing (mean seconds per step) is also expressed
     as measured MFLUP/s via the paper's Eq. 4 — the number the roofline
-    discussion compares kernels by.
+    discussion compares kernels by.  Sparse verdicts stamp their
+    ``mode="sparse"`` and fluid ``fill`` fraction so the perf-model
+    fitter can attribute them to the fill-aware B(Q).
     """
     telemetry = get_telemetry()
     if not telemetry.enabled:
@@ -587,6 +745,11 @@ def _emit_auto_verdict(
         for name, seconds in timings.items()
         if float(seconds) > 0
     }
+    attrs: dict = {}
+    if mode is not None:
+        attrs["mode"] = str(mode)
+    if fill is not None:
+        attrs["fill"] = float(fill)
     telemetry.event(
         "kernel.auto",
         winner=winner,
@@ -596,6 +759,7 @@ def _emit_auto_verdict(
         dtype=dtype.name,
         step_seconds={str(k): float(v) for k, v in timings.items()},
         mflups=rates,
+        **attrs,
     )
 
 

@@ -28,7 +28,7 @@ from ..lattice import VelocitySet, get_lattice
 from ..telemetry.recorder import NullTelemetry, Telemetry, get_telemetry
 from .boundary import BoundaryCondition
 from .collision import BGKCollision
-from .fields import DistributionField, resolve_dtype
+from .fields import LAYOUT_SOA, DistributionField, resolve_dtype, resolve_layout
 from .forcing import GuoForcing
 from .kernels import LBMKernel
 from .moments import density, macroscopic, momentum
@@ -90,6 +90,14 @@ class Simulation:
     dtype:
         Population dtype policy, ``"float64"`` (default) or
         ``"float32"`` (halves B(Q) bytes per cell; see README).
+    layout:
+        Physical memory order of the persistent field: ``"soa"``
+        (default, velocity-major — the paper's collision-optimized
+        layout) or ``"aos"`` (cell-major, paper §IV's
+        propagation-optimized alternative).  AoS requires the planned
+        kernel (its plan remaps the gather table per layout); results
+        are byte-identical per dtype because every layout transform is
+        an exact permutation and the collision arithmetic is shared.
     telemetry:
         Structured-event recorder (:class:`~repro.telemetry.Telemetry`).
         ``None`` uses the ambient recorder
@@ -110,11 +118,13 @@ class Simulation:
         forcing: GuoForcing | None = None,
         kernel: "str | LBMKernel | None" = None,
         dtype: "str | np.dtype | None" = None,
+        layout: "str | None" = None,
         telemetry: "Telemetry | NullTelemetry | None" = None,
     ) -> None:
         self.lattice = get_lattice(lattice) if isinstance(lattice, str) else lattice
         self.shape = tuple(int(s) for s in shape)
         self.dtype = resolve_dtype(dtype)
+        self.layout = resolve_layout(layout)
         self.kernel: LBMKernel | None = None
         if kernel is not None:
             if collision is not None:
@@ -131,15 +141,27 @@ class Simulation:
                 order=order,
                 dtype=self.dtype,
                 shape=self.shape,
+                layout=self.layout,
             )
             self.collision = self.kernel.collision
         else:
+            if self.layout != LAYOUT_SOA:
+                raise LatticeError(
+                    "layout='aos' requires a kernel (pass kernel='planned'); "
+                    "the legacy stream/collide pair is velocity-major only"
+                )
             self.collision = collision or BGKCollision(self.lattice, tau, order=order)
         self.boundaries = list(boundaries)
         self.forcing = forcing
         if forcing is not None and not isinstance(self.collision, BGKCollision):
             raise NotImplementedError("forcing is only coupled to BGK collisions")
-        self.field = DistributionField.zeros(self.lattice, self.shape, dtype=self.dtype)
+        # The persistent field carries the layout; the advection scratch
+        # stays SoA under either layout (the kernel streams AoS -> SoA
+        # and scatters back after collision), so boundary conditions see
+        # the same contiguous post-streaming array as ever.
+        self.field = DistributionField.zeros(
+            self.lattice, self.shape, dtype=self.dtype, layout=self.layout
+        )
         self._adv = DistributionField.zeros(self.lattice, self.shape, dtype=self.dtype)
         self.time_step = 0
         self.timings = StepTimings()
@@ -160,6 +182,7 @@ class Simulation:
             u,
             order=self.collision.order,
             dtype=self.dtype,
+            layout=self.layout,
         )
         self._adv = DistributionField.zeros(self.lattice, self.shape, dtype=self.dtype)
         self.time_step = 0
@@ -169,8 +192,17 @@ class Simulation:
 
     @property
     def f(self) -> np.ndarray:
-        """Current populations, shape ``(Q, *shape)``."""
-        return self.field.data
+        """Current populations, shape ``(Q, *shape)``, velocity-major.
+
+        Under ``layout="aos"`` this is a contiguous SoA *copy* (mutate
+        ``field.data`` to write populations in place): observables and
+        checkpoints must reduce over identical bytes in identical order
+        for the layouts' results to stay byte-identical, and whole-array
+        reductions on a strided view may legally reorder.
+        """
+        if self.layout == LAYOUT_SOA:
+            return self.field.data
+        return self.field.as_soa()
 
     def macroscopic(self) -> tuple[np.ndarray, np.ndarray]:
         """Density and (force-corrected) velocity fields."""

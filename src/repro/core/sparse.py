@@ -20,22 +20,61 @@ profiles.  Memory drops from ``Q * nx * ny * nz`` to ``Q * N_fluid`` —
 the win that matters when an artery occupies a few percent of its
 bounding box — and the repo's population dtype policy applies
 (``dtype="float32"`` halves the per-node bytes again).
+
+Two kernels implement the update (the sparse rung of the kernel
+ladder, selectable through ``SparseSimulation(kernel=...)``, the case
+registry and ``kernel="auto"``):
+
+* :class:`LegacySparseKernel` (``"sparse-legacy"``) — the original
+  fancy-index gather + :meth:`BGKCollision.apply`, allocating a fresh
+  ``(Q, N_fluid)`` buffer per step;
+* :class:`PlannedSparseKernel` (``"sparse-planned"``) — the domain's
+  per-velocity neighbor lists flattened at plan time into one
+  contiguous gather table driving a :class:`~repro.core.plan.KernelPlan`
+  arena, so stream + collide (bounce-back links included — they are
+  just more gather indices) runs with zero per-step heap allocations,
+  exactly like the dense planned kernel.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import os
+import time
+from pathlib import Path
+from typing import Callable, Sequence
 
 import numpy as np
 
-from ..errors import LatticeError
+from ..errors import LatticeError, StabilityError
 from ..lattice import VelocitySet, get_lattice
 from .collision import BGKCollision
 from .equilibrium import equilibrium
 from .fields import resolve_dtype
 from .moments import density, momentum
+from .plan import (
+    AUTO_KERNEL,
+    KERNEL_CACHE_DISABLE_ENV,
+    KERNELS,
+    PERF_MODEL_DISABLE_ENV,
+    KernelPlan,
+    _auto_cache_path,
+    _emit_auto_verdict,
+    _read_auto_cache,
+    _write_auto_cache,
+    kernel_cache_dir,
+)
+from .simulation import StepTimings
 
-__all__ = ["SparseDomain", "SparseSimulation"]
+__all__ = [
+    "SPARSE_AUTO_CANDIDATES",
+    "LegacySparseKernel",
+    "PlannedSparseKernel",
+    "SparseDomain",
+    "SparseSimulation",
+    "auto_select_sparse_kernel",
+    "build_sparse_gather_table",
+    "make_sparse_kernel",
+]
 
 
 class SparseDomain:
@@ -90,6 +129,13 @@ class SparseDomain:
             sum((self.pull_velocity[i] != i).sum() for i in range(q))
         )
 
+    @property
+    def fill_fraction(self) -> float:
+        """Fluid nodes as a fraction of the bounding box (B(Q)'s fill
+        term: low fill wastes dense cache lines, sparse storage does
+        not — this is the knob the fill-aware perf model keys on)."""
+        return self.num_fluid / self.solid_mask.size
+
     # -- dense <-> sparse -------------------------------------------------
 
     def scatter(self, sparse_values: np.ndarray, fill: float = np.nan) -> np.ndarray:
@@ -109,12 +155,347 @@ class SparseDomain:
         return dense.reshape(-1)[self.fluid_index]
 
 
+def build_sparse_gather_table(domain: SparseDomain) -> np.ndarray:
+    """The domain's neighbor lists flattened to one contiguous gather.
+
+    ``table[i * N + n] = pull_velocity[i, n] * N + pull_from[i, n]``
+    over the flattened ``(Q * N_fluid,)`` populations, so one
+    ``np.take(f.reshape(-1), table, out=...)`` performs streaming *and*
+    half-way bounce-back in the same gather — a blocked link is simply
+    an index pointing at the opposite population of the source node.
+    Writable on purpose: ``np.take(mode="clip")`` copies read-only index
+    arrays into a fresh buffer on every call.
+    """
+    flat = domain.pull_velocity * domain.num_fluid + domain.pull_from
+    return np.ascontiguousarray(flat.reshape(-1))
+
+
+class _SparseKernel:
+    """Shared construction for the sparse stream+collide kernels."""
+
+    name = "sparse"
+
+    def __init__(
+        self,
+        domain: SparseDomain,
+        tau: float,
+        order: int | None = None,
+        dtype: "np.dtype | str | None" = None,
+    ) -> None:
+        self.domain = domain
+        self.lattice = domain.lattice
+        self.tau = float(tau)
+        self.dtype = resolve_dtype(dtype)
+        self.collision = BGKCollision(self.lattice, tau, order=order)
+
+    def step(self, f: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+
+class LegacySparseKernel(_SparseKernel):
+    """The original allocating sparse update (the ladder's baseline).
+
+    One fancy-index gather through the 2-D neighbor tables (allocates
+    the streamed buffer), then :meth:`BGKCollision.apply` in place
+    (allocates its moment/equilibrium temporaries).
+    """
+
+    name = "sparse-legacy"
+
+    def step(self, f: np.ndarray) -> np.ndarray:
+        dom = self.domain
+        streamed = f[dom.pull_velocity, dom.pull_from]
+        self.collision.apply(streamed, out=streamed)
+        return streamed
+
+
+class PlannedSparseKernel(_SparseKernel):
+    """Zero-allocation planned sparse update.
+
+    At plan time the domain's neighbor lists become one flat gather
+    table (:func:`build_sparse_gather_table`) driving a
+    :class:`~repro.core.plan.KernelPlan` whose "grid" is the 1-D fluid
+    list — the arena, ``np.take(mode="clip")`` streaming and ``out=``
+    collision discipline are shared verbatim with the dense planned
+    kernel, so the sparse hot loop inherits its zero-per-step-heap
+    guarantee (tracemalloc-asserted in the tests).  The update is in
+    place: ``step`` returns the same array it was given.
+    """
+
+    name = "sparse-planned"
+
+    def __init__(
+        self,
+        domain: SparseDomain,
+        tau: float,
+        order: int | None = None,
+        dtype: "np.dtype | str | None" = None,
+    ) -> None:
+        super().__init__(domain, tau, order=order, dtype=dtype)
+        self.plan = KernelPlan(
+            self.lattice,
+            (domain.num_fluid,),
+            order=self.collision.order,
+            dtype=self.dtype,
+            gather=build_sparse_gather_table(domain),
+        )
+
+    def _check_input(self, f: np.ndarray) -> None:
+        if f.dtype != self.dtype:
+            raise LatticeError(
+                f"planned sparse kernel is built for {self.dtype.name}, got "
+                f"{f.dtype.name} populations (rebuild the kernel or cast "
+                "the field explicitly)"
+            )
+        if not f.flags.c_contiguous:
+            raise LatticeError(
+                "planned sparse kernel requires C-contiguous populations "
+                "(got a strided view; pass np.ascontiguousarray(f))"
+            )
+        if f.shape != (self.lattice.q, self.domain.num_fluid):
+            raise LatticeError(
+                f"populations shape {f.shape} does not match the planned "
+                f"domain ({self.lattice.q}, {self.domain.num_fluid})"
+            )
+
+    def step(self, f: np.ndarray) -> np.ndarray:
+        self._check_input(f)
+        return self.plan.step_into(f, self.collision.omega)
+
+
+#: Candidates ``kernel="auto"`` races on a sparse domain.
+SPARSE_AUTO_CANDIDATES = ("sparse-legacy", "sparse-planned")
+
+#: Short selector names accepted by ``SparseSimulation(kernel=...)`` —
+#: the registry names without their ``sparse-`` prefix, mirroring how
+#: the distributed path spells its ladder.
+_SPARSE_ALIASES = {
+    "legacy": "sparse-legacy",
+    "planned": "sparse-planned",
+}
+
+
+def make_sparse_kernel(
+    kernel: "str | _SparseKernel | None",
+    domain: SparseDomain,
+    tau: float,
+    order: int | None = None,
+    dtype: "np.dtype | str | None" = None,
+    **auto_kwargs,
+) -> _SparseKernel:
+    """Resolve a sparse kernel selection to a ready instance.
+
+    ``kernel`` may be ``None``/``"legacy"`` (the allocating baseline),
+    ``"planned"``, ``"auto"`` (model -> cached verdict -> timing race,
+    like the dense ladder), a full registry name
+    (``"sparse-legacy"``/``"sparse-planned"``), or an already built
+    sparse kernel instance (returned as-is).
+    """
+    if isinstance(kernel, _SparseKernel):
+        return kernel
+    key = "legacy" if kernel is None else str(kernel).lower()
+    key = _SPARSE_ALIASES.get(key, key)
+    if key == AUTO_KERNEL:
+        return auto_select_sparse_kernel(
+            domain, tau, order=order, dtype=dtype, **auto_kwargs
+        )
+    if key not in SPARSE_AUTO_CANDIDATES:
+        raise LatticeError(
+            f"unknown sparse kernel {kernel!r}; available: legacy, planned, "
+            "sparse-legacy, sparse-planned (or 'auto')"
+        )
+    cls = LegacySparseKernel if key == "sparse-legacy" else PlannedSparseKernel
+    return cls(domain, tau, order=order, dtype=dtype)
+
+
+def _sparse_auto_key(
+    domain: SparseDomain,
+    order: int | None,
+    dtype: np.dtype,
+    candidates: Sequence[str],
+) -> dict:
+    """The identity a cached sparse verdict is valid for.
+
+    Same host-keyed contract as the dense ``_auto_cache_key``, plus the
+    sparse identity: fluid-site count, bounding box and fill fraction
+    (two masks with the same N_fluid but different geometry time alike —
+    the gather is one flat table either way — but the fill stamp keeps
+    the verdict honest across very different geometries).
+    """
+    import platform
+
+    from .equilibrium import equilibrium_order_for
+
+    return {
+        "host": platform.node(),
+        "mode": "sparse",
+        "lattice": domain.lattice.name,
+        "shape": [int(domain.num_fluid)],
+        "box": [int(s) for s in domain.shape],
+        "fill": round(domain.fill_fraction, 6),
+        "order": equilibrium_order_for(domain.lattice, order),
+        "dtype": dtype.name,
+        "candidates": list(candidates),
+    }
+
+
+def model_select_sparse_kernel(
+    domain: SparseDomain,
+    tau: float,
+    order: int | None = None,
+    dtype: "np.dtype | str | None" = None,
+    candidates: Sequence[str] = SPARSE_AUTO_CANDIDATES,
+) -> "_SparseKernel | None":
+    """Resolve sparse ``kernel="auto"`` from this host's calibration.
+
+    The fitted model predicts each candidate through the fill-aware
+    B(Q) (see :func:`repro.machine.roofline.sparse_bytes_per_cell`);
+    as on the dense path, a calibration that does not cover *every*
+    candidate abstains and the measured race decides.
+    """
+    from ..perf.model import load_calibration  # late: perf builds on core
+
+    calibration = load_calibration()
+    if calibration is None:
+        return None
+    dtype = resolve_dtype(dtype)
+    fill = domain.fill_fraction
+    rates = calibration.rank_kernels(
+        candidates,
+        domain.lattice.name,
+        dtype.name,
+        shape=(domain.num_fluid,),
+        fill=fill,
+    )
+    if set(rates) != set(candidates):
+        return None
+    cells = domain.num_fluid
+    timings = {name: cells / (rate * 1e6) for name, rate in rates.items()}
+    best = min(timings, key=lambda name: (timings[name], name))
+    winner = make_sparse_kernel(best, domain, tau, order=order, dtype=dtype)
+    winner.auto_timings = dict(timings)
+    winner.auto_cached = False
+    winner.auto_provenance = "model"
+    _emit_auto_verdict(
+        best,
+        "model",
+        domain.lattice,
+        (domain.num_fluid,),
+        dtype,
+        timings,
+        mode="sparse",
+        fill=fill,
+    )
+    return winner
+
+
+def auto_select_sparse_kernel(
+    domain: SparseDomain,
+    tau: float,
+    order: int | None = None,
+    dtype: "np.dtype | str | None" = None,
+    candidates: Sequence[str] = SPARSE_AUTO_CANDIDATES,
+    warmup: int = 1,
+    trials: int = 2,
+    clock: Callable[[], float] = time.perf_counter,
+    cache: bool | None = None,
+    cache_dir: "str | Path | None" = None,
+    model: bool | None = None,
+) -> _SparseKernel:
+    """Sparse ``kernel="auto"``: model, then cached verdict, then race.
+
+    The same three-rung ladder as :func:`repro.core.plan.auto_select_kernel`,
+    sharing its verdict-cache files and ``kernel.auto`` telemetry, with
+    the sparse identity (fluid count, box, fill) in the cache key and
+    ``mode="sparse"``/``fill`` stamped on the verdict events so the perf
+    model can fit them separately from the dense cells.
+    """
+    if not candidates:
+        raise LatticeError("auto kernel selection needs at least one candidate")
+    dtype = resolve_dtype(dtype)
+    if model is None:
+        model = not os.environ.get(PERF_MODEL_DISABLE_ENV)
+    if model:
+        winner = model_select_sparse_kernel(
+            domain, tau, order=order, dtype=dtype, candidates=candidates
+        )
+        if winner is not None:
+            return winner
+    if cache is None:
+        cache = not os.environ.get(KERNEL_CACHE_DISABLE_ENV)
+    cache_path = None
+    if cache:
+        key = _sparse_auto_key(domain, order, dtype, candidates)
+        cache_path = _auto_cache_path(
+            Path(cache_dir) if cache_dir is not None else kernel_cache_dir(), key
+        )
+        record = _read_auto_cache(cache_path, key)
+        if record is not None:
+            winner = make_sparse_kernel(
+                record["kernel"], domain, tau, order=order, dtype=dtype
+            )
+            winner.auto_timings = {
+                str(k): float(v) for k, v in record.get("timings", {}).items()
+            }
+            winner.auto_cached = True
+            winner.auto_provenance = "cached"
+            _emit_auto_verdict(
+                record["kernel"],
+                "cached",
+                domain.lattice,
+                (domain.num_fluid,),
+                dtype,
+                winner.auto_timings,
+                mode="sparse",
+                fill=domain.fill_fraction,
+            )
+            return winner
+    # Equilibrium at rest (f_i = w_i) on the fluid sites: numerically
+    # inert under collision *and* bounce-back, so timing cannot diverge.
+    q = domain.lattice.q
+    f0 = np.empty((q, domain.num_fluid), dtype=dtype)
+    f0[...] = domain.lattice.weights_as(dtype).reshape(q, 1)
+    kernels: dict[str, _SparseKernel] = {}
+    timings: dict[str, float] = {}
+    for name in candidates:
+        kernel = make_sparse_kernel(name, domain, tau, order=order, dtype=dtype)
+        f = f0.copy()
+        for _ in range(max(1, warmup)):
+            f = kernel.step(f)
+        start = clock()
+        for _ in range(max(1, trials)):
+            f = kernel.step(f)
+        timings[name] = (clock() - start) / max(1, trials)
+        kernels[name] = kernel
+    best = min(timings, key=lambda name: (timings[name], name))
+    if cache_path is not None:
+        _write_auto_cache(cache_path, key, best, timings)
+    winner = kernels[best]
+    winner.auto_timings = dict(timings)
+    winner.auto_cached = False
+    winner.auto_provenance = "measured"
+    _emit_auto_verdict(
+        best,
+        "measured",
+        domain.lattice,
+        (domain.num_fluid,),
+        dtype,
+        timings,
+        mode="sparse",
+        fill=domain.fill_fraction,
+    )
+    return winner
+
+
 class SparseSimulation:
     """BGK LBM on a :class:`SparseDomain` (indirect addressing).
 
     The update is *pull*-form: for every fluid node and velocity, the
-    post-streaming population is gathered through the neighbor table
-    (one fancy-index per step), then collided in place.
+    post-streaming population is gathered through the neighbor table,
+    then collided.  ``kernel`` selects the sparse rung —
+    ``"legacy"`` (default, allocating), ``"planned"``
+    (zero-allocation planned gather) or ``"auto"`` (model -> cached
+    verdict -> timing race, like the dense path).
     """
 
     def __init__(
@@ -125,6 +506,7 @@ class SparseSimulation:
         order: int | None = None,
         force: Sequence[float] | None = None,
         dtype: "np.dtype | str | None" = None,
+        kernel: "str | _SparseKernel | None" = None,
     ) -> None:
         self.lattice = get_lattice(lattice) if isinstance(lattice, str) else lattice
         if self.lattice.max_displacement != 1:
@@ -135,13 +517,17 @@ class SparseSimulation:
             )
         self.dtype = resolve_dtype(dtype)
         self.domain = SparseDomain(self.lattice, solid_mask)
-        self.collision = BGKCollision(self.lattice, tau, order=order)
+        self.kernel = make_sparse_kernel(
+            kernel, self.domain, tau, order=order, dtype=self.dtype
+        )
+        self.collision = self.kernel.collision
         self.f = np.zeros((self.lattice.q, self.domain.num_fluid), dtype=self.dtype)
         self._force = None if force is None else np.asarray(force, dtype=np.float64)
         if self._force is not None and len(self._force) != self.lattice.dim:
             raise LatticeError("force must have one component per dimension")
         if self._force is None:
             self._force_term = None
+            self._force_scalars = None
         else:
             # Constant per-velocity forcing increment, computed once in
             # float64 then cast to the population dtype (the per-step
@@ -151,7 +537,12 @@ class SparseSimulation:
             self._force_term = np.ascontiguousarray(
                 term[:, None], dtype=self.dtype
             )
+            # Per-row dtype scalars: `row += scalar` adds the identical
+            # value the (Q, 1) broadcast did, without numpy's broadcast
+            # ufunc buffer (a hidden per-step allocation).
+            self._force_scalars = tuple(self._force_term[:, 0])
         self.time_step = 0
+        self.timings = StepTimings()
 
     # -- setup ------------------------------------------------------------
 
@@ -175,24 +566,56 @@ class SparseSimulation:
             self.lattice, rho_s, u_s, order=self.collision.order, dtype=self.dtype
         )
         self.time_step = 0
+        self.timings = StepTimings()
 
     # -- stepping ------------------------------------------------------------
 
     def step(self) -> None:
         """One pull-stream + collide (+ simple forcing) update."""
-        dom = self.domain
-        streamed = self.f[dom.pull_velocity, dom.pull_from]
-        self.collision.apply(streamed, out=streamed)
-        if self._force_term is not None:
+        t0 = time.perf_counter()
+        f = self.kernel.step(self.f)
+        if self._force_scalars is not None:
             # first-order (Shan-Chen style) force: shift populations'
             # momentum by F per node per step
-            streamed += self._force_term
-        self.f = streamed
+            for row, scalar in zip(f, self._force_scalars):
+                row += scalar
+        self.f = f
         self.time_step += 1
+        # The sparse update is fused (no separate boundary phase — walls
+        # are gather indices), so the whole step books as collide time.
+        self.timings.steps += 1
+        self.timings.collide_seconds += time.perf_counter() - t0
 
-    def run(self, steps: int) -> None:
-        for _ in range(steps):
-            self.step()
+    def run(
+        self,
+        steps: int,
+        monitor: "Callable[[SparseSimulation], None] | None" = None,
+        monitor_every: int = 1,
+        check_stability_every: int = 0,
+    ) -> None:
+        """Run ``steps`` updates (same contract as the dense driver)."""
+        import contextlib
+
+        numeric_guard = (
+            np.errstate(invalid="ignore", over="ignore")
+            if check_stability_every
+            else contextlib.nullcontext()
+        )
+        with numeric_guard:
+            for n in range(steps):
+                self.step()
+                if monitor is not None and (n + 1) % monitor_every == 0:
+                    monitor(self)
+                if check_stability_every and (n + 1) % check_stability_every == 0:
+                    self._check_finite()
+
+    def _check_finite(self) -> None:
+        if not np.isfinite(self.f).all():
+            raise StabilityError(
+                f"non-finite populations at step {self.time_step} "
+                f"(tau={self.collision.tau}, lattice={self.lattice.name}, "
+                "sparse domain)"
+            )
 
     # -- observables --------------------------------------------------------------
 
@@ -213,6 +636,15 @@ class SparseSimulation:
         return np.stack([self.domain.scatter(u[a], fill=0.0) for a in range(3)])
 
     @property
+    def num_cells(self) -> int:
+        """Fluid sites — the N in the sparse MFLUP/s figure."""
+        return self.domain.num_fluid
+
+    def mflups(self) -> float:
+        """Measured throughput so far (paper Eq. 4, fluid sites only)."""
+        return self.timings.mflups(self.num_cells)
+
+    @property
     def total_mass(self) -> float:
         return float(self.f.sum())
 
@@ -221,3 +653,11 @@ class SparseSimulation:
         """Population storage: Q x fluid nodes x itemsize (the sparse
         win; float32 halves it again, compounding with the node cut)."""
         return self.f.nbytes
+
+
+# Register the sparse rungs in the shared kernel registry so cached
+# verdicts validate and `available_kernels()` lists the full ladder.
+# Dense construction paths never reach these (make_kernel routes
+# sparse names through make_sparse_kernel, which needs a domain).
+KERNELS.setdefault("sparse-legacy", LegacySparseKernel)
+KERNELS.setdefault("sparse-planned", PlannedSparseKernel)

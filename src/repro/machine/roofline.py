@@ -29,6 +29,7 @@ __all__ = [
     "Limiter",
     "RooflinePoint",
     "bytes_per_cell",
+    "sparse_bytes_per_cell",
     "roofline",
     "torus_lower_bound",
     "hardware_efficiency_bound",
@@ -58,6 +59,42 @@ def bytes_per_cell(lattice: VelocitySet, dtype: str = "float64") -> int:
     # Scale the canonical double-precision figure; exact by construction
     # (B is a multiple of 8).
     return lattice.bytes_per_cell * itemsize // 8
+
+
+#: Cache-line size assumed by the sparse fill penalty (bytes).  The
+#: paper's machines and commodity x86 both move 64-byte (or larger)
+#: lines; the exact figure only shifts the fitted beta, not the trend.
+CACHE_LINE_BYTES = 64
+
+
+def sparse_bytes_per_cell(
+    lattice: VelocitySet, dtype: str = "float64", fill: float = 1.0
+) -> float:
+    """B(Q) per *fluid* cell of the indirect-addressing kernels.
+
+    Extends the dense Table II figure with the sparse path's two extra
+    traffic terms (paper §IV's indirect-addressing discussion):
+
+    * the gather table itself — one int64 neighbor index per population
+      read (``8 Q`` bytes per cell, every fill);
+    * a fill-fraction term: sparse *storage* is dense in fluid cells,
+      but the pull gather still walks neighbor lines shared with
+      non-adjacent fluid sites, so locality degrades as the fluid set
+      thins.  Modelled as the unread remainder of one cache line per
+      gathered population, scaled by ``(1 - fill)`` — zero at full fill
+      (the gather degenerates to dense streaming order), growing toward
+      a full line of waste per value as the domain empties.
+
+    ``fill`` is the fluid fraction of the bounding box
+    (:attr:`~repro.core.sparse.SparseDomain.fill_fraction`).
+    """
+    if not 0.0 < fill <= 1.0:
+        raise ValueError(f"fill fraction must be in (0, 1], got {fill}")
+    base = bytes_per_cell(lattice, dtype)
+    itemsize = DTYPE_ITEMSIZE[str(dtype)]
+    index_bytes = 8 * lattice.q
+    line_waste = (CACHE_LINE_BYTES - itemsize) * lattice.q * (1.0 - fill)
+    return float(base + index_bytes + line_waste)
 
 #: Core floating-point operations per lattice update in the paper's
 #: implementation (§III-B): "our implementation has 178 core

@@ -52,7 +52,7 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from ..errors import ReproError
 from ..lattice import available_lattices, get_lattice
-from ..machine.roofline import bytes_per_cell
+from ..machine.roofline import bytes_per_cell, sparse_bytes_per_cell
 
 __all__ = [
     "CALIBRATION_SCHEMA",
@@ -72,11 +72,13 @@ __all__ = [
 #: Version stamped on calibration files; bump on incompatible layout.
 CALIBRATION_SCHEMA = 1
 
-#: Single-domain kernels vs the slab-decomposed distributed pair: the
-#: two populations time very differently (halo exchange, window plans),
+#: Single-domain kernels vs the slab-decomposed distributed pair vs the
+#: indirect-addressing sparse pair: the populations time very
+#: differently (halo exchange, gather tables, fill-dependent locality),
 #: so their fits never mix.
 SINGLE = "single"
 DISTRIBUTED = "distributed"
+SPARSE = "sparse"
 
 #: Schema-1 bench records name kernels by class; later schemas stamp
 #: the registry name into ``extra_info``.
@@ -102,6 +104,9 @@ class MeasuredSample:
     it) or left ``None`` to be derived from ``(lattice, dtype)``;
     ``host=None`` marks a legacy record with no host stamp (schema <= 3
     exports), which the fitter accepts as unattributed history.
+    ``fill`` is the fluid fraction behind a sparse sample: samples of
+    ``mode="sparse"`` resolve their bytes-per-cell through the sparse
+    B(Q, fill) extension, so one fitted beta spans every fill.
     """
 
     kernel: str
@@ -112,11 +117,16 @@ class MeasuredSample:
     bytes_per_cell: float | None = None
     host: str | None = None
     source: str = ""
+    fill: float | None = None
 
     def resolved_bytes_per_cell(self) -> float:
         if self.bytes_per_cell is not None:
             return float(self.bytes_per_cell)
-        return float(bytes_per_cell(get_lattice(self.lattice), self.dtype))
+        lattice = get_lattice(self.lattice)
+        if self.mode == SPARSE:
+            fill = 1.0 if self.fill is None else float(self.fill)
+            return float(sparse_bytes_per_cell(lattice, self.dtype, fill=fill))
+        return float(bytes_per_cell(lattice, self.dtype))
 
 
 @dataclasses.dataclass(frozen=True)
@@ -223,16 +233,24 @@ def samples_from_bench(
             entry.get("dtype") or ("float32" if "float32" in lowered else "float64")
         )
         raw_b = entry.get("bytes_per_cell")
+        raw_fill = entry.get("fill")
+        if "distributed" in lowered:
+            mode = DISTRIBUTED
+        elif raw_fill is not None or "sparse" in str(kernel).lower():
+            mode = SPARSE
+        else:
+            mode = SINGLE
         samples.append(
             MeasuredSample(
                 kernel=str(kernel),
                 lattice=str(lattice),
                 dtype=dtype,
                 mflups=mflups,
-                mode=DISTRIBUTED if "distributed" in lowered else SINGLE,
+                mode=mode,
                 bytes_per_cell=float(raw_b) if raw_b is not None else None,
                 host=str(host) if host else None,
                 source=source,
+                fill=float(raw_fill) if raw_fill is not None else None,
             )
         )
     return samples, skipped
@@ -259,6 +277,8 @@ def samples_from_events(
         lattice, dtype = attrs.get("lattice"), attrs.get("dtype")
         if not lattice or not dtype:
             continue
+        mode = str(attrs.get("mode") or SINGLE)
+        raw_fill = attrs.get("fill")
         for kernel, rate in sorted((attrs.get("mflups") or {}).items()):
             try:
                 mflups = float(rate)
@@ -272,8 +292,9 @@ def samples_from_events(
                     lattice=str(lattice).upper(),
                     dtype=str(dtype),
                     mflups=mflups,
-                    mode=SINGLE,
+                    mode=mode,
                     source=source,
+                    fill=float(raw_fill) if raw_fill is not None else None,
                 )
             )
     return samples
@@ -326,10 +347,26 @@ def fit_samples(
         groups.setdefault(key, []).append(sample)
     entries = []
     for (kernel, mode, dtype, lattice), group in sorted(groups.items()):
-        b = group[0].resolved_bytes_per_cell()
+        bs = [s.resolved_bytes_per_cell() for s in group]
+        b = bs[0]
         rates = [s.mflups for s in group]
         mean = sum(rates) / len(rates)
-        spread = max(abs(rate - mean) for rate in rates) / mean if mean else 0.0
+        if all(other == b for other in bs):
+            # Uniform B: the least-squares solution collapses to the
+            # sample mean; keep the closed form (historical behaviour).
+            beta = mean * b * 1e6
+            spread = max(abs(rate - mean) for rate in rates) / mean if mean else 0.0
+        else:
+            # Mixed B within a group (sparse samples at different fill
+            # fractions): per-sample least squares on P_r = beta * x_r,
+            # x_r = 1 / (B_r * 1e6), so one beta spans the fill axis.
+            xs = [1.0 / (b_r * 1e6) for b_r in bs]
+            den = sum(x * x for x in xs)
+            beta = sum(p * x for p, x in zip(rates, xs)) / den if den else 0.0
+            spread = max(
+                abs(p - beta * x) / (beta * x) if beta * x else 0.0
+                for p, x in zip(rates, xs)
+            )
         entries.append(
             ModelEntry(
                 kernel=kernel,
@@ -337,7 +374,7 @@ def fit_samples(
                 dtype=dtype,
                 lattice=lattice,
                 bytes_per_cell=b,
-                beta=mean * b * 1e6,
+                beta=beta,
                 mflups=mean,
                 n=len(group),
                 spread=spread,
@@ -440,6 +477,7 @@ class FittedPerfModel:
         dtype: str = "float64",
         shape: Sequence[int] | None = None,
         ranks: int = 1,
+        fill: float | None = None,
     ) -> Prediction | None:
         """Predicted MFLUP/s for one cell, or ``None`` when unfitted.
 
@@ -448,15 +486,25 @@ class FittedPerfModel:
         description and feed :meth:`predict_case_seconds`.  ``ranks``
         selects the population: 1 predicts the single-domain kernels,
         >1 the slab-decomposed distributed pair, whose fits include the
-        halo-exchange overhead the single-domain numbers lack.
+        halo-exchange overhead the single-domain numbers lack.  A
+        ``fill`` (fluid fraction) selects the sparse population and
+        positions the prediction on the fill-extended B(Q, fill) curve.
         """
-        mode = DISTRIBUTED if ranks > 1 else SINGLE
+        if fill is not None:
+            mode = SPARSE
+        else:
+            mode = DISTRIBUTED if ranks > 1 else SINGLE
         found = self._beta(str(kernel), mode, str(dtype), str(lattice).upper())
         if found is None:
             return None
         beta, level = found
         if lattice.upper() in available_lattices():
-            b = float(bytes_per_cell(get_lattice(lattice), dtype))
+            if mode == SPARSE:
+                b = float(
+                    sparse_bytes_per_cell(get_lattice(lattice), dtype, fill=fill)
+                )
+            else:
+                b = float(bytes_per_cell(get_lattice(lattice), dtype))
         else:
             exact = self._index.get((kernel, mode, dtype, lattice.upper()))
             if exact is None:
@@ -473,9 +521,12 @@ class FittedPerfModel:
         dtype: str = "float64",
         shape: Sequence[int] | None = None,
         ranks: int = 1,
+        fill: float | None = None,
     ) -> float:
         """Predicted MFLUP/s, ``nan`` when the model has no coverage."""
-        prediction = self.predict(kernel, lattice, dtype, shape=shape, ranks=ranks)
+        prediction = self.predict(
+            kernel, lattice, dtype, shape=shape, ranks=ranks, fill=fill
+        )
         return float("nan") if prediction is None else prediction.mflups
 
     def predict_case_seconds(
@@ -503,11 +554,14 @@ class FittedPerfModel:
         dtype: str = "float64",
         shape: Sequence[int] | None = None,
         ranks: int = 1,
+        fill: float | None = None,
     ) -> dict[str, float]:
         """Predicted MFLUP/s per candidate (covered candidates only)."""
         rates: dict[str, float] = {}
         for kernel in candidates:
-            prediction = self.predict(kernel, lattice, dtype, shape=shape, ranks=ranks)
+            prediction = self.predict(
+                kernel, lattice, dtype, shape=shape, ranks=ranks, fill=fill
+            )
             if prediction is not None:
                 rates[kernel] = prediction.mflups
         return rates

@@ -84,6 +84,7 @@ def run_case_cli(
     resume: str | None = None,
     kernel: str | None = None,
     dtype: str | None = None,
+    layout: str | None = None,
     kernel_cache: bool = True,
     cache_dir: str | None = None,
     as_json: bool = False,
@@ -104,6 +105,7 @@ def run_case_cli(
         resume=resume,
         kernel=kernel,
         dtype=dtype,
+        layout=layout,
         kernel_cache=kernel_cache,
         cache_dir=cache_dir,
     )
@@ -141,6 +143,7 @@ def run_sweep_cli(
     refine_fraction: float = 0.5,
     kernel: str | None = None,
     dtype: str | None = None,
+    layout: str | None = None,
     telemetry: bool = False,
     as_json: bool = False,
 ) -> int:
@@ -170,6 +173,7 @@ def run_sweep_cli(
             steps=steps,
             kernel=kernel,
             dtype=dtype,
+            layout=layout,
             lease_ttl=lease_ttl,
             resume=resume,
         )
@@ -207,6 +211,7 @@ def run_sweep_cli(
         refine_fraction=refine_fraction,
         kernel=kernel,
         dtype=dtype,
+        layout=layout,
         telemetry=telemetry,
     )
 
@@ -473,6 +478,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("float32", "float64"),
         help="population precision (float32 halves bytes per cell)",
     )
+    case.add_argument(
+        "--layout",
+        default=None,
+        choices=("soa", "aos"),
+        help="field memory layout: soa (velocity-major, default) or aos "
+        "(cell-major; requires the planned kernel, results are "
+        "byte-identical per dtype)",
+    )
     case.add_argument("--checkpoint", default=None, help="restart file to write")
     case.add_argument(
         "--checkpoint-every",
@@ -521,6 +534,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("float32", "float64"),
         help="fixed population precision for every variant (sweep over "
         "precisions with --param dtype=float32,float64)",
+    )
+    sweep.add_argument(
+        "--layout",
+        default=None,
+        choices=("soa", "aos"),
+        help="fixed field layout for every variant (sweep over layouts "
+        "with --param layout=soa,aos)",
     )
     sweep.add_argument("--csv", default=None, help="also write the table as CSV")
     sweep.add_argument(
@@ -849,6 +869,7 @@ def main(argv: Sequence[str]) -> int:
                 resume=args.resume,
                 kernel=args.kernel,
                 dtype=args.dtype,
+                layout=args.layout,
                 kernel_cache=not args.no_kernel_cache,
                 cache_dir=args.cache_dir,
                 as_json=args.as_json,
@@ -912,6 +933,7 @@ def main(argv: Sequence[str]) -> int:
             refine_fraction=args.refine_fraction,
             kernel=args.kernel,
             dtype=args.dtype,
+            layout=args.layout,
             telemetry=args.telemetry,
             as_json=args.as_json,
         )

@@ -132,6 +132,27 @@ class CaseRunner:
                     f"case {spec.name!r}: geometry mask shape {solid.shape} "
                     f"!= domain {spec.shape}"
                 )
+        if spec.params.get("sparse"):
+            if spec.collision is not None or spec.boundaries is not None:
+                raise ScenarioError(
+                    f"case {spec.name!r}: sparse cases take no collision or "
+                    "boundary factories (walls are fused into the gather "
+                    "table as half-way bounce-back indices)"
+                )
+            from ..core.sparse import SparseSimulation
+
+            sim = SparseSimulation(
+                lattice,
+                solid,
+                tau=spec.tau,
+                order=spec.order,
+                force=spec.forcing,
+                dtype=spec.dtype,
+                kernel=spec.kernel,
+            )
+            rho, u = spec.initial(spec) if spec.initial else uniform_flow(spec.shape)
+            sim.initialize(rho, u)
+            return sim, solid
         collision = spec.collision(spec, lattice) if spec.collision else None
         boundaries = (
             list(spec.boundaries(spec, lattice, solid)) if spec.boundaries else []
@@ -149,6 +170,7 @@ class CaseRunner:
             forcing=forcing,
             kernel=spec.kernel,
             dtype=spec.dtype,
+            layout=spec.layout,
         )
         rho, u = spec.initial(spec) if spec.initial else uniform_flow(spec.shape)
         sim.initialize(rho, u)
@@ -184,6 +206,14 @@ class CaseRunner:
             cheap smoke runs).
         """
         spec = self.spec
+        if spec.params.get("sparse") and (
+            resume is not None or checkpoint is not None
+        ):
+            raise ScenarioError(
+                f"case {spec.name!r}: sparse cases do not support "
+                "checkpoint/resume (the restart format stores dense "
+                "(Q, *shape) populations)"
+            )
         sim, solid = self.build()
         restored_series: dict[str, list[float]] = {}
         if resume is not None:

@@ -181,6 +181,13 @@ class CaseSpec:
         Population dtype policy, ``"float64"`` (default) or
         ``"float32"``.  Fingerprint-sensitive, like ``kernel``: sweep
         cache entries distinguish kernel/dtype variants.
+    layout:
+        Physical memory order of the persistent field, ``"soa"``
+        (default) or ``"aos"`` (requires ``kernel="planned"``).
+        Fingerprint-sensitive and overridable like ``kernel``/``dtype``
+        even though both layouts produce byte-identical results per
+        dtype — a sweep axis over layouts measures throughput, and the
+        cache must keep the variants' timings apart.
     collision:
         Optional factory ``(spec, lattice) -> operator``; default BGK.
     geometry:
@@ -222,6 +229,7 @@ class CaseSpec:
     order: int | None = None
     kernel: str | None = None
     dtype: str = "float64"
+    layout: str = "soa"
     collision: CollisionFactory | None = None
     geometry: GeometryBuilder | None = None
     boundaries: BoundaryFactory | None = None
@@ -283,6 +291,7 @@ class CaseSpec:
             raise ScenarioError(
                 f"case {self.name!r}: BGK tau must exceed 0.5, got {self.tau}"
             )
+        sparse = bool(self.params.get("sparse"))
         if self.kernel is not None:
             from ..core.plan import AUTO_KERNEL, available_kernels
 
@@ -301,10 +310,25 @@ class CaseSpec:
                     f"{', '.join(available_kernels())}, or use "
                     "Simulation(kernel='auto') directly"
                 )
-            if self.kernel not in available_kernels():
+            if sparse:
+                # Sparse cases resolve through make_sparse_kernel, which
+                # accepts short rung names alongside the registry ones.
+                allowed = ("legacy", "planned", "sparse-legacy", "sparse-planned")
+                if self.kernel not in allowed:
+                    raise ScenarioError(
+                        f"case {self.name!r}: unknown sparse kernel "
+                        f"{self.kernel!r} (available: {', '.join(allowed)})"
+                    )
+            elif self.kernel not in available_kernels():
                 raise ScenarioError(
                     f"case {self.name!r}: unknown kernel {self.kernel!r} "
                     f"(available: {', '.join(available_kernels())})"
+                )
+            elif self.kernel.startswith("sparse-"):
+                raise ScenarioError(
+                    f"case {self.name!r}: kernel {self.kernel!r} requires a "
+                    "sparse domain (set params={'sparse': True} and provide "
+                    "a geometry mask)"
                 )
             if self.collision is not None:
                 raise ScenarioError(
@@ -315,6 +339,29 @@ class CaseSpec:
             raise ScenarioError(
                 f"case {self.name!r}: dtype must be 'float32' or 'float64', "
                 f"got {self.dtype!r}"
+            )
+        if self.layout not in ("soa", "aos"):
+            raise ScenarioError(
+                f"case {self.name!r}: layout must be 'soa' or 'aos', "
+                f"got {self.layout!r}"
+            )
+        if self.layout == "aos":
+            if sparse:
+                raise ScenarioError(
+                    f"case {self.name!r}: layout 'aos' does not apply to "
+                    "sparse cases (sparse kernels store populations per "
+                    "fluid site)"
+                )
+            if self.kernel != "planned":
+                raise ScenarioError(
+                    f"case {self.name!r}: layout 'aos' requires "
+                    "kernel='planned' (the plan remaps its gather table "
+                    f"per layout), got kernel={self.kernel!r}"
+                )
+        if sparse and self.geometry is None:
+            raise ScenarioError(
+                f"case {self.name!r}: a sparse case needs a geometry "
+                "factory (the solid mask defines the fluid set)"
             )
         for field_name in ("steps", "monitor_every", "check_stability_every"):
             if not isinstance(getattr(self, field_name), int):
@@ -360,8 +407,8 @@ class CaseSpec:
 
     #: CaseSpec field names a sweep/CLI may override directly.
     OVERRIDABLE = frozenset(
-        {"lattice", "shape", "tau", "order", "kernel", "dtype", "forcing",
-         "steps", "monitor_every", "check_stability_every"}
+        {"lattice", "shape", "tau", "order", "kernel", "dtype", "layout",
+         "forcing", "steps", "monitor_every", "check_stability_every"}
     )
 
     def with_overrides(self, **overrides: Any) -> "CaseSpec":

@@ -174,10 +174,18 @@ class TestSelection:
             "roll",
             "fused-gather",
             "planned",
+            "sparse-legacy",
+            "sparse-planned",
         }
 
     def test_make_kernel_by_name(self, q19):
         for name in available_kernels():
+            if name.startswith("sparse-"):
+                # sparse kernels stream a SparseDomain: constructible
+                # only through make_sparse_kernel / make_kernel(domain=)
+                with pytest.raises(LatticeError, match="SparseDomain"):
+                    make_kernel(name, q19, tau=0.8)
+                continue
             kernel = make_kernel(name, q19, tau=0.8)
             assert kernel.name == name
 

@@ -1,10 +1,21 @@
 """Tests for the indirect-addressing sparse domain."""
 
+import tracemalloc
+
 import numpy as np
 import pytest
 
-from repro.core import Simulation, shear_wave
-from repro.core.sparse import SparseDomain, SparseSimulation
+from repro.core import Simulation, shear_wave, sphere_mask
+from repro.core.sparse import (
+    SPARSE_AUTO_CANDIDATES,
+    LegacySparseKernel,
+    PlannedSparseKernel,
+    SparseDomain,
+    SparseSimulation,
+    auto_select_sparse_kernel,
+    build_sparse_gather_table,
+    make_sparse_kernel,
+)
 from repro.errors import LatticeError
 
 
@@ -168,3 +179,253 @@ class TestSparseDtypePolicy:
             SparseSimulation(
                 "D3Q19", np.zeros((4, 4, 4), dtype=bool), dtype="int32"
             )
+
+
+def _walled_sphere_mask(shape):
+    """Walls + sphere obstacle: wall links on every boundary kind."""
+    centre = tuple(s / 2 for s in shape)
+    mask = sphere_mask(shape, centre, min(shape) / 3.5)
+    mask[:, 0, :] = mask[:, -1, :] = True
+    return mask
+
+
+class TestSparseKernelEquivalence:
+    """Planned vs legacy rung: same arithmetic, matched to the dense
+    kernel matrix's tolerances (the gather is an exact permutation)."""
+
+    @pytest.mark.parametrize("lattice", ["D3Q15", "D3Q19", "D3Q27"])
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_planned_matches_legacy(self, lattice, dtype):
+        shape = (10, 9, 8)
+        mask = _walled_sphere_mask(shape)
+        runs = {}
+        for kernel in ("legacy", "planned"):
+            sim = SparseSimulation(
+                lattice, mask, tau=0.8, force=(1e-5, 0, 0),
+                dtype=dtype, kernel=kernel,
+            )
+            sim.initialize(1.0)
+            sim.run(10)
+            assert sim.kernel.name == f"sparse-{kernel}"
+            runs[kernel] = sim.f.astype(np.float64)
+        atol = 1e-13 if dtype == "float64" else 1e-5
+        assert np.allclose(runs["planned"], runs["legacy"], atol=atol)
+
+    def test_gather_table_fuses_stream_and_bounce_back(self, q19, rng):
+        """One flat take must equal the two-array fancy-index gather."""
+        mask = _walled_sphere_mask((8, 7, 6))
+        dom = SparseDomain(q19, mask)
+        table = build_sparse_gather_table(dom)
+        f = rng.random((q19.q, dom.num_fluid))
+        via_table = f.reshape(-1)[table].reshape(q19.q, dom.num_fluid)
+        via_fancy = f[dom.pull_velocity, dom.pull_from]
+        assert np.array_equal(via_table, via_fancy)
+
+    def test_gather_table_is_writable_and_contiguous(self, q19):
+        dom = SparseDomain(q19, _walled_sphere_mask((8, 7, 6)))
+        table = build_sparse_gather_table(dom)
+        assert table.flags.c_contiguous and table.flags.writeable
+        assert table.shape == (q19.q * dom.num_fluid,)
+
+
+class TestPlannedSparseKernelAllocation:
+    def test_step_is_zero_allocation(self):
+        """The tentpole claim: after construction, stepping the planned
+        sparse kernel (with forcing) allocates nothing on the heap."""
+        mask = _walled_sphere_mask((12, 10, 8))
+        sim = SparseSimulation(
+            "D3Q19", mask, tau=0.8, force=(1e-6, 0, 0), kernel="planned"
+        )
+        sim.initialize(1.0)
+        sim.run(3)  # warm every code path before measuring
+        tracemalloc.start()
+        for _ in range(5):
+            sim.step()
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        # Generous slack for tracemalloc's own frames; far below one
+        # population row (num_fluid * 8 bytes).
+        assert peak < sim.domain.num_fluid * 8 // 2
+
+    def test_legacy_step_allocates(self):
+        """Contrast: the legacy rung's fancy-index gather allocates a
+        fresh (Q, N) array every step — the cost the plan removes."""
+        mask = _walled_sphere_mask((12, 10, 8))
+        sim = SparseSimulation("D3Q19", mask, tau=0.8, kernel="legacy")
+        sim.initialize(1.0)
+        sim.run(3)
+        tracemalloc.start()
+        sim.step()
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert peak >= sim.f.nbytes
+
+    def test_planned_step_is_in_place(self):
+        mask = np.zeros((6, 5, 4), dtype=bool)
+        sim = SparseSimulation("D3Q19", mask, tau=0.8, kernel="planned")
+        sim.initialize(1.0)
+        buffer = sim.f
+        sim.run(4)
+        assert sim.f is buffer
+
+
+class TestSparseKernelSelection:
+    def _domain(self, q19):
+        return SparseDomain(q19, _walled_sphere_mask((8, 7, 6)))
+
+    def test_default_is_legacy(self, q19):
+        kernel = make_sparse_kernel(None, self._domain(q19), 0.8)
+        assert isinstance(kernel, LegacySparseKernel)
+
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("legacy", LegacySparseKernel),
+            ("planned", PlannedSparseKernel),
+            ("sparse-legacy", LegacySparseKernel),
+            ("sparse-planned", PlannedSparseKernel),
+        ],
+    )
+    def test_names_and_aliases(self, q19, name, cls):
+        kernel = make_sparse_kernel(name, self._domain(q19), 0.8)
+        assert isinstance(kernel, cls)
+
+    def test_instance_passthrough(self, q19):
+        dom = self._domain(q19)
+        kernel = PlannedSparseKernel(dom, 0.8)
+        assert make_sparse_kernel(kernel, dom, 0.8) is kernel
+
+    def test_unknown_name_rejected(self, q19):
+        with pytest.raises(LatticeError, match="unknown sparse kernel"):
+            make_sparse_kernel("roll", self._domain(q19), 0.8)
+
+    def test_dense_make_kernel_routes_through_domain(self, q19):
+        from repro.core.plan import make_kernel
+
+        dom = self._domain(q19)
+        kernel = make_kernel("sparse-planned", q19, 0.8, domain=dom)
+        assert isinstance(kernel, PlannedSparseKernel)
+
+    def test_dense_make_kernel_without_domain_rejects_sparse_names(self, q19):
+        from repro.core.plan import make_kernel
+
+        with pytest.raises(LatticeError, match="SparseDomain"):
+            make_kernel("sparse-planned", q19, 0.8, shape=(6, 5, 4))
+
+    def test_aos_layout_rejected_on_sparse_domain(self, q19):
+        from repro.core.plan import make_kernel
+
+        with pytest.raises(LatticeError, match="per fluid site"):
+            make_kernel("sparse-planned", q19, 0.8, domain=self._domain(q19),
+                        layout="aos")
+
+    def test_registry_lists_sparse_rungs(self):
+        from repro.core.plan import available_kernels
+
+        names = available_kernels()
+        assert "sparse-legacy" in names and "sparse-planned" in names
+
+
+class TestSparseAutoSelection:
+    def _domain(self, q19):
+        return SparseDomain(q19, _walled_sphere_mask((8, 7, 6)))
+
+    def test_race_then_cached_replay(self, q19, tmp_path):
+        dom = self._domain(q19)
+        calls = []
+
+        def clock():
+            import time as _time
+
+            calls.append(None)
+            return _time.perf_counter()
+
+        first = auto_select_sparse_kernel(
+            dom, 0.8, clock=clock, cache_dir=tmp_path, model=False
+        )
+        assert first.auto_provenance == "measured"
+        assert calls  # the race timed something
+        assert set(first.auto_timings) == set(SPARSE_AUTO_CANDIDATES)
+
+        calls.clear()
+        second = auto_select_sparse_kernel(
+            dom, 0.8, clock=clock, cache_dir=tmp_path, model=False
+        )
+        assert second.auto_provenance == "cached"
+        assert second.auto_cached and not calls
+        assert second.name == first.name
+
+    def test_cache_key_separates_fills(self, q19, tmp_path):
+        """A verdict for one fill must not answer for another."""
+        dense_dom = SparseDomain(q19, np.zeros((8, 7, 6), dtype=bool))
+        auto_select_sparse_kernel(
+            dense_dom, 0.8, cache_dir=tmp_path, model=False
+        )
+        sparse_dom = self._domain(q19)
+        again = auto_select_sparse_kernel(
+            sparse_dom, 0.8, cache_dir=tmp_path, model=False
+        )
+        assert again.auto_provenance == "measured"
+
+    def test_calibrated_model_skips_the_race(self, q19, tmp_path, monkeypatch):
+        import platform
+
+        from repro.machine.roofline import sparse_bytes_per_cell
+        from repro.perf.model import (
+            SPARSE,
+            MeasuredSample,
+            fit_samples,
+            save_calibration,
+        )
+
+        monkeypatch.setenv("REPRO_KERNEL_CACHE_DIR", str(tmp_path))
+        samples = []
+        for kernel, scale in (("sparse-planned", 1.0), ("sparse-legacy", 0.5)):
+            for fill in (0.3, 0.9):
+                b = sparse_bytes_per_cell(q19, "float64", fill=fill)
+                samples.append(
+                    MeasuredSample(
+                        kernel=kernel,
+                        lattice="D3Q19",
+                        dtype="float64",
+                        mflups=scale * 8e9 / (b * 1e6),
+                        mode=SPARSE,
+                        fill=fill,
+                    )
+                )
+        save_calibration(fit_samples(samples, host=platform.node()))
+
+        def boom():
+            raise AssertionError("timing race ran despite a calibration")
+
+        winner = auto_select_sparse_kernel(self._domain(q19), 0.8, clock=boom)
+        assert winner.auto_provenance == "model"
+        assert winner.name == "sparse-planned"
+
+    def test_model_abstains_without_full_coverage(self, q19, tmp_path, monkeypatch):
+        import platform
+
+        from repro.perf.model import MeasuredSample, SPARSE, fit_samples, save_calibration
+
+        monkeypatch.setenv("REPRO_KERNEL_CACHE_DIR", str(tmp_path))
+        only_one = [
+            MeasuredSample(
+                kernel="sparse-planned",
+                lattice="D3Q19",
+                dtype="float64",
+                mflups=50.0,
+                mode=SPARSE,
+                fill=0.5,
+            )
+        ]
+        save_calibration(fit_samples(only_one, host=platform.node()))
+        winner = auto_select_sparse_kernel(self._domain(q19), 0.8)
+        assert winner.auto_provenance == "measured"
+
+    def test_simulation_auto_kernel(self, q19, tmp_path):
+        mask = _walled_sphere_mask((8, 7, 6))
+        sim = SparseSimulation("D3Q19", mask, tau=0.8, kernel="auto")
+        assert sim.kernel.name in SPARSE_AUTO_CANDIDATES
+        sim.initialize(1.0)
+        sim.run(3)
+        assert np.isfinite(sim.f).all()

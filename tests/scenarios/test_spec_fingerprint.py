@@ -95,6 +95,7 @@ ALTERNATES = {
     "order": 2,
     "kernel": "planned",
     "dtype": "float32",
+    "layout": "aos",
     "collision": _collision,
     "geometry": _geometry_b,
     "boundaries": _boundaries,

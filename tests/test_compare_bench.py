@@ -48,6 +48,72 @@ class TestSelection:
         assert set(found) == {"D3Q19", "D3Q39"}
 
 
+#: Schema-5 sparse rows alongside a dense planned row: the dense gate
+#: must not absorb the sparse rows by the 'planned' substring, and the
+#: sparse gate must key each fill separately.
+SPARSE_RECORD = {
+    "kernels": {
+        "test_kernel_throughput[planned-float64-D3Q19]": {
+            "mflups": 6.0,
+            "kernel": "planned",
+        },
+        "test_sparse_kernel_throughput[sparse-planned-fill0.25]": {
+            "mflups": 6.4,
+            "kernel": "sparse-planned",
+            "dtype": "float64",
+            "lattice": "D3Q19",
+            "fill": 0.25,
+        },
+        "test_sparse_kernel_throughput[sparse-planned-fill1]": {
+            "mflups": 5.7,
+            "kernel": "sparse-planned",
+            "dtype": "float64",
+            "lattice": "D3Q19",
+            "fill": 1.0,
+        },
+        "test_sparse_kernel_throughput[sparse-legacy-fill0.25]": {
+            "mflups": 2.1,
+            "kernel": "sparse-legacy",
+            "dtype": "float64",
+            "lattice": "D3Q19",
+            "fill": 0.25,
+        },
+    }
+}
+
+
+class TestSparseSelection:
+    def test_dense_gate_excludes_sparse_rows(self):
+        """A bare 'planned' gate must not pick up sparse-planned rows:
+        their B(Q) includes gather-table traffic, so the MFLUP/s are
+        not comparable with the dense kernel's."""
+        module = load_comparator()
+        assert module.kernel_mflups(SPARSE_RECORD, "planned") == {"D3Q19": 6.0}
+
+    def test_sparse_gate_keys_each_fill(self):
+        module = load_comparator()
+        assert module.kernel_mflups(SPARSE_RECORD, "sparse-planned") == {
+            "D3Q19@fill0.25": 6.4,
+            "D3Q19@fill1": 5.7,
+        }
+
+    def test_sparse_rows_compare_per_fill(self):
+        module = load_comparator()
+        current = {
+            "kernels": {
+                "test_sparse_kernel_throughput[sparse-planned-fill0.25]": {
+                    "mflups": 5.9,
+                    "kernel": "sparse-planned",
+                    "lattice": "D3Q19",
+                    "fill": 0.25,
+                },
+            }
+        }
+        ok, lines = module.compare(SPARSE_RECORD, current, "sparse-planned", 0.30)
+        assert ok and len(lines) == 1
+        assert "fill0.25" in lines[0]
+
+
 class TestCompare:
     def test_within_tolerance_passes(self):
         module = load_comparator()
@@ -164,6 +230,40 @@ class TestModelGate:
         }
         ok, lines = module.model_check(record, CALIBRATION, slack=0.50)
         assert ok and len(lines) == 1
+
+    def test_sparse_rows_match_sparse_fitted_cells(self):
+        """A fill-stamped row keys the 'sparse' mode (mirroring
+        samples_from_bench) and checks against the row's own sparse
+        bytes_per_cell, not the calibration's."""
+        module = load_comparator()
+        calibration = {
+            "entries": [
+                {
+                    "kernel": "sparse-planned",
+                    "mode": "sparse",
+                    "dtype": "float64",
+                    "lattice": "D3Q19",
+                    "bytes_per_cell": 1140.0,
+                    "beta": 6.0 * 1140.0 * 1e6,
+                    "mflups": 6.0,
+                }
+            ]
+        }
+        record = {
+            "kernels": {
+                "test_sparse_kernel_throughput[sparse-planned-fill0.5]": {
+                    "mflups": 5.8,
+                    "kernel": "sparse-planned",
+                    "dtype": "float64",
+                    "lattice": "D3Q19",
+                    "fill": 0.5,
+                    "bytes_per_cell": 1140.0,
+                },
+            }
+        }
+        ok, lines = module.model_check(record, calibration, slack=0.50)
+        assert ok and len(lines) == 1
+        assert "sparse-planned sparse float64 D3Q19" in lines[0]
 
     def test_main_model_only_invocation(self, tmp_path, capsys):
         import json

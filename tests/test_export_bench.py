@@ -38,7 +38,8 @@ REPORT = {
 class TestExport:
     def test_record_shape(self):
         record = load_exporter().export(REPORT)
-        assert record["schema"] == 4
+        assert record["schema"] == 5
+        # No fullname in the report -> the legacy suite-name fallback.
         assert record["suite"] == "bench_kernels_real"
         assert record["cpu"] == "Test CPU"
         assert record["host"] == "bench-host"
@@ -81,6 +82,38 @@ class TestExport:
     def test_empty_report_exports_no_kernels(self):
         assert load_exporter().export({"benchmarks": []})["kernels"] == {}
 
+    def test_suite_detected_from_fullname(self):
+        """Schema 5: the suite field names the bench module that ran."""
+        report = {
+            "machine_info": {},
+            "benchmarks": [
+                {
+                    "name": "test_sparse_kernel_throughput[sparse-planned-fill0.5]",
+                    "fullname": (
+                        "benchmarks/bench_sparse_kernels.py::"
+                        "test_sparse_kernel_throughput[sparse-planned-fill0.5]"
+                    ),
+                    "stats": {"mean": 0.003},
+                    "extra_info": {
+                        "mflups": 5.6,
+                        "kernel": "sparse-planned",
+                        "dtype": "float64",
+                        "fill": 0.5,
+                        "bytes_per_cell": 1140.0,
+                    },
+                },
+            ],
+        }
+        record = load_exporter().export(report)
+        assert record["suite"] == "bench_sparse_kernels"
+        # The fill column flows through untouched (the perf-model fitter
+        # keys the B(Q) fill term on it).
+        entry = record["kernels"][
+            "test_sparse_kernel_throughput[sparse-planned-fill0.5]"
+        ]
+        assert entry["fill"] == 0.5
+        assert entry["bytes_per_cell"] == 1140.0
+
 
 class TestMain:
     def test_writes_artifact_and_prints_mflups(self, tmp_path, capsys):
@@ -93,7 +126,7 @@ class TestMain:
         assert "2 benchmark(s)" in captured
         assert "3.28 MFLUP/s" in captured
         record = json.loads(out.read_text())
-        assert record["schema"] == 4
+        assert record["schema"] == 5
         assert record["host"] == "bench-host"
         assert len(record["kernels"]) == 2
 
