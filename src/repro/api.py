@@ -38,6 +38,7 @@ from .scenarios.executor import (
     result_from_payload,
     usable_entry,
 )
+from .resilience import DEFAULT_MAX_ATTEMPTS
 from .scenarios.runner import CaseResult, CaseRunner
 from .scenarios.sampling import AdaptiveSampler
 from .scenarios.scheduler import (
@@ -65,6 +66,7 @@ __all__ = [
     "CostEstimate",
     "decode_overrides",
     "decode_value",
+    "DEFAULT_MAX_ATTEMPTS",
     "open_cache",
     "predict_cost",
     "publish_sweep",
@@ -407,6 +409,7 @@ def run_sweep(
     kernel: str | None = None,
     dtype: str | None = None,
     layout: str | None = None,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
     telemetry: bool = False,
 ) -> SweepResult:
     """Run a parameter sweep and return its merged result.
@@ -418,6 +421,8 @@ def run_sweep(
     processes coordinating through the shared ``cache_dir``;
     ``adaptive`` samples the grid (coarse pass, then refinement where
     the named observable changes fastest) instead of enumerating it;
+    ``max_attempts`` bounds fleet-wide failures per variant before it
+    is quarantined into an explicit ``FAILED`` row;
     ``telemetry`` records structured JSONL events under
     ``<cache-dir>/telemetry``.
 
@@ -457,6 +462,7 @@ def run_sweep(
             lease_ttl=lease_ttl,
             resume=resume,
             telemetry_dir=events_dir,
+            max_attempts=max_attempts,
         )
         return scheduler.run()
     executor = SweepExecutor(
@@ -604,6 +610,10 @@ def sweep_payload(result: SweepResult) -> dict[str, Any]:
             serialize_result_data(metrics, res.series, res.checks)
         )
         row["case"] = res.spec.name
+        if res.failed:
+            # Quarantined placeholder: flagged only when present so
+            # clean sweep bodies stay byte-identical to earlier PRs.
+            row["failed"] = True
         rows.append(row)
     return {
         "case": result.case,
@@ -656,6 +666,9 @@ def run_worker(
     max_variants: int | None = None,
     wait: bool = False,
     follow: bool = False,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    retry_backoff: float = 0.5,
+    idle_timeout: float | None = None,
     telemetry: bool = False,
 ) -> WorkerReport:
     """Claim and run variants of the sweep published under ``cache_dir``.
@@ -664,7 +677,9 @@ def run_worker(
     ``<cache-dir>/telemetry``; see
     :func:`repro.scenarios.workers.run_worker` for the loop's
     semantics (``follow=True`` keeps serving appended work forever —
-    the mode a ``repro serve`` fleet runs in).
+    the mode a ``repro serve`` fleet runs in; ``max_attempts`` /
+    ``retry_backoff`` drive the failure ledger's retry-then-quarantine
+    policy; ``idle_timeout`` lets waiting/following workers drain).
     """
     return _run_worker(
         cache_dir,
@@ -674,6 +689,9 @@ def run_worker(
         max_variants=max_variants,
         wait=wait,
         follow=follow,
+        max_attempts=max_attempts,
+        retry_backoff=retry_backoff,
+        idle_timeout=idle_timeout,
         telemetry_dir=telemetry_dir(cache_dir) if telemetry else None,
     )
 

@@ -23,10 +23,13 @@ restart; this module provides the minimum a downstream user needs:
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import io as _io
 import json
 import os
+import socket
+import time
 import uuid
 from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
@@ -56,6 +59,7 @@ __all__ = [
     "refresh_claim",
     "release_claim",
     "break_claim",
+    "claim_lock",
     "TimeSeriesLogger",
 ]
 
@@ -275,6 +279,69 @@ def break_claim(path: str | Path) -> bool:
     except OSError:  # pragma: no cover - cleanup only
         pass
     return True
+
+
+def _claim_owner_dead(record: ClaimRecord) -> bool:
+    """Same-host claims from a dead pid are stale immediately."""
+    if record.host != socket.gethostname():
+        return False
+    try:
+        os.kill(record.pid, 0)
+    except ProcessLookupError:
+        return True
+    except OSError:
+        return False
+    return False
+
+
+@contextlib.contextmanager
+def claim_lock(
+    path: str | Path,
+    *,
+    ttl: float = 30.0,
+    poll: float = 0.02,
+    timeout: float = 30.0,
+):
+    """Hold a short-lived exclusive claim file around a critical section.
+
+    Built on the same :func:`write_claim` / :func:`break_claim`
+    primitives as worker leases, so it is safe across processes and
+    hosts sharing the directory.  A holder that crashed (same-host dead
+    pid) or let its TTL lapse is broken and the lock re-acquired; a
+    live contender past ``timeout`` raises :class:`TimeoutError` rather
+    than spinning forever.
+    """
+    path = Path(path)
+    host = socket.gethostname()
+    pid = os.getpid()
+    owner = f"{host}:{pid}:{uuid.uuid4().hex[:8]}"
+    deadline = time.monotonic() + timeout
+    while True:
+        now = time.time()
+        record = ClaimRecord(
+            owner=owner,
+            resource=path.name,
+            host=host,
+            pid=pid,
+            acquired_at=now,
+            expires_at=now + ttl,
+        )
+        if write_claim(path, record):
+            break
+        held = read_claim(path)
+        if held is None or now >= held.expires_at or _claim_owner_dead(held):
+            break_claim(path)
+            continue
+        if time.monotonic() >= deadline:
+            raise TimeoutError(
+                f"could not acquire claim lock {path} within {timeout:g}s "
+                f"(held by {held.owner})"
+            )
+        time.sleep(poll)
+    try:
+        yield
+    finally:
+        release_claim(path, owner)
 
 
 def write_vtk(

@@ -1,0 +1,322 @@
+"""Deterministic fault injection for the sweep fleet.
+
+A :class:`FaultPlan` is a JSON document (usually pointed at by the
+``$REPRO_FAULT_PLAN`` environment variable) listing faults to fire at
+fixed points in the worker loop.  Nothing is random: each fault matches
+on the variant (by fingerprint prefix or queue index), the injection
+site, the attempt number and/or the worker id, and fires a bounded
+number of ``times``.  The firing budget is enforced with ``O_EXCL``
+marker files under ``<cache-dir>/fault-state/`` written *before* the
+action runs, so even a ``crash`` fault fires exactly once across any
+number of competing worker processes — chaos runs replay identically
+and their surviving tables can be asserted byte-for-byte against clean
+runs.
+
+Plan schema (``"version": 1``)::
+
+    {"version": 1, "faults": [
+        {"id": "crash-once",         # unique name (marker-file key)
+         "action": "crash",          # crash|raise|slow|corrupt-write|lose-lease
+         "site": "run",              # claim|run|commit   (default "run")
+         "index": 0,                 # match queue item index ...
+         "fingerprint": "ab12",      # ... and/or fingerprint prefix
+         "attempt": 1,               # only this attempt number
+         "worker": "w1",             # only this worker id
+         "times": 1,                 # firing budget (null = unlimited)
+         "seconds": 0.5,             # slow: sleep duration
+         "message": "injected"}      # raise: exception text
+    ]}
+
+Actions:
+
+* ``crash`` — ``os._exit(137)``: the worker dies without releasing its
+  lease, exercising stale-lease reclamation.
+* ``raise`` — raise :class:`InjectedFault`, exercising the failure
+  ledger / retry / quarantine path.
+* ``slow`` — sleep ``seconds``, exercising timeouts and reclaim races.
+* ``corrupt-write`` — truncate the variant's just-written cache entry,
+  exercising corrupt-entry quarantine and re-warm.
+* ``lose-lease`` — delete the worker's own lease file, exercising the
+  lost-lease path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+from ..errors import ReproError
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "FAULT_STATE_DIRNAME",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+]
+
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+FAULT_STATE_DIRNAME = "fault-state"
+_PLAN_VERSION = 1
+
+SITES = ("claim", "run", "commit")
+ACTIONS = ("crash", "raise", "slow", "corrupt-write", "lose-lease")
+
+
+class InjectedFault(ReproError):
+    """An exception raised on purpose by a fault plan."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One fault: where it fires, what it does, and its budget."""
+
+    id: str
+    action: str
+    site: str = "run"
+    fingerprint: str | None = None
+    index: int | None = None
+    attempt: int | None = None
+    worker: str | None = None
+    times: int | None = 1
+    seconds: float = 0.0
+    message: str = "injected fault"
+
+    def matches(
+        self,
+        site: str,
+        *,
+        fingerprint: str,
+        index: int | None,
+        attempt: int,
+        worker: str,
+    ) -> bool:
+        if site != self.site:
+            return False
+        if self.fingerprint is not None and not fingerprint.startswith(
+            self.fingerprint
+        ):
+            return False
+        if self.index is not None and index != self.index:
+            return False
+        if self.attempt is not None and attempt != self.attempt:
+            return False
+        if self.worker is not None and worker != self.worker:
+            return False
+        return True
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any], position: int) -> "FaultSpec":
+        known = {
+            "id",
+            "action",
+            "site",
+            "fingerprint",
+            "index",
+            "attempt",
+            "worker",
+            "times",
+            "seconds",
+            "message",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ReproError(
+                f"fault #{position}: unknown key(s) {sorted(unknown)}"
+            )
+        action = payload.get("action")
+        if action not in ACTIONS:
+            raise ReproError(
+                f"fault #{position}: action must be one of {ACTIONS}, "
+                f"got {action!r}"
+            )
+        site = payload.get("site", "run")
+        if site not in SITES:
+            raise ReproError(
+                f"fault #{position}: site must be one of {SITES}, got {site!r}"
+            )
+        times = payload.get("times", 1)
+        if times is not None:
+            times = int(times)
+            if times < 1:
+                raise ReproError(f"fault #{position}: times must be >= 1")
+        seconds = float(payload.get("seconds", 0.0))
+        if seconds < 0:
+            raise ReproError(f"fault #{position}: seconds must be >= 0")
+        index = payload.get("index")
+        attempt = payload.get("attempt")
+        return cls(
+            id=str(payload.get("id", f"fault{position}")),
+            action=str(action),
+            site=str(site),
+            fingerprint=(
+                None
+                if payload.get("fingerprint") is None
+                else str(payload["fingerprint"])
+            ),
+            index=None if index is None else int(index),
+            attempt=None if attempt is None else int(attempt),
+            worker=(
+                None if payload.get("worker") is None else str(payload["worker"])
+            ),
+            times=times,
+            seconds=seconds,
+            message=str(payload.get("message", "injected fault")),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A validated, immutable set of faults."""
+
+    faults: tuple[FaultSpec, ...]
+    path: Path | None = None
+
+    @classmethod
+    def from_payload(
+        cls, payload: dict[str, Any], path: Path | None = None
+    ) -> "FaultPlan":
+        if not isinstance(payload, dict):
+            raise ReproError("fault plan must be a JSON object")
+        version = payload.get("version", _PLAN_VERSION)
+        if version != _PLAN_VERSION:
+            raise ReproError(f"unsupported fault plan version {version!r}")
+        raw_faults = payload.get("faults", [])
+        if not isinstance(raw_faults, list):
+            raise ReproError("fault plan 'faults' must be a list")
+        faults = []
+        seen: set[str] = set()
+        for position, item in enumerate(raw_faults):
+            if not isinstance(item, dict):
+                raise ReproError(f"fault #{position}: must be an object")
+            spec = FaultSpec.from_payload(item, position)
+            if spec.id in seen:
+                raise ReproError(f"duplicate fault id {spec.id!r}")
+            seen.add(spec.id)
+            faults.append(spec)
+        return cls(faults=tuple(faults), path=path)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultPlan":
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except OSError as exc:
+            raise ReproError(f"cannot read fault plan {path}: {exc}") from exc
+        except ValueError as exc:
+            raise ReproError(f"invalid JSON in fault plan {path}: {exc}") from exc
+        return cls.from_payload(payload, path=path)
+
+    @classmethod
+    def from_env(cls, environ: dict[str, str] | None = None) -> "FaultPlan | None":
+        """The plan named by ``$REPRO_FAULT_PLAN``, or ``None``."""
+        env = os.environ if environ is None else environ
+        path = env.get(FAULT_PLAN_ENV, "").strip()
+        return cls.load(path) if path else None
+
+    def arm(self, root: str | Path) -> "FaultInjector":
+        """Bind this plan to a sweep cache dir (holds the marker state)."""
+        return FaultInjector(self, root)
+
+
+class FaultInjector:
+    """Fires a plan's faults at the worker's injection points."""
+
+    def __init__(self, plan: FaultPlan, root: str | Path) -> None:
+        self.plan = plan
+        self.state_dir = Path(root) / FAULT_STATE_DIRNAME
+
+    def fire(
+        self,
+        site: str,
+        *,
+        fingerprint: str,
+        index: int | None = None,
+        attempt: int = 1,
+        worker: str = "",
+        cache: Any = None,
+        board: Any = None,
+    ) -> None:
+        """Execute every matching fault with remaining budget."""
+        for fault in self.plan.faults:
+            if not fault.matches(
+                site,
+                fingerprint=fingerprint,
+                index=index,
+                attempt=attempt,
+                worker=worker,
+            ):
+                continue
+            if not self._claim_firing(fault, fingerprint, worker):
+                continue
+            self._execute(fault, fingerprint=fingerprint, cache=cache, board=board)
+
+    def _claim_firing(self, fault: FaultSpec, fingerprint: str, worker: str) -> bool:
+        """Atomically consume one unit of the fault's firing budget.
+
+        The marker is written *before* the action runs so a ``crash``
+        fault cannot fire again on the reclaiming worker.
+        """
+        if fault.times is None:
+            return True
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        for firing in range(fault.times):
+            marker = self.state_dir / f"{fault.id}.{firing}.fired"
+            try:
+                fd = os.open(marker, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+            except FileExistsError:
+                continue
+            with os.fdopen(fd, "w") as handle:
+                handle.write(
+                    json.dumps(
+                        {
+                            "fault": fault.id,
+                            "firing": firing,
+                            "fingerprint": fingerprint,
+                            "worker": worker,
+                            "at": time.time(),
+                        },
+                        sort_keys=True,
+                    )
+                )
+            return True
+        return False
+
+    def _execute(
+        self,
+        fault: FaultSpec,
+        *,
+        fingerprint: str,
+        cache: Any,
+        board: Any,
+    ) -> None:
+        if fault.action == "crash":
+            os._exit(137)
+        if fault.action == "raise":
+            raise InjectedFault(f"{fault.message} [{fault.id}]")
+        if fault.action == "slow":
+            time.sleep(fault.seconds)
+            return
+        if fault.action == "corrupt-write":
+            if cache is None:
+                return
+            path = Path(cache.entry_path(fingerprint))
+            try:
+                data = path.read_bytes()
+                path.write_bytes(data[: max(1, len(data) // 2)])
+            except OSError:
+                pass
+            return
+        if fault.action == "lose-lease":
+            if board is None:
+                return
+            try:
+                Path(board.path(fingerprint)).unlink()
+            except OSError:
+                pass
+            return

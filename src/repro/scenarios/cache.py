@@ -26,9 +26,11 @@ from typing import Any, Mapping, Sequence
 
 from ..core.io import canonical_json
 from ..errors import ScenarioError
+from ..resilience.ledger import FAILURES_FILENAME
 from ..telemetry.recorder import NULL_TELEMETRY, NullTelemetry, Telemetry
 
 __all__ = [
+    "CORRUPT_DIRNAME",
     "CacheDiff",
     "CacheLookup",
     "ResultCache",
@@ -44,6 +46,10 @@ _ENTRY_VERSION = 1
 #: :class:`repro.scenarios.scheduler.WorkQueue`); reserved alongside the
 #: manifest so cache key listings never mistake it for an entry.
 QUEUE_FILENAME = "queue.json"
+
+#: Sidecar directory corrupt entries are renamed into (see
+#: :meth:`ResultCache.quarantine_corrupt`).
+CORRUPT_DIRNAME = "corrupt"
 
 
 def _atomic_write(path: Path, text: str) -> None:
@@ -152,11 +158,35 @@ class ResultCache:
         found = self._load(fingerprint)
         if found.status == "corrupt":
             path = self.entry_path(fingerprint)
-            logger.warning("corrupt cache entry at %s (will re-run)", path)
+            moved = self.quarantine_corrupt(fingerprint)
+            logger.warning(
+                "corrupt cache entry at %s (quarantined to %s; will re-run)",
+                path,
+                moved,
+            )
             self.telemetry.count("cache.corrupt", path=str(path))
         else:
             self.telemetry.count(f"cache.{found.status}")
         return found
+
+    def quarantine_corrupt(self, fingerprint: str) -> Path | None:
+        """Move a corrupt entry aside so the slot is cheaply rewritable.
+
+        An atomic rename into the ``corrupt/`` sidecar directory: later
+        probes of this fingerprint are plain misses instead of re-paying
+        the parse-and-log cost, :meth:`put` re-warms the slot normally,
+        and the torn bytes stay on disk for postmortems.  Racing peers
+        are fine — exactly one rename wins, the rest return ``None``.
+        """
+        path = self.entry_path(fingerprint)
+        sidecar = self.root / CORRUPT_DIRNAME
+        try:
+            sidecar.mkdir(parents=True, exist_ok=True)
+            target = sidecar / path.name
+            os.replace(path, target)
+        except OSError:
+            return None
+        return target
 
     def put(self, fingerprint: str, data: Mapping[str, Any]) -> Path:
         """Store one variant's payload (atomically; overwrites)."""
@@ -173,7 +203,7 @@ class ResultCache:
 
     def keys(self) -> tuple[str, ...]:
         """Fingerprints of every readable-looking entry on disk."""
-        reserved = {SweepManifest.FILENAME, QUEUE_FILENAME}
+        reserved = {SweepManifest.FILENAME, QUEUE_FILENAME, FAILURES_FILENAME}
         return tuple(
             sorted(p.stem for p in self.root.glob("*.json") if p.name not in reserved)
         )

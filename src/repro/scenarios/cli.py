@@ -144,6 +144,7 @@ def run_sweep_cli(
     kernel: str | None = None,
     dtype: str | None = None,
     layout: str | None = None,
+    max_attempts: int = api.DEFAULT_MAX_ATTEMPTS,
     telemetry: bool = False,
     as_json: bool = False,
 ) -> int:
@@ -212,6 +213,7 @@ def run_sweep_cli(
         kernel=kernel,
         dtype=dtype,
         layout=layout,
+        max_attempts=max_attempts,
         telemetry=telemetry,
     )
 
@@ -225,10 +227,12 @@ def run_sweep_cli(
         return 0 if result.passed else 1
     print(result.to_table(provenance=True))
     if result.provenance is not None:
-        cached = len(result.results) - result.runs_executed
+        failed = result.failed_count
+        cached = len(result.results) - result.runs_executed - failed
+        failed_note = f", {failed} FAILED (quarantined)" if failed else ""
         print(
             f"{len(result.results)} variants: {result.runs_executed} run, "
-            f"{cached} cached"
+            f"{cached} cached{failed_note}"
         )
     if result.grid_total is not None and result.stages is not None:
         coarse = sum(1 for stage in result.stages if stage == "coarse")
@@ -261,6 +265,9 @@ def run_worker_cli(
     max_variants: int | None = None,
     wait: bool = False,
     follow: bool = False,
+    max_attempts: int = api.DEFAULT_MAX_ATTEMPTS,
+    retry_backoff: float = 0.5,
+    idle_timeout: float | None = None,
     telemetry: bool = False,
     as_json: bool = False,
 ) -> int:
@@ -277,6 +284,9 @@ def run_worker_cli(
         max_variants=max_variants,
         wait=wait,
         follow=follow,
+        max_attempts=max_attempts,
+        retry_backoff=retry_backoff,
+        idle_timeout=idle_timeout,
         telemetry=telemetry,
     )
     if as_json:
@@ -291,23 +301,59 @@ def run_serve_cli(
     *,
     host: str = "127.0.0.1",
     port: int = 8752,
+    max_inflight: int | None = None,
+    request_timeout: float | None = None,
     telemetry: bool = False,
 ) -> int:
-    """Serve the scenario substrate over HTTP until interrupted."""
+    """Serve the scenario substrate over HTTP until interrupted.
+
+    SIGTERM (and Ctrl-C) drain gracefully: the server stops admitting
+    requests (503 + Retry-After), finishes the ones in flight, then
+    closes the socket.
+    """
+    import signal
+    import threading
+
     from ..serve import create_server
 
+    extras: dict[str, Any] = {}
+    if max_inflight is not None:
+        extras["max_inflight"] = max_inflight
+    if request_timeout is not None:
+        extras["request_timeout"] = request_timeout
     server = create_server(
-        cache_dir, host=host, port=port, telemetry=telemetry
+        cache_dir, host=host, port=port, telemetry=telemetry, **extras
     )
     print(f"serving {cache_dir} at {server.url}")
     print("endpoints: POST /v1/case /v1/sweep; GET /v1/health /v1/cases")
     print("           GET /v1/fleet /v1/jobs/<id> /v1/jobs/<id>/result")
+
+    def _terminate(signum: int, frame: Any) -> None:
+        server.draining = True
+        # serve_forever must be stopped from another thread — shutdown()
+        # blocks until the serving loop exits, which would deadlock here.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = None
+    try:
+        previous = signal.signal(signal.SIGTERM, _terminate)
+    except ValueError:
+        pass  # not the main thread (tests drive this inline)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        server.draining = True
+        drained = server.drain(timeout=10.0)
         server.server_close()
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
+        print(
+            "drained and stopped"
+            if drained
+            else "stopped with request(s) still in flight"
+        )
     return 0
 
 
@@ -611,6 +657,15 @@ def build_parser() -> argparse.ArgumentParser:
         "to fill in (default: 0.5)",
     )
     sweep.add_argument(
+        "--max-attempts",
+        type=int,
+        default=api.DEFAULT_MAX_ATTEMPTS,
+        metavar="N",
+        help="attempts per variant before it is quarantined and rendered "
+        "as a FAILED row instead of retried (default: "
+        f"{api.DEFAULT_MAX_ATTEMPTS})",
+    )
+    sweep.add_argument(
         "--telemetry",
         action="store_true",
         help="record structured JSONL events (variant spans, cache "
@@ -698,6 +753,31 @@ def build_parser() -> argparse.ArgumentParser:
         "implies --wait)",
     )
     worker.add_argument(
+        "--max-attempts",
+        type=int,
+        default=api.DEFAULT_MAX_ATTEMPTS,
+        metavar="N",
+        help="failed attempts per variant (across the whole fleet, via "
+        "the failure ledger) before it is quarantined (default: "
+        f"{api.DEFAULT_MAX_ATTEMPTS})",
+    )
+    worker.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="base delay before retrying a failed variant; doubles per "
+        "attempt, capped at 60s (default: 0.5)",
+    )
+    worker.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --wait/--follow, exit once no variant has been claimed "
+        "for this long (default: never)",
+    )
+    worker.add_argument(
         "--telemetry",
         action="store_true",
         help="record this worker's structured events under "
@@ -733,6 +813,22 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=8752,
         help="bind port; 0 picks a free one (default: 8752)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="refuse requests with 503 + Retry-After beyond N concurrent "
+        "ones (default: 32)",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request socket timeout; slow or stalled clients are "
+        "disconnected instead of pinning a handler thread (default: 30)",
     )
     serve.add_argument(
         "--telemetry",
@@ -907,6 +1003,9 @@ def main(argv: Sequence[str]) -> int:
                 max_variants=args.max_variants,
                 wait=args.wait,
                 follow=args.follow,
+                max_attempts=args.max_attempts,
+                retry_backoff=args.retry_backoff,
+                idle_timeout=args.idle_timeout,
                 telemetry=args.telemetry,
                 as_json=args.as_json,
             )
@@ -915,6 +1014,8 @@ def main(argv: Sequence[str]) -> int:
                 args.cache_dir,
                 host=args.host,
                 port=args.port,
+                max_inflight=args.max_inflight,
+                request_timeout=args.request_timeout,
                 telemetry=args.telemetry,
             )
         return run_sweep_cli(
@@ -934,6 +1035,7 @@ def main(argv: Sequence[str]) -> int:
             kernel=args.kernel,
             dtype=args.dtype,
             layout=args.layout,
+            max_attempts=args.max_attempts,
             telemetry=args.telemetry,
             as_json=args.as_json,
         )

@@ -37,6 +37,7 @@ from typing import Any, Callable, Iterable, Mapping
 
 from ..core.io import serialize_result_data
 from ..errors import ScenarioError
+from ..resilience import FailureLedger
 from ..telemetry.recorder import (
     NullTelemetry,
     Telemetry,
@@ -54,6 +55,7 @@ __all__ = [
     "SweepPlan",
     "case_payload",
     "execute_pending",
+    "failed_payload",
     "open_cache",
     "result_from_payload",
     "usable_entry",
@@ -183,7 +185,33 @@ def result_from_payload(
         },
         metrics=dict(payload["metrics"]),
         checks={str(k): bool(v) for k, v in payload["checks"].items()},
+        failed=bool(payload.get("failed", False)),
     )
+
+
+def failed_payload(case: str, record: Any, *, analyze: bool) -> dict[str, Any]:
+    """Placeholder payload for a quarantined variant.
+
+    Shaped like a real :func:`case_payload` (so it rehydrates through
+    :func:`result_from_payload` into an explicit ``FAILED`` row) but
+    never written to the result cache — the cache stays
+    content-addressed over *successful* runs only, and clearing the
+    failure ledger is all it takes to retry.
+    """
+    last = record.last
+    return {
+        "case": case,
+        "analyze": analyze,
+        "failed": True,
+        "series": {},
+        "metrics": {},
+        "checks": {},
+        "error": {
+            "exception": last.exception if last is not None else "unknown",
+            "message": last.message if last is not None else "",
+            "attempts": record.attempt_count,
+        },
+    }
 
 
 def usable_entry(
@@ -438,6 +466,15 @@ class SweepExecutor:
                     if payload is not None and fingerprint not in manifest.completed:
                         manifest.completed.append(fingerprint)
                 manifest.save()
+            # Variants the fleet quarantined become explicit FAILED rows
+            # instead of being silently re-run here at merge time.
+            quarantined = FailureLedger(cache.root).quarantined()
+            for index, fingerprint in enumerate(plan.fingerprints):
+                if payloads[index] is None and fingerprint in quarantined:
+                    payloads[index] = failed_payload(
+                        plan.case, quarantined[fingerprint], analyze=analyze
+                    )
+                    provenance[index] = "failed"
 
         pending = [i for i, payload in enumerate(payloads) if payload is None]
         tasks = {i: plan.task(i, analyze, telemetry_dir) for i in pending}

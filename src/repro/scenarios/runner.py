@@ -50,6 +50,11 @@ class CaseResult:
         ``analysis`` hook derived.
     checks:
         Named pass/fail verdicts from the case's ``checks`` hook.
+    failed:
+        ``True`` only for a quarantined-variant placeholder (the run
+        raised ``max_attempts`` times and never produced a payload);
+        such a result carries empty series/metrics/checks and renders
+        as an explicit ``FAILED`` row in sweep tables.
     """
 
     spec: CaseSpec
@@ -58,6 +63,7 @@ class CaseResult:
     series: dict[str, list[float]] = dataclasses.field(default_factory=dict)
     metrics: dict[str, Any] = dataclasses.field(default_factory=dict)
     checks: dict[str, bool] = dataclasses.field(default_factory=dict)
+    failed: bool = False
 
     def initial(self, observable: str) -> float:
         """First recorded value of one observable series."""
@@ -69,8 +75,9 @@ class CaseResult:
 
     @property
     def passed(self) -> bool:
-        """All checks hold (vacuously true when the case declares none)."""
-        return all(self.checks.values())
+        """All checks hold (vacuously true when the case declares none);
+        never true for a quarantined-variant placeholder."""
+        return not self.failed and all(self.checks.values())
 
     def to_text(self) -> str:
         """Human-readable summary: metrics and checks tables."""

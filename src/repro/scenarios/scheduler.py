@@ -50,6 +50,7 @@ from ..core.io import (
     write_claim,
 )
 from ..errors import ScenarioError
+from ..resilience import DEFAULT_MAX_ATTEMPTS, FailureLedger, FailureRecord
 from ..telemetry.aggregate import FleetRollup
 from ..telemetry.recorder import TELEMETRY_DIRNAME
 from .cache import QUEUE_FILENAME, ResultCache, sweep_key
@@ -57,6 +58,7 @@ from .executor import (
     SweepPlan,
     _execute_variant,
     _VariantTask,
+    failed_payload,
     open_cache,
     usable_entry,
 )
@@ -503,6 +505,11 @@ class SweepStatus:
     #: throughput, ETA) when the directory has structured-event files;
     #: ``None`` when the fleet ran without telemetry.
     telemetry: FleetRollup | None = None
+    #: Failure-ledger view: variants still retrying, and variants
+    #: quarantined after ``max_attempts`` (rendered as ``FAILED`` rows
+    #: by the merge layer).
+    failing: tuple["FailureRecord", ...] = ()
+    quarantined: tuple["FailureRecord", ...] = ()
 
     @property
     def missing(self) -> int:
@@ -535,6 +542,12 @@ class SweepStatus:
             "telemetry": (
                 None if self.telemetry is None else self.telemetry.to_payload()
             ),
+            "failures": {
+                "failing": [record.to_payload() for record in self.failing],
+                "quarantined": [
+                    record.to_payload() for record in self.quarantined
+                ],
+            },
         }
 
     def summary(self) -> str:
@@ -568,6 +581,24 @@ class SweepStatus:
                 f"  stale leases: {len(self.stale_leases)} "
                 "(reclaimable by any worker)"
             )
+        if self.failing:
+            lines.append(
+                f"  failing: {len(self.failing)} variant(s) retrying"
+            )
+        if self.quarantined:
+            lines.append(
+                f"  quarantined: {len(self.quarantined)} variant(s) FAILED "
+                "after max attempts"
+            )
+            for record in self.quarantined:
+                last = record.last
+                detail = (
+                    f"{last.exception}: {last.message}" if last is not None else "?"
+                )
+                lines.append(
+                    f"    {record.fingerprint[:12]}: {detail} "
+                    f"({record.attempt_count} attempt(s))"
+                )
         if self.telemetry is not None:
             lines.extend(self.telemetry.summary_lines())
         return "\n".join(lines)
@@ -616,6 +647,17 @@ def sweep_status(cache_dir: str | Path) -> SweepStatus:
         telemetry = load_run(telemetry_dir).fleet_stats(
             remaining=total - completed
         )
+    ledger_records = FailureLedger(root).load()
+    failing = tuple(
+        record
+        for _, record in sorted(ledger_records.items())
+        if not record.quarantined
+    )
+    quarantined = tuple(
+        record
+        for _, record in sorted(ledger_records.items())
+        if record.quarantined
+    )
     return SweepStatus(
         root=str(root),
         case=manifest.case if manifest is not None else None,
@@ -627,6 +669,8 @@ def sweep_status(cache_dir: str | Path) -> SweepStatus:
         live_leases=tuple(live),
         stale_leases=tuple(stale),
         telemetry=telemetry,
+        failing=failing,
+        quarantined=quarantined,
     )
 
 
@@ -706,6 +750,9 @@ class SweepScheduler:
         worker records its spans/counters/heartbeats there (one file
         per process) and inline merge runs do too.  ``None`` disables
         fleet telemetry.
+    max_attempts:
+        Fleet-wide failed attempts (shared failure ledger) after which
+        a variant is quarantined and merged as a ``FAILED`` row.
     """
 
     sweep: Sweep
@@ -715,6 +762,7 @@ class SweepScheduler:
     lease_ttl: float = DEFAULT_LEASE_TTL
     resume: bool = False
     telemetry_dir: str | Path | None = None
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -772,6 +820,7 @@ class SweepScheduler:
                         "worker_id": f"w{rank + 1}",
                         "lease_ttl": self.lease_ttl,
                         "telemetry_dir": telemetry_dir,
+                        "max_attempts": self.max_attempts,
                     },
                     daemon=False,
                 )
@@ -795,7 +844,10 @@ class SweepScheduler:
         are executed inline (``run``) — leases are ignored at this
         point because merging happens after the launched fleet exited,
         and an inline duplicate of some foreign straggler's variant is
-        idempotent anyway.
+        idempotent anyway.  Variants the fleet quarantined — or that
+        keep raising inline until they hit ``max_attempts`` — merge as
+        explicit ``FAILED`` placeholder rows (``"failed"`` provenance)
+        so the sweep always terminates.
         """
         from .cache import SweepManifest
 
@@ -803,6 +855,8 @@ class SweepScheduler:
             plan = SweepPlan.of(self.sweep)
         cache = ResultCache(self.cache_dir)
         manifest = SweepManifest.load(cache.root)
+        ledger = FailureLedger(cache.root, max_attempts=self.max_attempts)
+        quarantined = ledger.quarantined()
         telemetry_dir = (
             str(self.telemetry_dir) if self.telemetry_dir is not None else None
         )
@@ -811,9 +865,31 @@ class SweepScheduler:
         for index, fingerprint in enumerate(plan.fingerprints):
             # Merge reads are silent probes too (count=False).
             entry = usable_entry(cache, fingerprint, self.analyze, count=False)
+            if entry is None and fingerprint in quarantined:
+                payloads[index] = failed_payload(
+                    plan.case, quarantined[fingerprint], analyze=self.analyze
+                )
+                provenance[index] = "failed"
+                continue
             if entry is None:
                 task = plan.task(index, self.analyze, telemetry_dir)
-                entry = _execute_variant(task)
+                record = None
+                while entry is None:
+                    try:
+                        entry = _execute_variant(task)
+                    except Exception as exc:
+                        record = ledger.record_failure(fingerprint, exc)
+                        if record.quarantined:
+                            break
+                if entry is None:
+                    assert record is not None
+                    payloads[index] = failed_payload(
+                        plan.case, record, analyze=self.analyze
+                    )
+                    provenance[index] = "failed"
+                    continue
+                if record is not None:
+                    ledger.clear(fingerprint)
                 cache.put(fingerprint, entry)
                 if manifest is not None and manifest.fingerprints == plan.fingerprints:
                     manifest.record_completion(fingerprint)

@@ -70,10 +70,19 @@ class SweepResult:
     @property
     def runs_executed(self) -> int:
         """How many variants actually ran (vs served from cache) —
-        whether by this process (``"run"``) or a worker it launched."""
+        whether by this process (``"run"``) or a worker it launched.
+        Quarantined ``"failed"`` placeholders never ran, so they do not
+        count."""
         if self.provenance is None:
             return len(self.results)
-        return sum(1 for source in self.provenance if source != "cached")
+        return sum(
+            1 for source in self.provenance if source not in ("cached", "failed")
+        )
+
+    @property
+    def failed_count(self) -> int:
+        """How many variants are quarantined ``FAILED`` placeholders."""
+        return sum(1 for result in self.results if result.failed)
 
     def rows(
         self, *, provenance: bool = False
@@ -104,7 +113,10 @@ class SweepResult:
                     row.append(fmt(result.final(column[6:])))
                 else:
                     row.append(fmt(result.metrics.get(column, "-")))
-            row.append("PASS" if result.passed else "FAIL")
+            if result.failed:
+                row.append("FAILED")  # quarantined: no payload to judge
+            else:
+                row.append("PASS" if result.passed else "FAIL")
             table.append(row)
         if provenance and self.provenance is not None:
             headers, table = append_column(headers, table, "source", self.provenance)

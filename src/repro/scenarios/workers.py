@@ -26,6 +26,17 @@ waiting worker pick up the leases of peers that die).  Crash recovery
 follows from the commit order: the cache entry is written *before* the
 lease is released, so a worker that dies mid-variant leaves a lease
 that goes stale and a variant that simply re-runs elsewhere.
+
+A variant that *raises* is never fatal to the worker: the exception is
+recorded in the shared failure ledger
+(:class:`~repro.resilience.FailureLedger`, ``failures.json`` beside
+``queue.json``), the lease is released, and the variant is retried
+with exponential backoff until ``max_attempts``, after which it is
+**quarantined** — skipped by the whole fleet so the sweep terminates
+with an explicit ``FAILED`` row instead of crash-looping.  Setting
+``$REPRO_FAULT_PLAN`` arms deterministic fault injection
+(:class:`~repro.resilience.FaultPlan`) at the claim/run/commit points
+of this loop.
 """
 
 from __future__ import annotations
@@ -39,6 +50,7 @@ from pathlib import Path
 from typing import Iterator
 
 from ..errors import ScenarioError
+from ..resilience import DEFAULT_MAX_ATTEMPTS, FailureLedger, FaultPlan
 from ..telemetry.recorder import (
     NULL_TELEMETRY,
     NullTelemetry,
@@ -107,6 +119,8 @@ class WorkerReport:
     worker_id: str
     completed: list[str] = dataclasses.field(default_factory=list)
     reclaimed: list[str] = dataclasses.field(default_factory=list)
+    failed: list[str] = dataclasses.field(default_factory=list)
+    quarantined: list[str] = dataclasses.field(default_factory=list)
     already_cached: int = 0
     cache_hits: int = 0
     mflups: float = float("nan")
@@ -117,6 +131,8 @@ class WorkerReport:
             "worker": self.worker_id,
             "completed": list(self.completed),
             "reclaimed": list(self.reclaimed),
+            "failed": list(self.failed),
+            "quarantined": list(self.quarantined),
             "already_cached": self.already_cached,
             "cache_hits": self.cache_hits,
             "mflups": None if math.isnan(self.mflups) else self.mflups,
@@ -129,6 +145,10 @@ class WorkerReport:
             else ""
         )
         extras = ""
+        if self.failed:
+            extras += f", {len(self.failed)} failed attempt(s)"
+        if self.quarantined:
+            extras += f", {len(self.quarantined)} quarantined"
         if self.cache_hits:
             extras += f", {self.cache_hits} cache hit(s)"
         if not math.isnan(self.mflups):
@@ -175,6 +195,9 @@ def run_worker(
     max_variants: int | None = None,
     wait: bool = False,
     follow: bool = False,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    retry_backoff: float = 0.5,
+    idle_timeout: float | None = None,
     telemetry_dir: str | Path | None = None,
 ) -> WorkerReport:
     """Claim and run variants of the sweep published under ``cache_dir``.
@@ -190,8 +213,10 @@ def run_worker(
         (:func:`lease_heartbeat`), so the TTL bounds how long a *dead*
         worker's variant stays blocked, not how slow a variant may be.
     poll:
-        Sleep between passes when waiting on peers or (``follow``) on
-        new work.
+        Initial sleep between passes when waiting on peers or
+        (``follow``) on new work.  Idle passes back the sleep off
+        exponentially (capped at ``max(poll, 8.0)`` seconds); any
+        progress resets it to ``poll``.
     max_variants:
         Stop after running this many variants (``None`` = no limit).
     wait:
@@ -203,6 +228,17 @@ def run_worker(
         appends cold requests to the same queue).  Implies ``wait``.
         Either way the worker re-reads a changed queue between passes,
         so appended work reaches even non-follow fleets mid-sweep.
+    max_attempts:
+        Failed attempts (fleet-wide, via the shared failure ledger)
+        after which a variant is quarantined and skipped by everyone.
+    retry_backoff:
+        Base of the per-variant exponential retry delay: attempt ``n``
+        is not retried until ``retry_backoff * 2**(n-1)`` seconds
+        (capped at 60) after its latest failure.
+    idle_timeout:
+        Exit after this many consecutive seconds without completing,
+        failing, or discovering work (``None`` = never).  Lets
+        ``--follow`` workers drain away once a sweep is done.
     telemetry_dir:
         Directory for this worker's structured-event JSONL file.  Set,
         the worker records variant spans, cache counters and lease
@@ -215,6 +251,9 @@ def run_worker(
     cache = ResultCache(root)
     manifest = SweepManifest.load(root)
     board = LeaseBoard(root, owner=worker_id, ttl=lease_ttl)
+    ledger = FailureLedger(root, max_attempts=max_attempts)
+    plan = FaultPlan.from_env()
+    injector = plan.arm(root) if plan is not None else None
     report = WorkerReport(worker_id=board.owner)
     telemetry_path = str(telemetry_dir) if telemetry_dir is not None else None
     recorder = (
@@ -271,17 +310,60 @@ def run_worker(
         claim_order = queue.claim_order()
         return True
 
+    def adopt_orphan(fingerprint: str) -> bool:
+        """Finish a dead peer's commit on its behalf.
+
+        A worker that crashes between its cache write and its manifest
+        record leaves a usable entry with no completion.  Re-reading the
+        on-disk manifest first keeps this from stealing attribution for
+        completions a live peer recorded after our last load; the merge
+        in :meth:`SweepManifest.record_completion` makes the write safe
+        either way.
+        """
+        nonlocal manifest
+        if manifest is None or manifest.key != queue.key:
+            return False
+        if fingerprint in manifest.completed:
+            return False
+        latest = SweepManifest.load(root)
+        if latest is not None and latest.key == queue.key:
+            manifest = latest
+            if fingerprint in manifest.completed:
+                return False
+        manifest.record_completion(fingerprint, worker=board.owner)
+        return True
+
+    poll_cap = max(poll, 8.0)
+    idle_delay = poll
+    idle_since = time.monotonic()
+
     try:
         while True:
             ran_this_pass = 0
+            failed_this_pass = 0
             blocked = 0
+            retry_wait = 0
+            next_retry = math.inf
+            failures = ledger.load()
             for item in claim_order:
                 if max_variants is not None and len(report.completed) >= max_variants:
                     report.already_cached = count_cached()
                     return report
                 if _executor.usable_entry(cache, item.fingerprint, queue.analyze):
                     note_cached(item.fingerprint)
+                    if adopt_orphan(item.fingerprint):
+                        # the committer is dead: drop its stale lease too
+                        board.reclaim(item.fingerprint)
                     continue
+                record = failures.get(item.fingerprint)
+                if record is not None and record.quarantined:
+                    continue  # poisoned: the whole fleet skips it
+                if record is not None:
+                    due = record.next_retry_at(retry_backoff)
+                    if time.time() < due:
+                        retry_wait += 1
+                        next_retry = min(next_retry, due)
+                        continue
                 if not board.acquire(item.fingerprint):
                     if board.reclaim(item.fingerprint):
                         report.reclaimed.append(item.fingerprint)
@@ -296,33 +378,113 @@ def run_worker(
                         cache, item.fingerprint, queue.analyze, count=False
                     ):
                         note_cached(item.fingerprint)
+                        adopt_orphan(item.fingerprint)
                         continue
-                    task = item.task(queue.case, queue.analyze, telemetry_path)
-                    with lease_heartbeat(board, item.fingerprint, recorder):
-                        payload = _executor._execute_variant(task)
-                    cache.put(item.fingerprint, payload)
+                    attempt = (0 if record is None else record.attempt_count) + 1
+                    try:
+                        if injector is not None:
+                            injector.fire(
+                                "claim",
+                                fingerprint=item.fingerprint,
+                                index=item.index,
+                                attempt=attempt,
+                                worker=board.owner,
+                                cache=cache,
+                                board=board,
+                            )
+                        task = item.task(queue.case, queue.analyze, telemetry_path)
+                        if injector is not None:
+                            injector.fire(
+                                "run",
+                                fingerprint=item.fingerprint,
+                                index=item.index,
+                                attempt=attempt,
+                                worker=board.owner,
+                                cache=cache,
+                                board=board,
+                            )
+                        with lease_heartbeat(board, item.fingerprint, recorder):
+                            payload = _executor._execute_variant(task)
+                        cache.put(item.fingerprint, payload)
+                        if injector is not None:
+                            injector.fire(
+                                "commit",
+                                fingerprint=item.fingerprint,
+                                index=item.index,
+                                attempt=attempt,
+                                worker=board.owner,
+                                cache=cache,
+                                board=board,
+                            )
+                    except Exception as exc:
+                        # A variant exception is never fatal to the
+                        # worker: record the attempt, release the lease
+                        # (finally below) and move on to other items.
+                        record = ledger.record_failure(
+                            item.fingerprint, exc, worker=board.owner
+                        )
+                        failures[item.fingerprint] = record
+                        report.failed.append(item.fingerprint)
+                        failed_this_pass += 1
+                        if recorder.enabled:
+                            recorder.count("variant.failed")
+                            recorder.event(
+                                "variant.failed",
+                                worker=board.owner,
+                                fingerprint=item.fingerprint,
+                                attempt=record.attempt_count,
+                                exception=type(exc).__name__,
+                                message=str(exc)[:200],
+                            )
+                        if record.quarantined:
+                            report.quarantined.append(item.fingerprint)
+                            if recorder.enabled:
+                                recorder.count("variant.quarantined")
+                                recorder.event(
+                                    "variant.quarantined",
+                                    worker=board.owner,
+                                    fingerprint=item.fingerprint,
+                                    attempts=record.attempt_count,
+                                    exception=type(exc).__name__,
+                                )
+                        continue
+                    if record is not None:
+                        ledger.clear(item.fingerprint)
                     if manifest is not None and manifest.key == queue.key:
                         manifest.record_completion(item.fingerprint, worker=board.owner)
-                    report.completed.append(item.fingerprint)
+                    if item.fingerprint not in report.completed:
+                        # a torn commit re-run completes the same variant twice
+                        report.completed.append(item.fingerprint)
                     ran_this_pass += 1
                 finally:
                     board.release(item.fingerprint)
 
             report.already_cached = count_cached()
-            if blocked == 0 and ran_this_pass == 0:
-                if refresh():
-                    continue  # new items appeared while we scanned
-                if not follow:
-                    return report  # every variant has a usable entry
-                time.sleep(poll)
-            elif blocked and ran_this_pass == 0:
-                if not (wait or follow):
+            if ran_this_pass or failed_this_pass:
+                idle_delay = poll
+                idle_since = time.monotonic()
+                refresh()
+                continue  # made progress: scan again immediately
+            if refresh():
+                idle_delay = poll
+                idle_since = time.monotonic()
+                continue  # new items appeared while we scanned
+            if retry_wait == 0:
+                if blocked == 0:
+                    if not follow:
+                        # every variant is cached or quarantined
+                        return report
+                elif not (wait or follow):
                     return report  # live peers hold the rest; let them finish
-                time.sleep(poll)
-                refresh()
-            else:
-                refresh()
-            # made progress (or reclaimed): scan again immediately
+            if idle_timeout is not None and (
+                time.monotonic() - idle_since >= idle_timeout
+            ):
+                return report
+            delay = idle_delay
+            if retry_wait and math.isfinite(next_retry):
+                delay = max(0.01, min(delay, next_retry - time.time()))
+            time.sleep(delay)
+            idle_delay = min(idle_delay * 2.0, poll_cap)
     finally:
         _finalize_report(report, recorder, counters_base)
 
@@ -333,6 +495,7 @@ def worker_entry(
     lease_ttl: float = DEFAULT_LEASE_TTL,
     wait: bool = False,
     telemetry_dir: str | None = None,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
 ) -> None:
     """Process entry point for scheduler-launched local workers."""
     try:
@@ -342,6 +505,7 @@ def worker_entry(
             lease_ttl=lease_ttl,
             wait=wait,
             telemetry_dir=telemetry_dir,
+            max_attempts=max_attempts,
         )
     except ScenarioError as exc:  # pragma: no cover - defensive
         print(f"worker error: {exc}")

@@ -22,15 +22,22 @@ GET      ``/v1/jobs/<id>``       job status (queued/running/done/lost)
 GET      ``/v1/jobs/<id>/result``  200 canonical result / 409 while in flight
 =======  ======================  ==============================================
 
-Errors are structured, never tracebacks: ``kind="error"`` with
-``{"status": <code>, "error": <message>}``.  The server owns no state —
+Errors are structured, never tracebacks: ``kind="error"`` with a
+stable ``{"status": <code>, "error": {"type": ..., "message": ...}}``
+schema — including the paths the stdlib would answer with HTML pages
+(bad request line, unsupported method).  The server owns no state —
 kill it, restart it, run several: every answer re-derives from the
 shared cache directory (see :mod:`.jobs`).
 
-Concurrency: :class:`ThreadingHTTPServer` threads handle requests;
-blocking work (a cache read, a queue append) is small and lock-guarded
-in the store.  Simulations never run in the server process — cold work
-goes to the sweep-worker fleet.
+Concurrency and degradation: :class:`ThreadingHTTPServer` threads
+handle requests; blocking work (a cache read, a queue append) is small
+and lock-guarded in the store.  Simulations never run in the server
+process — cold work goes to the sweep-worker fleet.  Every connection
+carries a per-request socket timeout, at most ``max_inflight`` requests
+run at once (excess get ``503`` + ``Retry-After`` instead of an
+unbounded thread pile-up), and :meth:`ReproServer.drain` — wired to
+SIGTERM by ``repro serve`` — stops admissions and waits for in-flight
+requests so shutdowns never tear answers mid-body.
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ import json
 import os
 import re
 import socket
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any
@@ -57,6 +65,14 @@ __all__ = ["ReproServer", "create_server"]
 #: tiny; anything bigger is a mistake or abuse.
 MAX_BODY_BYTES = 1 << 20
 
+#: Default per-request socket timeout (seconds) — a stalled client
+#: cannot pin a handler thread forever.
+DEFAULT_REQUEST_TIMEOUT = 30.0
+
+#: Default concurrent-request admission cap; excess requests are told
+#: to come back (503 + Retry-After) instead of queueing unboundedly.
+DEFAULT_MAX_INFLIGHT = 32
+
 _JOB_PATH = re.compile(r"/v1/jobs/([^/]+)")
 _JOB_RESULT_PATH = re.compile(r"/v1/jobs/([^/]+)/result")
 
@@ -70,15 +86,67 @@ class ReproServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address, store: JobStore, telemetry=None) -> None:
+    def __init__(
+        self,
+        address,
+        store: JobStore,
+        telemetry=None,
+        *,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    ) -> None:
+        if max_inflight < 0:
+            raise ReproError(f"max_inflight must be >= 0, got {max_inflight}")
+        if request_timeout <= 0:
+            raise ReproError(
+                f"request_timeout must be positive, got {request_timeout}"
+            )
         self.store = store
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.max_inflight = int(max_inflight)
+        self.request_timeout = float(request_timeout)
+        self.draining = False
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._idle = threading.Event()
+        self._idle.set()
         super().__init__(address, _Handler)
 
     @property
     def url(self) -> str:
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
+
+    # -- admission / drain -------------------------------------------------
+
+    def try_begin_request(self) -> str | None:
+        """Admit one request; the refusal reason when over capacity."""
+        with self._inflight_lock:
+            if self.draining:
+                return "server is draining (shutting down)"
+            if self._inflight >= self.max_inflight:
+                return (
+                    f"server is at capacity "
+                    f"({self.max_inflight} request(s) in flight)"
+                )
+            self._inflight += 1
+            self._idle.clear()
+            return None
+
+    def end_request(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+            if self._inflight <= 0:
+                self._idle.set()
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Stop admitting requests; ``True`` once in-flight ones finish.
+
+        Graceful-shutdown half: new requests get 503 + Retry-After
+        while answers already being computed go out whole.
+        """
+        self.draining = True
+        return self._idle.wait(timeout)
 
 
 def create_server(
@@ -87,12 +155,16 @@ def create_server(
     host: str = "127.0.0.1",
     port: int = 0,
     telemetry: bool = False,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
 ) -> ReproServer:
     """Build a ready-to-run server (``port=0`` picks a free port).
 
     ``telemetry=True`` records request spans, serve cache-hit counters
     and queue-depth gauge events under ``<cache-dir>/telemetry`` —
     the same event stream ``repro events`` and ``/v1/fleet`` read.
+    ``max_inflight`` / ``request_timeout`` bound concurrent requests
+    and per-request socket stalls (see :class:`ReproServer`).
     """
     recorder = NULL_TELEMETRY
     if telemetry:
@@ -101,7 +173,13 @@ def create_server(
             process=f"serve-{socket.gethostname()}:{os.getpid()}",
         )
     store = JobStore(cache_dir, telemetry=recorder)
-    return ReproServer((host, port), store, recorder)
+    return ReproServer(
+        (host, port),
+        store,
+        recorder,
+        max_inflight=max_inflight,
+        request_timeout=request_timeout,
+    )
 
 
 def _require_str(body: dict[str, Any], field: str, required: bool = False):
@@ -148,9 +226,24 @@ class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-serve/1"
     server: ReproServer  # narrowed from BaseServer for attribute access
 
+    def setup(self) -> None:
+        # Per-request socket timeout: both the header read the stdlib
+        # does and our own body reads/writes are bounded, so a stalled
+        # client releases its handler thread.
+        self.timeout = self.server.request_timeout
+        super().setup()
+
     # Telemetry spans replace stderr request logging.
     def log_message(self, format: str, *args: Any) -> None:
         pass
+
+    def send_error(self, code, message=None, explain=None) -> None:
+        """Stdlib error hook (bad request line, unsupported method...):
+        answer with the same JSON error schema as every other path,
+        never the built-in HTML page."""
+        if message is None:
+            message = self.responses.get(code, ("error",))[0]
+        self._send_error(int(code), str(message), error_type="http")
 
     def do_GET(self) -> None:
         self._route("GET")
@@ -161,18 +254,37 @@ class _Handler(BaseHTTPRequestHandler):
     # -- plumbing ----------------------------------------------------------
 
     def _route(self, method: str) -> None:
+        refusal = self.server.try_begin_request()
+        if refusal is not None:
+            self._send_error(
+                503, refusal, error_type="overloaded", retry_after=1
+            )
+            return
+        try:
+            self._handle_admitted(method)
+        finally:
+            self.server.end_request()
+
+    def _handle_admitted(self, method: str) -> None:
         telemetry = self.server.telemetry
         path = urlsplit(self.path).path
         with telemetry.span("serve.request", method=method, path=path) as span:
             try:
                 status = self._dispatch(method, path)
             except (ReproError, ValueError, KeyError, TypeError) as exc:
-                status = self._send_error(400, str(exc))
-            except (BrokenPipeError, ConnectionResetError):
-                status = 0  # client hung up; nothing left to send
+                status = self._send_error(
+                    400, str(exc), error_type=type(exc).__name__
+                )
+            except (BrokenPipeError, ConnectionResetError, TimeoutError):
+                # Client hung up or stalled past the request timeout;
+                # nothing left to send — just drop the connection.
+                self.close_connection = True
+                status = 0
             except Exception as exc:  # never a traceback on the wire
                 status = self._send_error(
-                    500, f"internal error: {type(exc).__name__}: {exc}"
+                    500,
+                    f"internal error: {type(exc).__name__}: {exc}",
+                    error_type="internal",
                 )
             span.set(status=status)
         if telemetry.enabled:
@@ -221,20 +333,55 @@ class _Handler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return body
 
-    def _send(self, status: int, kind: str, data: Any) -> int:
+    def _send(
+        self,
+        status: int,
+        kind: str,
+        data: Any,
+        headers: dict[str, str] | None = None,
+    ) -> int:
         body = (render_response(kind, data) + "\n").encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
         return status
 
-    def _send_error(self, status: int, message: str) -> int:
+    _ERROR_TYPES = {404: "not-found", 409: "conflict", 503: "overloaded"}
+
+    def _send_error(
+        self,
+        status: int,
+        message: str,
+        *,
+        error_type: str | None = None,
+        retry_after: int | None = None,
+    ) -> int:
         # The body may not have been fully read on a validation error;
         # don't let a broken request poison a kept-alive connection.
         self.close_connection = True
-        return self._send(status, "error", {"status": status, "error": message})
+        if error_type is None:
+            error_type = self._ERROR_TYPES.get(status, "error")
+        headers = (
+            {"Retry-After": str(retry_after)} if retry_after is not None else None
+        )
+        try:
+            return self._send(
+                status,
+                "error",
+                {
+                    "status": status,
+                    "error": {"type": error_type, "message": message},
+                },
+                headers=headers,
+            )
+        except OSError:
+            # The socket died while we reported an error about it;
+            # there is no one left to tell.
+            return status
 
     # -- endpoints ---------------------------------------------------------
 

@@ -32,6 +32,7 @@ from typing import Any, Mapping
 
 from .. import api
 from ..errors import ScenarioError
+from ..resilience import FailureLedger
 from ..scenarios.cache import SweepManifest, sweep_key
 from ..scenarios.executor import usable_entry
 from ..scenarios.scheduler import WorkQueue, lease_holder, predict_spec_costs
@@ -280,15 +281,23 @@ class JobStore:
         )
 
     def variant_states(self, record: JobRecord) -> dict[str, str]:
-        """Fingerprint -> done/running/queued/lost, purely from disk."""
+        """Fingerprint -> done/failed/running/queued/lost, from disk.
+
+        ``failed`` means the fleet quarantined the variant (failure
+        ledger, ``max_attempts`` exhausted) — terminal until the ledger
+        entry is cleared.
+        """
         try:
             queued = {i.fingerprint for i in WorkQueue.load(self.root).items}
         except ScenarioError:
             queued = set()
+        quarantined = FailureLedger(self.root).quarantined()
         states: dict[str, str] = {}
         for fingerprint in record.fingerprints:
             if usable_entry(self.cache, fingerprint, record.analyze, count=False):
                 states[fingerprint] = "done"
+            elif fingerprint in quarantined:
+                states[fingerprint] = "failed"
             elif lease_holder(self.root, fingerprint) is not None:
                 states[fingerprint] = "running"
             elif fingerprint in queued:
@@ -300,7 +309,7 @@ class JobStore:
     def status_payload(self, record: JobRecord) -> dict[str, Any]:
         """The ``GET /v1/jobs/<id>`` body (also the 202 response)."""
         states = self.variant_states(record)
-        counts = {"done": 0, "running": 0, "queued": 0, "lost": 0}
+        counts = {"done": 0, "failed": 0, "running": 0, "queued": 0, "lost": 0}
         for state in states.values():
             counts[state] += 1
         if counts["done"] == len(states):
@@ -309,6 +318,8 @@ class JobStore:
             status = "running"
         elif counts["queued"]:
             status = "queued"
+        elif counts["failed"]:
+            status = "failed"
         else:
             status = "lost"
         return {

@@ -177,6 +177,10 @@ class FleetRollup:
     workers: tuple[WorkerStats, ...]
     eta_seconds: float | None
     remaining: int | None
+    #: ``variant.failed`` / ``variant.quarantined`` counter totals —
+    #: the fleet's failure-ledger activity as seen through telemetry.
+    failed: int = 0
+    quarantined: int = 0
 
     def to_payload(self) -> dict[str, Any]:
         """JSON-safe dict form (no NaN; worker MFLUP/s may be None)."""
@@ -196,6 +200,8 @@ class FleetRollup:
             "workers": workers,
             "eta_seconds": self.eta_seconds,
             "remaining": self.remaining,
+            "failed": self.failed,
+            "quarantined": self.quarantined,
         }
 
     def summary_lines(self) -> list[str]:
@@ -207,6 +213,11 @@ class FleetRollup:
         ]
         if self.cache_hit_rate is not None:
             lines.append(f"  cache hit rate: {self.cache_hit_rate:.0%}")
+        if self.failed:
+            lines.append(
+                f"  failures: {self.failed} failed attempt(s), "
+                f"{self.quarantined} quarantined"
+            )
         for stats in sorted(self.workers, key=lambda s: s.process):
             throughput = stats.mflups
             rendered = "" if math.isnan(throughput) else f", {throughput:.2f} MFLUP/s"
@@ -391,6 +402,7 @@ class RunAggregate:
         if remaining is not None:
             projected = self.eta_seconds(remaining)
             eta = None if math.isnan(projected) else projected
+        counters = self.counters
         return FleetRollup(
             events=len(self.events),
             files=len(self.files),
@@ -401,6 +413,8 @@ class RunAggregate:
             ),
             eta_seconds=eta,
             remaining=remaining,
+            failed=int(counters.get("variant.failed", 0)),
+            quarantined=int(counters.get("variant.quarantined", 0)),
         )
 
     def summary_lines(self, remaining: int | None = None) -> list[str]:

@@ -1,0 +1,158 @@
+"""Fault plan validation and the deterministic firing-budget machinery."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.resilience import (
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
+from repro.resilience.faults import FAULT_STATE_DIRNAME
+
+
+def plan_of(*faults, version=1):
+    return FaultPlan.from_payload({"version": version, "faults": list(faults)})
+
+
+class TestPlanValidation:
+    def test_minimal_fault_gets_defaults(self):
+        plan = plan_of({"action": "raise"})
+        (fault,) = plan.faults
+        assert fault.id == "fault0"
+        assert fault.site == "run"
+        assert fault.times == 1
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ReproError, match="unknown key"):
+            plan_of({"action": "raise", "when": "now"})
+
+    def test_bad_action_site_times_seconds(self):
+        with pytest.raises(ReproError, match="action"):
+            plan_of({"action": "explode"})
+        with pytest.raises(ReproError, match="site"):
+            plan_of({"action": "raise", "site": "teardown"})
+        with pytest.raises(ReproError, match="times"):
+            plan_of({"action": "raise", "times": 0})
+        with pytest.raises(ReproError, match="seconds"):
+            plan_of({"action": "slow", "seconds": -1})
+
+    def test_duplicate_ids_and_bad_version(self):
+        with pytest.raises(ReproError, match="duplicate fault id"):
+            plan_of({"id": "x", "action": "raise"}, {"id": "x", "action": "slow"})
+        with pytest.raises(ReproError, match="version"):
+            plan_of(version=2)
+
+    def test_load_and_env(self, tmp_path, monkeypatch):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({"version": 1, "faults": []}))
+        assert FaultPlan.load(path).faults == ()
+        assert FaultPlan.from_env({}) is None
+        assert FaultPlan.from_env({FAULT_PLAN_ENV: str(path)}).path == path
+        with pytest.raises(ReproError, match="cannot read"):
+            FaultPlan.load(tmp_path / "absent.json")
+        (tmp_path / "bad.json").write_text("{nope")
+        with pytest.raises(ReproError, match="invalid JSON"):
+            FaultPlan.load(tmp_path / "bad.json")
+
+
+class TestMatching:
+    def fault(self, **kw):
+        return FaultSpec(id="f", action="raise", **kw)
+
+    def args(self, **kw):
+        base = dict(fingerprint="abcdef", index=3, attempt=1, worker="w1")
+        base.update(kw)
+        return base
+
+    def test_site_must_match(self):
+        assert self.fault(site="commit").matches("commit", **self.args())
+        assert not self.fault(site="commit").matches("run", **self.args())
+
+    def test_fingerprint_is_a_prefix_match(self):
+        assert self.fault(fingerprint="abc").matches("run", **self.args())
+        assert not self.fault(fingerprint="xyz").matches("run", **self.args())
+
+    def test_index_attempt_worker_are_exact(self):
+        assert self.fault(index=3).matches("run", **self.args())
+        assert not self.fault(index=2).matches("run", **self.args())
+        assert not self.fault(attempt=2).matches("run", **self.args())
+        assert self.fault(attempt=2).matches("run", **self.args(attempt=2))
+        assert not self.fault(worker="w2").matches("run", **self.args())
+
+
+class TestFiringBudget:
+    def injector(self, root, *faults):
+        return plan_of(*faults).arm(root)
+
+    def test_raise_fires_exactly_times(self, tmp_path):
+        injector = self.injector(
+            tmp_path, {"id": "f", "action": "raise", "times": 2}
+        )
+        for _ in range(2):
+            with pytest.raises(InjectedFault, match=r"\[f\]"):
+                injector.fire("run", fingerprint="abc")
+        injector.fire("run", fingerprint="abc")  # budget spent: no-op
+        markers = sorted(
+            p.name for p in (tmp_path / FAULT_STATE_DIRNAME).iterdir()
+        )
+        assert markers == ["f.0.fired", "f.1.fired"]
+
+    def test_budget_is_shared_across_injectors(self, tmp_path):
+        """A reclaiming worker arms its own injector over the same dir;
+        the marker files make the budget global, so a crash fault never
+        fires a second time."""
+        fault = {"id": "once", "action": "raise", "times": 1}
+        first = self.injector(tmp_path, fault)
+        with pytest.raises(InjectedFault):
+            first.fire("run", fingerprint="abc")
+        second = self.injector(tmp_path, fault)
+        second.fire("run", fingerprint="abc")  # no raise
+
+    def test_unlimited_budget_writes_no_markers(self, tmp_path):
+        injector = self.injector(
+            tmp_path, {"id": "f", "action": "raise", "times": None}
+        )
+        for _ in range(5):
+            with pytest.raises(InjectedFault):
+                injector.fire("run", fingerprint="abc")
+        assert not (tmp_path / FAULT_STATE_DIRNAME).exists()
+
+    def test_marker_records_what_fired(self, tmp_path):
+        injector = self.injector(tmp_path, {"id": "f", "action": "slow"})
+        injector.fire("run", fingerprint="abc", worker="w9")
+        body = json.loads(
+            (tmp_path / FAULT_STATE_DIRNAME / "f.0.fired").read_text()
+        )
+        assert body["fault"] == "f"
+        assert body["fingerprint"] == "abc"
+        assert body["worker"] == "w9"
+
+
+class TestActions:
+    def test_corrupt_write_truncates_the_entry(self, tmp_path):
+        from repro.scenarios.cache import ResultCache
+
+        cache = ResultCache(tmp_path)
+        cache.put("abc", {"metrics": {"x": 1.0}})
+        clean = cache.entry_path("abc").read_bytes()
+        injector = plan_of(
+            {"id": "torn", "action": "corrupt-write", "site": "commit"}
+        ).arm(tmp_path)
+        injector.fire("commit", fingerprint="abc", cache=cache)
+        torn = cache.entry_path("abc").read_bytes()
+        assert torn == clean[: len(clean) // 2]
+        assert cache.lookup("abc").status == "corrupt"
+
+    def test_lose_lease_unlinks_it(self, tmp_path):
+        from repro.scenarios.scheduler import LeaseBoard
+
+        board = LeaseBoard(tmp_path, owner="w1")
+        assert board.acquire("abc")
+        injector = plan_of({"id": "lost", "action": "lose-lease"}).arm(tmp_path)
+        injector.fire("run", fingerprint="abc", board=board)
+        assert board.holder("abc") is None
+        assert board.acquire("abc")  # claimable again

@@ -59,6 +59,24 @@ class TestResultCache:
         cache.put("abc123", PAYLOAD)
         assert cache.keys() == ("abc123",)
 
+    def test_corrupt_entry_moved_to_sidecar_and_rewarmable(self, tmp_path):
+        from repro.scenarios.cache import CORRUPT_DIRNAME
+
+        cache = ResultCache(tmp_path)
+        path = cache.put("abc123", PAYLOAD)
+        torn = path.read_text()[:40]
+        path.write_text(torn)
+        assert cache.lookup("abc123").status == "corrupt"
+        # the torn bytes were preserved for post-mortem, not destroyed
+        assert not path.exists()
+        sidecar = tmp_path / CORRUPT_DIRNAME / path.name
+        assert sidecar.read_text() == torn
+        # ...and the slot re-warms like any cold fingerprint
+        assert cache.lookup("abc123").status == "miss"
+        cache.put("abc123", PAYLOAD)
+        assert cache.get("abc123") == PAYLOAD
+        assert cache.keys() == ("abc123",)  # sidecar dir never listed
+
 
 class TestSweepManifest:
     def test_create_load_round_trip(self, tmp_path):

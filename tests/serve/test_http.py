@@ -9,6 +9,7 @@ requests come back as structured 400 envelopes, never tracebacks.
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -94,7 +95,7 @@ class TestColdLifecycle:
 
         status, _, err = request(server, f"/v1/jobs/{job_id}/result")
         assert status == 409
-        assert "not complete" in err["data"]["error"]
+        assert "not complete" in err["data"]["error"]["message"]
 
         # a manually held lease is a deterministic "running" signal
         board = LeaseBoard(tmp_path, owner="peer", ttl=60.0)
@@ -147,7 +148,9 @@ class TestValidation:
         assert code == status
         assert envelope["kind"] == "error"
         assert envelope["data"]["status"] == status
-        assert fragment in envelope["data"]["error"]
+        error = envelope["data"]["error"]
+        assert isinstance(error["type"], str) and error["type"]
+        assert fragment in error["message"]
 
     def test_malformed_json_is_a_structured_400(self, server):
         req = urllib.request.Request(
@@ -158,7 +161,7 @@ class TestValidation:
         envelope = json.loads(err.value.read())
         assert err.value.code == 400
         assert envelope["kind"] == "error"
-        assert "not valid JSON" in envelope["data"]["error"]
+        assert "not valid JSON" in envelope["data"]["error"]["message"]
 
     def test_unknown_field(self, server):
         self.assert_error(
@@ -229,3 +232,93 @@ class TestReadOnlyEndpoints:
         assert status == 200
         assert raw == cli_bytes
         assert envelope["kind"] == "fleet"
+
+
+def request_with_headers(server, path):
+    """(status, headers, decoded envelope) for one GET."""
+    req = urllib.request.Request(server.url + path)
+    try:
+        with urllib.request.urlopen(req) as resp:
+            return resp.status, resp.headers, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, err.headers, json.loads(err.read())
+
+
+class TestHardening:
+    """Degradation contract: structured refusals, never hung threads."""
+
+    def test_error_bodies_have_a_stable_nested_schema(self, server):
+        status, _, envelope = request(server, "/v1/nope")
+        assert status == 404
+        assert envelope["kind"] == "error"
+        assert envelope["data"] == {
+            "status": 404,
+            "error": {
+                "type": "not-found",
+                "message": "no route for GET /v1/nope",
+            },
+        }
+
+    def test_draining_server_refuses_with_503_and_retry_after(self, server):
+        server.draining = True
+        try:
+            status, headers, envelope = request_with_headers(
+                server, "/v1/health"
+            )
+        finally:
+            server.draining = False
+        assert status == 503
+        assert headers["Retry-After"] == "1"
+        assert envelope["data"]["error"]["type"] == "overloaded"
+        assert "draining" in envelope["data"]["error"]["message"]
+        # back in service once draining clears
+        status, _, _ = request(server, "/v1/health")
+        assert status == 200
+
+    def test_overloaded_server_sheds_load(self, tmp_path):
+        from repro.serve import create_server
+
+        srv = create_server(tmp_path, port=0, max_inflight=0)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        try:
+            status, headers, envelope = request_with_headers(srv, "/v1/health")
+        finally:
+            srv.shutdown()
+            srv.server_close()
+            thread.join(timeout=5)
+        assert status == 503
+        assert headers["Retry-After"] == "1"
+        assert "0 request(s) in flight" in envelope["data"]["error"]["message"]
+
+    def test_unsupported_method_is_json_not_html(self, server):
+        req = urllib.request.Request(server.url + "/v1/health", method="DELETE")
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req)
+        assert err.value.code == 501
+        envelope = json.loads(err.value.read())
+        assert envelope["kind"] == "error"
+        assert envelope["data"]["error"]["type"] == "http"
+
+    def test_drain_waits_for_idle(self, server):
+        assert server.try_begin_request() is None
+        done = []
+
+        def finish():
+            time.sleep(0.1)
+            server.end_request()
+            done.append(True)
+
+        threading.Thread(target=finish).start()
+        assert server.drain(timeout=5.0)
+        assert done == [True]
+        server.draining = False
+
+    def test_bad_limits_rejected(self, tmp_path):
+        from repro.errors import ReproError
+        from repro.serve import create_server
+
+        with pytest.raises(ReproError, match="max_inflight"):
+            create_server(tmp_path, port=0, max_inflight=-1)
+        with pytest.raises(ReproError, match="request_timeout"):
+            create_server(tmp_path, port=0, request_timeout=0)

@@ -129,3 +129,28 @@ class TestDerivedStatus:
         assert store.queue_depth() == 1
         api.run_worker(tmp_path, wait=True)
         assert store.queue_depth() == 0
+
+
+class TestQuarantinedVariants:
+    def test_quarantine_surfaces_as_failed(self, tmp_path):
+        from repro.resilience import FailureLedger
+
+        store = JobStore(tmp_path)
+        record, _ = submit_small(store)
+        (fingerprint,) = record.fingerprints
+        ledger = FailureLedger(tmp_path, max_attempts=1)
+        try:
+            raise RuntimeError("diverged")
+        except RuntimeError as exc:
+            ledger.record_failure(fingerprint, exc, worker="w1")
+
+        states = store.variant_states(record)
+        assert states[fingerprint] == "failed"
+        payload = store.status_payload(record)
+        assert payload["status"] == "failed"
+        assert payload["variants"]["failed"] == 1
+        assert payload["result"] is None
+
+        # clearing the ledger entry makes the variant schedulable again
+        ledger.clear(fingerprint)
+        assert store.variant_states(record)[fingerprint] == "queued"
